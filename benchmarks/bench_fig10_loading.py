@@ -1,0 +1,126 @@
+"""Figure 10 (E3): loading-time overhead of index creation.
+
+The paper reports the slowdown of loading with each optimization level
+relative to compliant loading (no auxiliary structures).  Here ``loading``
+is populating a :class:`Database` from pre-generated tables: the compliant
+level just adopts the columns; idx builds key hash indexes; idx-date adds
+per-month partitions; idx-date-str adds sorted string dictionaries and
+encoded columns.  Shape: a monotone ladder of slowdown factors > 1.
+
+Run: ``pytest benchmarks/bench_fig10_loading.py --benchmark-only`` or
+``python benchmarks/bench_fig10_loading.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import make_context, print_table
+from repro.storage.database import OptimizationLevel
+from repro.tpch.dbgen import generate_database
+
+LEVELS = (
+    OptimizationLevel.COMPLIANT,
+    OptimizationLevel.IDX,
+    OptimizationLevel.IDX_DATE,
+    OptimizationLevel.IDX_DATE_STR,
+)
+
+
+_TBL_TEXT: dict[str, str] = {}
+
+
+def _tbl_text(ctx) -> dict[str, str]:
+    """Serialize the generated tables to .tbl text once, so every level's
+    load starts from the same on-disk representation (as dbgen would)."""
+    if not _TBL_TEXT:
+        import io
+
+        from repro.storage.loader import write_tbl
+
+        for name, table in ctx.tables.items():
+            buf = io.StringIO()
+            write_tbl(table, buf)
+            _TBL_TEXT[name] = buf.getvalue()
+    return _TBL_TEXT
+
+
+def load_at(ctx, level: OptimizationLevel):
+    """Parse .tbl text and build the level's auxiliary structures."""
+    from repro.storage.database import Database
+    from repro.storage.loader import parse_tbl_lines
+    from repro.tpch.schema import DICTIONARY_COLUMNS, TPCH_TABLES, tpch_catalog
+
+    text = _tbl_text(ctx)
+    db = Database(tpch_catalog(), level=level, dictionary_columns=DICTIONARY_COLUMNS)
+    for name, schema in TPCH_TABLES.items():
+        db.add_table(parse_tbl_lines(schema, text[name].splitlines()))
+    return db
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=[l.name.lower() for l in LEVELS])
+def test_fig10_loading(benchmark, ctx, level):
+    benchmark.group = "fig10-loading"
+    benchmark.name = level.name.lower()
+    benchmark.pedantic(load_at, args=(ctx, level), rounds=2, iterations=1)
+
+
+def collect(ctx):
+    """Per level: (total load seconds, auxiliary-structure build seconds).
+
+    ``Database.build_seconds`` isolates index/dictionary construction from
+    parsing, so the slowdown ratio is stable even though text parsing
+    dominates absolute load time in this Python implementation.
+    """
+    out = {}
+    for level in LEVELS:
+        totals, builds = [], []
+        for _ in range(3):
+            start = time.perf_counter()
+            db = load_at(ctx, level)
+            totals.append(time.perf_counter() - start)
+            builds.append(db.build_seconds)
+        out[level] = (sorted(totals)[1], sorted(builds)[1])
+    return out
+
+
+def test_fig10_build_cost_is_monotone(ctx):
+    results = collect(ctx)
+    builds = [results[level][1] for level in LEVELS]
+    assert builds[0] <= builds[1] <= builds[3]
+    assert builds[3] > builds[0]
+
+
+def main() -> None:
+    ctx = make_context()
+    results = collect(ctx)
+    base_total, base_build = results[OptimizationLevel.COMPLIANT]
+    parse_cost = base_total - base_build
+    rows = []
+    for level in LEVELS:
+        total, build = results[level]
+        rows.append(
+            (
+                level.name.lower(),
+                [
+                    total * 1000.0,
+                    build * 1000.0,
+                    (parse_cost + build) / max(parse_cost + base_build, 1e-9),
+                ],
+            )
+        )
+    print_table(
+        f"Figure 10 -- loading overhead by optimization level, SF={ctx.scale}",
+        ["total load (ms)", "aux build (ms)", "slowdown vs compliant"],
+        rows,
+        note=(
+            "aux build = key indexes / date partitions / string dictionaries;\n"
+            "slowdown uses parse cost + build cost, as the paper's loading does"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

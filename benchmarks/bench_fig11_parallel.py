@@ -1,0 +1,84 @@
+"""Figure 11 (E4): parallel scaling of Q4, Q6, Q13, Q14, Q22 on 1-16 workers.
+
+The partials are the real generated partition code (Section 4.5); the
+wall-clock overlap on k workers is *simulated* as the static-scheduling
+makespan because this container has a single core (see DESIGN.md,
+substitution table).  Paper shape: 4-11x speedup at 16 cores, scan-heavy
+queries (Q6) closest to linear, merge-heavy ones (Q13) sublinear.
+
+Run: ``pytest benchmarks/bench_fig11_parallel.py --benchmark-only`` or
+``python benchmarks/bench_fig11_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_context, print_table
+from repro.compiler.parallel import ParallelQuery
+
+QUERIES = (4, 6, 13, 14, 22)
+WORKERS = (1, 2, 4, 8, 16)
+PARTITIONS = 16  # fixed partition count; workers pick up blocks
+
+
+_parallel_cache: dict[int, ParallelQuery] = {}
+
+
+def parallel_query(ctx, query: int) -> ParallelQuery:
+    if query not in _parallel_cache:
+        db = ctx.db()
+        _parallel_cache[query] = ParallelQuery(
+            ctx.plan(query), db, db.catalog
+        )
+    return _parallel_cache[query]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_partials(benchmark, ctx, query):
+    """Benchmark the full partitioned execution (all partials + merge + tail)."""
+    benchmark.group = "fig11-partials"
+    benchmark.name = f"Q{query}"
+    pq = parallel_query(ctx, query)
+    pq.run_simulated(PARTITIONS)  # warm
+    benchmark.pedantic(pq.run_simulated, args=(PARTITIONS,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig11_speedup_shape(ctx, query):
+    """Simulated scaling must be monotone and meaningful at 16 workers."""
+    pq = parallel_query(ctx, query)
+    _, timing = pq.run_simulated(PARTITIONS)
+    makespans = [timing.makespan(w) for w in WORKERS]
+    assert all(a >= b for a, b in zip(makespans, makespans[1:]))
+    assert makespans[0] / makespans[-1] > 2.0  # >2x at 16 workers
+
+
+def collect(ctx):
+    rows = []
+    for query in QUERIES:
+        pq = parallel_query(ctx, query)
+        _, timing = pq.run_simulated(PARTITIONS)
+        makespans = [timing.makespan(w) * 1000.0 for w in WORKERS]
+        rows.append((f"Q{query} (ms)", makespans))
+        rows.append(
+            (f"Q{query} speedup", [makespans[0] / m for m in makespans])
+        )
+    return rows
+
+
+def main() -> None:
+    ctx = make_context()
+    print_table(
+        f"Figure 11 -- simulated parallel scaling (static makespan), SF={ctx.scale}",
+        [f"{w} worker{'s' if w > 1 else ''}" for w in WORKERS],
+        collect(ctx),
+        note=(
+            "partials are real generated partition code run sequentially;\n"
+            "k-worker wall-clock = max over workers + merge + tail (1-core host)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

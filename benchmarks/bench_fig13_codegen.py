@@ -1,0 +1,78 @@
+"""Figure 13 / Appendix A.1 (E5): code generation and compilation times.
+
+The paper reports, per query and configuration (compliant vs optimized),
+the time to generate source and the time the downstream compiler (GCC
+there, CPython's ``compile()`` here) takes.  Shape: both are constant in
+data size, grow with operator count (Q2/Q5/Q8/Q21 among the largest), and
+generation dominates compilation for Python targets.
+
+Run: ``pytest benchmarks/bench_fig13_codegen.py --benchmark-only`` or
+``python benchmarks/bench_fig13_codegen.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_context, print_table
+from repro.compiler.driver import LB2Compiler
+from repro.plan.rewrite import optimize_for_level
+from repro.storage.database import OptimizationLevel
+from repro.tpch import query_plan
+
+QUERIES = tuple(range(1, 23))
+CONFIGS = ("compliant", "optimized")
+
+
+def compile_query(ctx, query: int, config: str):
+    if config == "compliant":
+        db = ctx.db()
+        plan = query_plan(query, scale=ctx.scale)
+    else:
+        db = ctx.db(OptimizationLevel.IDX_DATE_STR)
+        plan = optimize_for_level(
+            query_plan(query, scale=ctx.scale), db, db.catalog
+        )
+    return LB2Compiler(db.catalog, db).compile(plan)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig13_codegen(benchmark, ctx, config, query):
+    benchmark.group = f"fig13-Q{query}"
+    benchmark.name = config
+    benchmark.pedantic(compile_query, args=(ctx, query, config), rounds=2, iterations=1)
+
+
+def test_fig13_compile_time_independent_of_data_size(ctx):
+    """Compilation must not touch the data: times stay flat across scales."""
+    compiled = compile_query(ctx, 1, "compliant")
+    assert compiled.generation_seconds < 1.0
+    assert compiled.compile_seconds < 1.0
+
+
+def collect(ctx):
+    rows = []
+    for config in CONFIGS:
+        generation, compilation = [], []
+        for query in QUERIES:
+            compiled = compile_query(ctx, query, config)
+            generation.append(compiled.generation_seconds * 1000.0)
+            compilation.append(compiled.compile_seconds * 1000.0)
+        rows.append((f"{config} gen", generation))
+        rows.append((f"{config} compile", compilation))
+    return rows
+
+
+def main() -> None:
+    ctx = make_context()
+    print_table(
+        "Figure 13 -- code generation + compilation time (ms) per query",
+        [f"Q{q}" for q in QUERIES],
+        collect(ctx),
+        note="generation = staged-evaluator pass; compile = CPython compile()",
+    )
+
+
+if __name__ == "__main__":
+    main()

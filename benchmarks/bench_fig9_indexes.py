@@ -1,0 +1,85 @@
+"""Figure 9 (E2): non-TPC-H-compliant optimizations -- key indexes, date
+indexes, string dictionaries -- on LB2 across all 22 queries.
+
+Paper shape: each added level is at worst neutral and wins on the queries
+it targets (date-filter queries for date indexes; string-predicate queries
+-- Q2/Q3/Q12/Q14/Q17/Q19 -- for dictionaries).
+
+Run: ``pytest benchmarks/bench_fig9_indexes.py --benchmark-only`` or
+``python benchmarks/bench_fig9_indexes.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_context, print_table, time_callable
+from repro.storage.database import OptimizationLevel
+
+QUERIES = tuple(range(1, 23))
+LEVELS = (
+    ("lb2-compliant", OptimizationLevel.COMPLIANT, False),
+    ("lb2-idx", OptimizationLevel.IDX, True),
+    ("lb2-idx-date", OptimizationLevel.IDX_DATE, True),
+    ("lb2-idx-date-str", OptimizationLevel.IDX_DATE_STR, True),
+)
+
+
+def run_level(ctx, query: int, level: OptimizationLevel, rewrite: bool):
+    compiled = ctx.compiled(query, level=level, rewrite=rewrite)
+    return compiled.run(ctx.db(level))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("label,level,rewrite", LEVELS, ids=[l for l, _, _ in LEVELS])
+def test_fig9_index_levels(benchmark, ctx, query, label, level, rewrite):
+    benchmark.group = f"fig9-Q{query}"
+    benchmark.name = label
+    run_level(ctx, query, level, rewrite)  # compile + warm
+    benchmark.pedantic(
+        run_level, args=(ctx, query, level, rewrite), rounds=2, iterations=1
+    )
+
+
+def collect(ctx):
+    results = {}
+    for label, level, rewrite in LEVELS:
+        ctx.db(level)  # force load
+        times = []
+        for query in QUERIES:
+            run_level(ctx, query, level, rewrite)
+            seconds = time_callable(
+                lambda q=query, lv=level, rw=rewrite: run_level(ctx, q, lv, rw)
+            )
+            times.append(seconds * 1000.0)
+        results[label] = times
+    return results
+
+
+def check_shape(results):
+    base = results["lb2-compliant"]
+    best = [
+        min(results[label][i] for label, _, _ in LEVELS)
+        for i in range(len(QUERIES))
+    ]
+    improved = sum(1 for b, o in zip(base, best) if o < b * 0.95)
+    note = [f"queries improved >5% by some index level: {improved}/22"]
+    for label, _, _ in LEVELS[1:]:
+        ratio = sum(b / max(v, 1e-9) for b, v in zip(base, results[label])) / len(base)
+        note.append(f"mean speedup of {label} over compliant: {ratio:.2f}x")
+    return note
+
+
+def main() -> None:
+    ctx = make_context()
+    results = collect(ctx)
+    print_table(
+        f"Figure 9 -- LB2 runtime (ms) with index optimizations, SF={ctx.scale}",
+        [f"Q{q}" for q in QUERIES],
+        [(label, results[label]) for label, _, _ in LEVELS],
+        note="\n".join(check_shape(results)),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shared benchmark fixtures: one generated TPC-H dataset per process."""
+
+import pytest
+
+from repro.bench import make_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return make_context()

@@ -1,0 +1,46 @@
+"""The aggregate-query code generation walkthrough (paper Appendix B.2).
+
+Shows the same group-by-count query compiled three ways:
+
+* with the native-dict hash map (the idiomatic Python lowering);
+* with the paper-faithful open-addressing columnar hash map -- the residual
+  program contains nothing but flat arrays and index arithmetic, like the
+  paper's Figure 14 C code;
+* rendered as illustrative C from the same single generation pass.
+
+Run: ``python examples/codegen_walkthrough.py``
+"""
+
+from repro.catalog import Catalog, INT, STRING
+from repro.catalog.schema import schema
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.plan import Agg, Scan, col, count
+from repro.storage import Database
+
+
+def main() -> None:
+    emp = schema("Emp", ("eid", INT), ("edname", STRING), pk=["eid"])
+    db = Database(Catalog())
+    db.add_rows(emp, [(1, "CS"), (2, "CS"), (3, "EE"), (4, "ME"), (5, "CS")])
+
+    # select edname, count(*) from Emp group by edname
+    plan = Agg(Scan("Emp"), [("edname", col("edname"))], [("cnt", count())])
+
+    native = LB2Compiler(db.catalog, db, Config(hashmap="native")).compile(plan)
+    print("=== native-dict lowering (Python) ===")
+    print(native.source)
+    print("result:", sorted(native.run(db)))
+
+    open_cfg = Config(hashmap="open", open_map_size=16)
+    open_map = LB2Compiler(db.catalog, db, open_cfg).compile(plan)
+    print("\n=== open-addressing lowering (Python; flat arrays only) ===")
+    print(open_map.source)
+    print("result:", sorted(open_map.run(db)))
+
+    print("\n=== the same staged program rendered as C (cf. Figure 14) ===")
+    print(open_map.c_source())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""The Session facade: SQL with subqueries, EXPLAIN, and EXPLAIN ANALYZE.
+
+Shows the downstream-user workflow: open a session on a loaded database,
+run SQL (including EXISTS / IN / scalar subqueries, which the planner
+decorrelates into semi/anti joins), inspect the optimized plan, and get
+per-operator row counts from an *instrumented compiled query* -- counters
+are generated into the residual program by the same single pass.
+
+Run: ``python examples/session_analyze.py``
+"""
+
+from repro.session import Session
+from repro.storage import OptimizationLevel
+from repro.tpch.dbgen import generate_database
+
+ORDERS_WITH_LATE_ITEMS = """
+    select o_orderpriority, count(*) as order_count
+    from orders
+    where o_orderdate >= date '1993-07-01'
+      and o_orderdate < date '1993-07-01' + interval '3' month
+      and exists (select l_orderkey from lineitem
+                  where l_orderkey = o_orderkey
+                    and l_commitdate < l_receiptdate)
+    group by o_orderpriority
+    order by o_orderpriority
+"""
+
+RICH_IDLE_CUSTOMERS = """
+    select count(*) as idle_rich
+    from customer
+    where c_acctbal > (select avg(c_acctbal) from customer where c_acctbal > 0.0)
+      and not exists (select o_orderkey from orders where o_custkey = c_custkey)
+"""
+
+
+def main() -> None:
+    db = generate_database(0.005, level=OptimizationLevel.IDX)
+    session = Session(db)
+
+    print("=== TPC-H Q4 as SQL (EXISTS decorrelated to a semi join) ===")
+    print(session.explain(ORDERS_WITH_LATE_ITEMS))
+    print()
+    for row in session.query(ORDERS_WITH_LATE_ITEMS):
+        print(f"  {row[0]:<18} {row[1]}")
+
+    print("\n=== rich customers with no orders (scalar + NOT EXISTS) ===")
+    print(session.explain(RICH_IDLE_CUSTOMERS))
+    rows, stats = session.analyze(RICH_IDLE_CUSTOMERS)
+    print(f"\nresult: {rows[0][0]} customers")
+    print("per-operator row counts (from the instrumented residual program):")
+    for label, count in stats.items():
+        print(f"  {label:<22} {count:>8}")
+
+    print(f"\nprepared-statement cache: {session.cached_statements} entries")
+
+
+if __name__ == "__main__":
+    main()

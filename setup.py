@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which require ``bdist_wheel``) fail.  ``python setup.py
+develop`` performs the equivalent editable install without needing wheels.
+``pip install -e . --no-build-isolation`` works wherever ``wheel`` is present.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""repro: a single-pass query compiler derived from a query interpreter.
+
+Reproduction of "How to Architect a Query Compiler, Revisited"
+(Tahboub, Essertel, Rompf -- SIGMOD 2018).
+
+Public surface:
+
+* :mod:`repro.catalog`  -- types, schemas, statistics
+* :mod:`repro.storage`  -- columnar tables, indexes, dictionaries, Database
+* :mod:`repro.plan`     -- expressions, physical plans, rewrites, optimizer
+* :mod:`repro.engine`   -- Volcano and data-centric push interpreters
+* :mod:`repro.compiler` -- the LB2 single-pass compiler, template compiler,
+  parallel driver
+* :mod:`repro.sql`      -- SQL front-end
+* :mod:`repro.tpch`     -- dbgen + the 22 TPC-H query plans
+* :mod:`repro.staging`  -- the staging framework underneath it all
+"""
+
+from repro.catalog import Catalog
+from repro.storage import Database, OptimizationLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "OptimizationLevel",
+    "compile_plan",
+    "execute",
+    "__version__",
+]
+
+
+def compile_plan(plan, db, config=None):
+    """Compile a physical plan against a loaded database (LB2 path)."""
+    from repro.compiler.driver import LB2Compiler
+
+    return LB2Compiler(db.catalog, db, config).compile(plan)
+
+
+def execute(query, db, engine: str = "lb2"):
+    """One-call execution of a plan or SQL string on a chosen engine.
+
+    ``engine`` is one of ``lb2`` (compiled, default), ``push``, ``volcano``
+    or ``template``.
+    """
+    from repro.plan.physical import PhysicalPlan
+
+    if isinstance(query, str):
+        from repro.sql import sql_to_plan
+
+        plan = sql_to_plan(query, db)
+    elif isinstance(query, PhysicalPlan):
+        plan = query
+    else:
+        raise TypeError("query must be a SQL string or a PhysicalPlan")
+
+    if engine == "lb2":
+        return compile_plan(plan, db).run(db)
+    if engine == "push":
+        from repro.engine import execute_push
+
+        return execute_push(plan, db, db.catalog)
+    if engine == "volcano":
+        from repro.engine import execute_volcano
+
+        return execute_volcano(plan, db, db.catalog)
+    if engine == "template":
+        from repro.compiler.template import execute_template
+
+        return execute_template(plan, db, db.catalog)
+    raise ValueError(f"unknown engine {engine!r}")

@@ -1,0 +1,20 @@
+"""Benchmark harness: engine timing and paper-style figure reports."""
+
+from repro.bench.harness import (
+    ENGINE_LABELS,
+    BenchContext,
+    make_context,
+    run_engine,
+    time_callable,
+)
+from repro.bench.report import format_table, print_table
+
+__all__ = [
+    "ENGINE_LABELS",
+    "BenchContext",
+    "make_context",
+    "run_engine",
+    "time_callable",
+    "format_table",
+    "print_table",
+]

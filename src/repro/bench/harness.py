@@ -1,0 +1,150 @@
+"""Shared machinery for the per-figure benchmarks.
+
+A :class:`BenchContext` owns the generated TPC-H data (one generation per
+process, shared across levels) and caches compiled queries so benchmark
+iterations time *execution*, not compilation -- matching the paper, which
+reports compile times separately (Figure 13 / our E5).
+
+The scale factor comes from the ``REPRO_BENCH_SF`` environment variable
+(default 0.01, i.e. 1% of SF1).  Absolute numbers are host-dependent; the
+figures compare *systems* at a fixed scale, which is scale-invariant in
+shape.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compiler.driver import CompiledQuery, LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.template import TemplateCompiler
+from repro.engine import execute_push, execute_volcano
+from repro.plan import physical as phys
+from repro.plan.rewrite import optimize_for_level
+from repro.storage.database import Database, OptimizationLevel
+from repro.tpch import query_plan
+from repro.tpch.dbgen import generate_database, generate_tables
+
+ENGINE_LABELS = {
+    "volcano": "Volcano interpreter (Postgres-style)",
+    "push": "Data-centric interpreter (callbacks)",
+    "template": "Template-expansion compiler (DBLAB-contrast)",
+    "lb2": "LB2 single-pass compiler (hand-written plans)",
+    "lb2-sql": "LB2 on SQL-optimizer plans (15 expressible queries)",
+}
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SF", "0.01"))
+
+
+@dataclass
+class BenchContext:
+    """Generated data plus per-level databases and compiled-query caches."""
+
+    scale: float
+    tables: dict
+    databases: dict[OptimizationLevel, Database] = field(default_factory=dict)
+    _compiled: dict = field(default_factory=dict)
+    _template: dict = field(default_factory=dict)
+
+    def db(self, level: OptimizationLevel = OptimizationLevel.COMPLIANT) -> Database:
+        if level not in self.databases:
+            self.databases[level] = generate_database(
+                tables={k: v for k, v in self.tables.items()}, level=level
+            )
+        return self.databases[level]
+
+    def plan(
+        self,
+        query: int,
+        level: OptimizationLevel = OptimizationLevel.COMPLIANT,
+        rewrite: bool = False,
+    ) -> phys.PhysicalPlan:
+        db = self.db(level)
+        plan = query_plan(query, scale=self.scale)
+        if rewrite:
+            plan = optimize_for_level(plan, db, db.catalog)
+        return plan
+
+    def compiled(
+        self,
+        query: int,
+        level: OptimizationLevel = OptimizationLevel.COMPLIANT,
+        rewrite: bool = False,
+        config: Optional[Config] = None,
+    ) -> CompiledQuery:
+        key = (query, level, rewrite, config)
+        if key not in self._compiled:
+            db = self.db(level)
+            plan = self.plan(query, level, rewrite)
+            self._compiled[key] = LB2Compiler(db.catalog, db, config).compile(plan)
+        return self._compiled[key]
+
+    def template_compiled(self, query: int):
+        if query not in self._template:
+            db = self.db()
+            self._template[query] = TemplateCompiler(db.catalog).compile(
+                self.plan(query)
+            )
+        return self._template[query]
+
+    def sql_compiled(self, query: int) -> Optional[CompiledQuery]:
+        """LB2 compilation of the SQL-optimizer plan (None if plan-only)."""
+        from repro.sql import sql_to_plan
+        from repro.tpch.sql_queries import SQL_QUERIES
+
+        key = ("sql", query)
+        if key not in self._compiled:
+            if query not in SQL_QUERIES:
+                self._compiled[key] = None
+            else:
+                db = self.db()
+                plan = sql_to_plan(SQL_QUERIES[query], db)
+                self._compiled[key] = LB2Compiler(db.catalog, db).compile(plan)
+        return self._compiled[key]
+
+
+_context: Optional[BenchContext] = None
+
+
+def make_context() -> BenchContext:
+    """The process-wide benchmark context (data generated once)."""
+    global _context
+    if _context is None or _context.scale != bench_scale():
+        scale = bench_scale()
+        _context = BenchContext(scale=scale, tables=generate_tables(scale))
+    return _context
+
+
+def run_engine(engine: str, ctx: BenchContext, query: int) -> list[tuple]:
+    """Execute one query on one engine (compiled engines pre-compiled)."""
+    db = ctx.db()
+    if engine == "volcano":
+        return execute_volcano(ctx.plan(query), db, db.catalog)
+    if engine == "push":
+        return execute_push(ctx.plan(query), db, db.catalog)
+    if engine == "template":
+        return ctx.template_compiled(query).run(db)
+    if engine == "lb2":
+        return ctx.compiled(query).run(db)
+    if engine == "lb2-sql":
+        compiled = ctx.sql_compiled(query)
+        if compiled is None:
+            raise KeyError(f"Q{query} is not SQL-expressible (plan-only)")
+        return compiled.run(db)
+    raise KeyError(f"unknown engine {engine!r}")
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)

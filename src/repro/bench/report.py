@@ -1,0 +1,44 @@
+"""Plain-text tables matching the layout of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[tuple[str, Sequence[object]]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a labelled table: one name column plus data columns."""
+    header = [""] + [str(c) for c in columns]
+    body = [[name] + [format_cell(v) for v in values] for name, values in rows]
+    widths = [
+        max(len(line[i]) for line in [header] + body) for i in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines) + "\n"
+
+
+def print_table(*args, **kwargs) -> None:
+    print(format_table(*args, **kwargs))

@@ -1,0 +1,38 @@
+"""Catalog: column types, table schemas, metadata and statistics."""
+
+from repro.catalog.types import (
+    BOOL,
+    DATE,
+    FLOAT,
+    INT,
+    STRING,
+    ColumnType,
+    date_to_int,
+    int_to_date,
+    date_add_months,
+    date_add_days,
+    date_add_years,
+)
+from repro.catalog.schema import Column, TableSchema
+from repro.catalog.catalog import Catalog
+from repro.catalog.statistics import ColumnStats, TableStats, collect_table_stats
+
+__all__ = [
+    "BOOL",
+    "DATE",
+    "FLOAT",
+    "INT",
+    "STRING",
+    "ColumnType",
+    "Column",
+    "TableSchema",
+    "Catalog",
+    "ColumnStats",
+    "TableStats",
+    "collect_table_stats",
+    "date_to_int",
+    "int_to_date",
+    "date_add_months",
+    "date_add_days",
+    "date_add_years",
+]

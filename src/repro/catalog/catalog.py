@@ -1,0 +1,61 @@
+"""The catalog: the set of table schemas known to the system."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.catalog.schema import SchemaError, TableSchema
+
+
+class Catalog:
+    """A registry of table schemas.
+
+    Query planning (and compiled-code generation) resolves column
+    references against the catalog; the storage layer checks loaded data
+    against it.
+    """
+
+    def __init__(self, schemas: Iterable[TableSchema] = ()) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        for sch in schemas:
+            self.register(sch)
+
+    def register(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already registered")
+        self._tables[schema.name] = schema
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown table {name!r}; known tables: "
+                f"{', '.join(sorted(self._tables)) or '(none)'}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def resolve_column(self, column: str) -> tuple[str, TableSchema]:
+        """Find the unique table owning ``column``.
+
+        TPC-H-style schemas prefix every column with the table abbreviation,
+        which makes unqualified references unambiguous; ambiguity raises.
+        """
+        owners = [s for s in self._tables.values() if s.has_column(column)]
+        if not owners:
+            raise SchemaError(f"no table has a column named {column!r}")
+        if len(owners) > 1:
+            names = ", ".join(s.name for s in owners)
+            raise SchemaError(f"column {column!r} is ambiguous across: {names}")
+        return owners[0].name, owners[0]
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

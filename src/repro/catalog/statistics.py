@@ -1,0 +1,75 @@
+"""Table and column statistics for the cost-based optimizer.
+
+The paper delegates indexing and layout decisions to "the query optimizer"
+(Sections 4.3, 7); this module provides the statistics that optimizer needs:
+row counts, per-column distinct counts and min/max values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics for a single column."""
+
+    distinct: int
+    min_value: object = None
+    max_value: object = None
+
+    def selectivity_eq(self) -> float:
+        """Estimated selectivity of an equality predicate on this column."""
+        return 1.0 / max(self.distinct, 1)
+
+    def selectivity_range(self, lo: object = None, hi: object = None) -> float:
+        """Estimated selectivity of a range predicate (numeric columns)."""
+        if (
+            self.min_value is None
+            or self.max_value is None
+            or not isinstance(self.min_value, (int, float))
+        ):
+            return 1.0 / 3.0  # the classic default guess
+        span = float(self.max_value) - float(self.min_value)
+        if span <= 0:
+            return 1.0
+        start = float(self.min_value) if lo is None else max(float(lo), float(self.min_value))
+        end = float(self.max_value) if hi is None else min(float(hi), float(self.max_value))
+        if end <= start:
+            return 0.0
+        return min(1.0, (end - start) / span)
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+def collect_column_stats(values: Sequence[object]) -> ColumnStats:
+    """Compute exact statistics over one column's values."""
+    if not values:
+        return ColumnStats(distinct=0)
+    distinct = len(set(values))
+    try:
+        return ColumnStats(distinct=distinct, min_value=min(values), max_value=max(values))
+    except TypeError:  # mixed/None values (outer-join products) -- no min/max
+        return ColumnStats(distinct=distinct)
+
+
+def collect_table_stats(columns: dict[str, Sequence[object]]) -> TableStats:
+    """Compute statistics for a table given a mapping column -> values."""
+    lengths = {len(vals) for vals in columns.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+    row_count = lengths.pop() if lengths else 0
+    return TableStats(
+        row_count=row_count,
+        columns={name: collect_column_stats(vals) for name, vals in columns.items()},
+    )

@@ -1,0 +1,29 @@
+"""The LB2-style single-pass query compiler (the paper's contribution).
+
+Sub-modules:
+
+* :mod:`repro.compiler.runtime` -- helpers available to generated code as ``rt``.
+* :mod:`repro.compiler.staged_record` -- generation-time ``Field``/``Value``/``Record``.
+* :mod:`repro.compiler.staged_buffer` -- generation-time row/column buffers.
+* :mod:`repro.compiler.staged_hashmap` -- specialized hash maps (native-dict
+  and paper-faithful open addressing / bucket variants).
+* :mod:`repro.compiler.staged_string` -- dictionary-compressed string values.
+* :mod:`repro.compiler.staged_index` -- index access for index joins / date scans.
+* :mod:`repro.compiler.lb2` -- the staged data-centric-with-callbacks evaluator.
+* :mod:`repro.compiler.driver` -- plan -> source -> callable pipeline.
+* :mod:`repro.compiler.template` -- the coarse template-expansion compiler
+  (the contrast class of Section 4).
+* :mod:`repro.compiler.parallel` -- partitioned parallel compilation (4.5).
+"""
+
+__all__ = ["CompiledQuery", "LB2Compiler"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports avoid importing the full compiler stack when only the
+    # runtime module is needed (e.g. from generated code).
+    if name in __all__:
+        from repro.compiler import driver
+
+        return getattr(driver, name)
+    raise AttributeError(name)

@@ -1,0 +1,1360 @@
+"""The LB2 staged evaluator: data-centric with callbacks, over staged records.
+
+This module is the push interpreter of :mod:`repro.engine.push`, re-typed.
+Every operator exposes ``exec() -> datapath`` where ``datapath(cb)`` runs
+the operator symbolically, calling ``cb`` on each *staged* record.  Running
+the tree therefore emits the residual program -- the first Futamura
+projection performed programmatically, in one pass (Sections 2-4).
+
+The two-phase ``exec`` protocol is the paper's code-motion device (Section
+4.4, Figure 7): calling ``exec()`` emits data-structure allocations and
+cold-path binds *now* (when hoisting is on) and returns a closure that emits
+the hot path wherever the caller stands.  With hoisting off, allocations are
+deferred into the data path -- the ablation of experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.types import ColumnType
+from repro.plan import physical as phys
+from repro.plan.expressions import Col
+from repro.staging import ir
+from repro.staging.builder import StagingContext
+from repro.staging.rep import Rep, RepInt, RepStr, rep_for_ctype
+from repro.storage.database import Database
+from repro.compiler.staged_agg import StagedAgg, all_slot_ctypes, build_staged_aggs
+from repro.compiler.staged_hashmap import (
+    NativeAggMap,
+    NativeMultiMap,
+    OpenAggMap,
+    StagedSet,
+)
+from repro.compiler.staged_record import (
+    DicValue,
+    FieldDesc,
+    StagedRecord,
+    StagedValue,
+    value_output,
+    value_payload,
+)
+
+
+class CompileError(Exception):
+    """Raised when a plan cannot be compiled."""
+
+
+@dataclass(frozen=True)
+class Config:
+    """Compilation knobs (the paper's per-optimization flags).
+
+    * ``hashmap`` -- ``"native"`` (Python dict) or ``"open"`` (the paper's
+      open-addressing columnar layout) for aggregation maps.
+    * ``open_map_size`` -- slot count for open maps (power of two).
+    * ``hoist`` -- allocate data structures ahead of the hot path (4.4).
+    * ``use_dictionaries`` -- read dictionary-compressed columns when the
+      database provides them (4.3).
+    """
+
+    hashmap: str = "native"
+    open_map_size: int = 1 << 16
+    hoist: bool = True
+    use_dictionaries: bool = True
+    instrument: bool = False
+    sort_layout: str = "row"  # "row" (tuple buffer) or "column" (SoA + argsort)
+
+    def __post_init__(self) -> None:
+        if self.hashmap not in ("native", "open"):
+            raise CompileError(f"unknown hashmap implementation {self.hashmap!r}")
+        if self.sort_layout not in ("row", "column"):
+            raise CompileError(f"unknown sort layout {self.sort_layout!r}")
+
+
+@dataclass(frozen=True)
+class StaticField:
+    """Generation-time field info: name, SQL type, compressed or not."""
+
+    name: str
+    type: ColumnType
+    compressed: bool = False
+
+    @property
+    def ctype(self) -> str:
+        return "long" if self.compressed else self.type.ctype
+
+
+RecCallback = Callable[[StagedRecord], None]
+Datapath = Callable[[RecCallback], None]
+
+
+class StagedOp:
+    """Base staged operator."""
+
+    def __init__(self, comp: "StagedPlanBuilder") -> None:
+        self.comp = comp
+        self.ctx = comp.ctx
+
+    def exec(self) -> Datapath:
+        raise NotImplementedError
+
+    # -- the alloc/datapath split ------------------------------------------------
+
+    def _two_phase(self, allocate: Callable[[], object],
+                   emit: Callable[[object, RecCallback], None]) -> Datapath:
+        """Wire an allocation phase and a hot-path phase per the config."""
+        if self.comp.config.hoist:
+            state = allocate()
+
+            def datapath(cb: RecCallback) -> None:
+                emit(state, cb)
+
+            return datapath
+
+        holder: dict[str, object] = {}
+
+        def datapath_lazy(cb: RecCallback) -> None:
+            if "state" not in holder:
+                holder["state"] = allocate()
+            emit(holder["state"], cb)
+
+        return datapath_lazy
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ScanState:
+    size: Rep
+    loaders_at: Callable[[Rep], dict[str, Callable[[], StagedValue]]]
+    descs: list[FieldDesc]
+
+
+class StagedScan(StagedOp):
+    def __init__(self, comp: "StagedPlanBuilder", node: phys.Scan) -> None:
+        super().__init__(comp)
+        self.node = node
+
+    def _allocate(self) -> _ScanState:
+        return _bind_table(self.comp, self.node.table, self.node.rename_map)
+
+    def exec(self) -> Datapath:
+        def emit(state: _ScanState, cb: RecCallback) -> None:
+            bounds = self.comp.partition_bounds_for(self.node)
+            if bounds is not None:
+                # Section 4.5: this is the partitioned (driving) scan; the
+                # generated partial covers rows [lo, hi).
+                lo, hi = bounds
+                with self.ctx.for_range(lo, hi, prefix="i") as i:
+                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
+            else:
+                with self.ctx.for_range(0, state.size, prefix="i") as i:
+                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
+
+        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+
+
+class StagedDateIndexScan(StagedOp):
+    """Date-partition-pruned scan (Section 4.3).
+
+    Plain mode emits one loop over candidate row ids.  In ``enforce`` mode
+    the residual program gets *two* loops: interior partitions run the
+    downstream pipeline with **no** date comparison at all (they satisfy
+    the range by construction), and only boundary partitions re-check --
+    the pipeline code is specialized twice, one generation pass, no
+    rewrite rules.
+    """
+
+    def __init__(self, comp: "StagedPlanBuilder", node: phys.DateIndexScan) -> None:
+        super().__init__(comp)
+        self.node = node
+
+    def _allocate(self):
+        node = self.node
+        state = _bind_table(self.comp, node.table, node.rename_map)
+        self.ctx.comment(
+            f"date-index scan of {node.table}.{node.column} "
+            f"[{node.lo}, {node.hi}] enforce={node.enforce}"
+        )
+        if node.enforce:
+            runs = self.ctx.call(
+                "db_date_runs",
+                [node.table, node.column, node.lo, node.hi],
+                result="void*",
+                prefix="runs",
+            )
+            interior = self.ctx.bind(
+                ir.Index(runs.expr, ir.Const(0)), ctype="void*", prefix="inner"
+            )
+            boundary = self.ctx.bind(
+                ir.Index(runs.expr, ir.Const(1)), ctype="void*", prefix="edge"
+            )
+            return state, Rep(interior, self.ctx, "void*"), Rep(boundary, self.ctx, "void*")
+        rows = self.ctx.call(
+            "db_date_candidates",
+            [node.table, node.column, node.lo, node.hi],
+            result="void*",
+            prefix="cand",
+        )
+        return state, rows, None
+
+    def _bound_cond(self, rec: StagedRecord):
+        node = self.node
+        value = rec[node.column if not node.rename_map else node.rename_map.get(node.column, node.column)]
+        cond = None
+        if node.lo is not None:
+            piece = (value > node.lo) if node.lo_strict else (value >= node.lo)
+            cond = piece
+        if node.hi is not None:
+            piece = (value < node.hi) if node.hi_strict else (value <= node.hi)
+            cond = piece if cond is None else (cond & piece)
+        return cond
+
+    def exec(self) -> Datapath:
+        def emit(state_rows, cb: RecCallback) -> None:
+            state, rows, boundary = state_rows
+            if boundary is None:
+                with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
+                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
+                return
+            # Interior partitions: the range holds by construction.
+            self.ctx.comment("interior partitions: no date check needed")
+            with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
+                cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
+            # Boundary partitions: re-check the exact bounds per row.
+            self.ctx.comment("boundary partitions: exact bound re-check")
+            with self.ctx.for_each(boundary, prefix="b", ctype="long") as rowid:
+                rec = StagedRecord(self.ctx, state.descs, state.loaders_at(rowid))
+                cond = self._bound_cond(rec)
+                if cond is None:
+                    cb(rec)
+                else:
+                    with self.ctx.if_(cond):
+                        cb(rec)
+
+        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+
+
+def _bind_table(
+    comp: "StagedPlanBuilder", table: str, rename: dict[str, str]
+) -> _ScanState:
+    """Bind a table's size, column arrays and dictionary tables (cold path).
+
+    Compressed columns bind the *encoded* integer array plus the decoded
+    string table; record loads then produce :class:`DicValue`s.
+    """
+    ctx = comp.ctx
+    ctx.comment(f"columns of table {table!r}")
+    size = ctx.call("db_size", [table], result="long", prefix="n")
+    schema = comp.catalog.table(table)
+    col_syms: dict[str, Rep] = {}
+    descs: list[FieldDesc] = []
+    for column in schema.columns:
+        name = rename.get(column.name, column.name)
+        compressed = (
+            comp.config.use_dictionaries
+            and column.type is ColumnType.STRING
+            and comp.db.has_dictionary(table, column.name)
+        )
+        if compressed:
+            col_syms[name] = ctx.call(
+                "db_encoded", [table, column.name], result="void*", prefix="enc"
+            )
+            strings = comp.strings_sym(table, column.name)
+            descs.append(
+                FieldDesc(
+                    name,
+                    column.type,
+                    dictionary=comp.db.dictionary(table, column.name),
+                    strings_sym=strings,
+                )
+            )
+        else:
+            col_syms[name] = ctx.call(
+                "db_column", [table, column.name], result="void*", prefix="col"
+            )
+            descs.append(FieldDesc(name, column.type))
+
+    def loaders_at(rowid: Rep) -> dict[str, Callable[[], StagedValue]]:
+        loaders: dict[str, Callable[[], StagedValue]] = {}
+        for desc in descs:
+            loaders[desc.name] = _make_loader(ctx, col_syms[desc.name], rowid, desc)
+        return loaders
+
+    return _ScanState(size, loaders_at, descs)
+
+
+def _make_loader(
+    ctx: StagingContext, col: Rep, rowid: Rep, desc: FieldDesc
+) -> Callable[[], StagedValue]:
+    def load() -> StagedValue:
+        sym = ctx.bind(ir.Index(col.expr, rowid.expr), ctype=desc.ctype)
+        if desc.compressed:
+            assert desc.dictionary is not None and desc.strings_sym is not None
+            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
+        return rep_for_ctype(desc.type.ctype)(sym, ctx)
+
+    return load
+
+
+# ---------------------------------------------------------------------------
+# Stateless operators
+# ---------------------------------------------------------------------------
+
+
+class StagedSelect(StagedOp):
+    def __init__(self, comp, node: phys.Select, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def datapath(cb: RecCallback) -> None:
+            def on_rec(rec: StagedRecord) -> None:
+                cond = self.node.pred.stage(rec)
+                with self.ctx.if_(cond):
+                    cb(rec)
+
+            child_dp(on_rec)
+
+        return datapath
+
+
+class StagedProject(StagedOp):
+    def __init__(self, comp, node: phys.Project, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+        null_guard = phys.needs_null_guard(self.node)
+        types = self.node.field_types(self.comp.catalog)
+
+        def datapath(cb: RecCallback) -> None:
+            def on_rec(rec: StagedRecord) -> None:
+                values: dict[str, StagedValue] = {}
+                descs: list[FieldDesc] = []
+                for name, expr in self.node.outputs:
+                    if null_guard and expr.columns():
+                        # SQL NULL propagation for the one place a None can
+                        # feed arithmetic: projections over global aggregates.
+                        present = None
+                        for ref in sorted(expr.columns()):
+                            check = self.ctx.call("not_none", [rec[ref]], result="bool")
+                            present = check if present is None else (present & check)
+                        none_rep = Rep(ir.Const(None), self.ctx, ctype="void*")
+                        slot = self.ctx.var(none_rep, prefix="proj")
+                        with self.ctx.if_(present):
+                            slot.set(value_output(expr.stage(rec)))
+                        value: StagedValue = rep_for_ctype(types[name].ctype)(
+                            ir.Sym(slot.name), self.ctx
+                        )
+                    else:
+                        value = expr.stage(rec)
+                    values[name] = value
+                    descs.append(_desc_for_value(name, value, rec, expr))
+                cb(StagedRecord.from_values(self.ctx, descs, values))
+
+            child_dp(on_rec)
+
+        return datapath
+
+
+def _desc_for_value(name: str, value: StagedValue, rec: StagedRecord, expr) -> FieldDesc:
+    if isinstance(value, DicValue):
+        return FieldDesc(
+            name,
+            ColumnType.STRING,
+            dictionary=value.dictionary,
+            strings_sym=value.strings_sym,
+        )
+    type_map = {
+        "long": ColumnType.INT,
+        "double": ColumnType.FLOAT,
+        "bool": ColumnType.BOOL,
+        "char*": ColumnType.STRING,
+    }
+    return FieldDesc(name, type_map.get(value.ctype, ColumnType.INT))
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+def _join_key(value: StagedValue) -> Rep:
+    """Join keys compare across tables: decode compressed values so the key
+    domain is the raw column domain (different dictionaries stay safe)."""
+    return value_output(value)
+
+
+def _materialize(rec: StagedRecord) -> tuple[list[Rep], list[FieldDesc]]:
+    """Force all fields to payload Reps, keeping descriptors for rebuild."""
+    payloads: list[Rep] = []
+    descs: list[FieldDesc] = []
+    for name in rec.field_names:
+        value = rec[name]
+        payloads.append(value_payload(value))
+        descs.append(_desc_from_existing(rec.desc(name), value))
+    return payloads, descs
+
+
+def _desc_from_existing(desc: FieldDesc, value: StagedValue) -> FieldDesc:
+    if isinstance(value, DicValue):
+        return FieldDesc(
+            desc.name,
+            desc.type,
+            dictionary=value.dictionary,
+            strings_sym=value.strings_sym,
+        )
+    return FieldDesc(desc.name, desc.type)
+
+
+def _rebuild_record(
+    ctx: StagingContext, row: Rep, descs: Sequence[FieldDesc]
+) -> StagedRecord:
+    """Lazily re-load materialized fields from a row tuple."""
+    loaders: dict[str, Callable[[], StagedValue]] = {}
+    for i, desc in enumerate(descs):
+        loaders[desc.name] = _tuple_loader(ctx, row, i, desc)
+    return StagedRecord(ctx, list(descs), loaders)
+
+
+def _tuple_loader(
+    ctx: StagingContext, row: Rep, i: int, desc: FieldDesc
+) -> Callable[[], StagedValue]:
+    def load() -> StagedValue:
+        sym = ctx.bind(ir.Index(row.expr, ir.Const(i)), ctype=desc.ctype)
+        if desc.compressed:
+            assert desc.dictionary is not None and desc.strings_sym is not None
+            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
+        return rep_for_ctype(desc.type.ctype)(sym, ctx)
+
+    return load
+
+
+class StagedHashJoin(StagedOp):
+    def __init__(self, comp, node: phys.HashJoin, left: StagedOp, right: StagedOp):
+        super().__init__(comp)
+        self.node = node
+        self.left = left
+        self.right = right
+
+    def exec(self) -> Datapath:
+        left_dp = self.left.exec()
+        right_dp = self.right.exec()
+
+        def allocate() -> NativeMultiMap:
+            self.ctx.comment("hash join build table")
+            return NativeMultiMap(self.ctx)
+
+        def emit(mm: NativeMultiMap, cb: RecCallback) -> None:
+            build_descs: list[FieldDesc] = []
+
+            def build(rec: StagedRecord) -> None:
+                nonlocal build_descs
+                keys = [_join_key(rec[k]) for k in self.node.left_keys]
+                payloads, build_descs = _materialize(rec)
+                mm.insert(keys, payloads)
+
+            left_dp(build)
+
+            def probe(rec: StagedRecord) -> None:
+                keys = [_join_key(rec[k]) for k in self.node.right_keys]
+                bucket = mm.lookup(keys)
+                with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
+                    left_rec = _rebuild_record(self.ctx, row, build_descs)
+                    cb(left_rec.merged(rec))
+
+            right_dp(probe)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+class StagedLeftOuterJoin(StagedOp):
+    def __init__(self, comp, node: phys.LeftOuterJoin, left: StagedOp, right: StagedOp):
+        super().__init__(comp)
+        self.node = node
+        self.left = left
+        self.right = right
+
+    def exec(self) -> Datapath:
+        left_dp = self.left.exec()
+        right_dp = self.right.exec()
+        right_fields = self.node.right.fields(self.comp.catalog)
+
+        def allocate() -> NativeMultiMap:
+            self.ctx.comment("left outer join build table (right side)")
+            return NativeMultiMap(self.ctx)
+
+        def emit(mm: NativeMultiMap, cb: RecCallback) -> None:
+            build_descs: list[FieldDesc] = []
+
+            def build(rec: StagedRecord) -> None:
+                nonlocal build_descs
+                keys = [_join_key(rec[k]) for k in self.node.right_keys]
+                # Decode compressed values at build time so the match and
+                # no-match branches below produce identically-typed fields.
+                payloads: list[Rep] = []
+                build_descs = []
+                for name in rec.field_names:
+                    value = value_output(rec[name])
+                    payloads.append(value)
+                    build_descs.append(FieldDesc(name, rec.desc(name).type))
+                mm.insert(keys, payloads)
+
+            right_dp(build)
+
+            def probe(rec: StagedRecord) -> None:
+                keys = [_join_key(rec[k]) for k in self.node.left_keys]
+                bucket = mm.lookup_or_none(keys)
+                missing = self.ctx.call("is_none", [bucket], result="bool")
+                with self.ctx.if_(missing):
+                    null_values = {
+                        name: Rep(ir.Const(None), self.ctx, ctype="void*")
+                        for name, _ in right_fields
+                    }
+                    null_descs = [FieldDesc(n, t) for n, t in right_fields]
+                    null_rec = StagedRecord.from_values(
+                        self.ctx, null_descs, null_values
+                    )
+                    cb(rec.merged(null_rec))
+                with self.ctx.else_():
+                    with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
+                        right_rec = _rebuild_record(self.ctx, row, build_descs)
+                        cb(rec.merged(right_rec))
+
+            left_dp(probe)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+class StagedKeySetJoin(StagedOp):
+    """Semi (EXISTS) and anti (NOT EXISTS) joins over a staged key set."""
+
+    def __init__(self, comp, node, left: StagedOp, right: StagedOp, keep: bool):
+        super().__init__(comp)
+        self.node = node
+        self.left = left
+        self.right = right
+        self.keep = keep
+
+    def exec(self) -> Datapath:
+        left_dp = self.left.exec()
+        right_dp = self.right.exec()
+
+        def allocate() -> StagedSet:
+            kind = "semi" if self.keep else "anti"
+            self.ctx.comment(f"{kind} join key set")
+            return StagedSet(self.ctx)
+
+        def emit(keyset: StagedSet, cb: RecCallback) -> None:
+            def build(rec: StagedRecord) -> None:
+                keyset.add([_join_key(rec[k]) for k in self.node.right_keys])
+
+            right_dp(build)
+
+            def probe(rec: StagedRecord) -> None:
+                hit = keyset.contains([_join_key(rec[k]) for k in self.node.left_keys])
+                cond = hit if self.keep else ~hit
+                with self.ctx.if_(cond):
+                    cb(rec)
+
+            left_dp(probe)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+class StagedIndexJoin(StagedOp):
+    def __init__(self, comp, node: phys.IndexJoin, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def _allocate(self):
+        node = self.node
+        ctx = self.ctx
+        ctx.comment(
+            f"index join against {node.table}.{node.table_key} "
+            f"({'unique' if node.unique else 'multi'})"
+        )
+        fn = "db_unique_index" if node.unique else "db_index"
+        index = ctx.call(fn, [node.table, node.table_key], result="void*", prefix="idx")
+        table_state = _bind_table(self.comp, node.table, node.rename_map)
+        return index, table_state
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def emit(state, cb: RecCallback) -> None:
+            index, table_state = state
+            node = self.node
+            ctx = self.ctx
+
+            def merge_and_emit(rec: StagedRecord, rowid: Rep) -> None:
+                table_rec = StagedRecord(
+                    ctx, table_state.descs, table_state.loaders_at(rowid)
+                )
+                merged = rec.merged(table_rec)
+                if node.residual is not None:
+                    with ctx.if_(node.residual.stage(merged)):
+                        cb(merged)
+                else:
+                    cb(merged)
+
+            def probe(rec: StagedRecord) -> None:
+                key = _join_key(rec[node.child_key])
+                if node.unique:
+                    rowid = ctx.call(
+                        "index_lookup_unique", [index, key], result="long", prefix="rid"
+                    )
+                    with ctx.if_(rowid >= 0):
+                        merge_and_emit(rec, rowid)
+                else:
+                    rows = ctx.call(
+                        "index_lookup", [index, key], result="void*", prefix="rids"
+                    )
+                    with ctx.for_each(rows, prefix="rid", ctype="long") as rowid:
+                        merge_and_emit(rec, rowid)
+
+            child_dp(probe)
+
+        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+
+
+class StagedIndexSemiJoin(StagedOp):
+    """Semi/anti join via index existence (``IndexEntryView.exists``)."""
+
+    def __init__(self, comp, node: phys.IndexSemiJoin, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def _allocate(self):
+        node = self.node
+        ctx = self.ctx
+        kind = "anti" if node.anti else "semi"
+        ctx.comment(
+            f"index {kind} join against {node.table}.{node.table_key}"
+        )
+        fn = "db_unique_index" if node.unique else "db_index"
+        index = ctx.call(fn, [node.table, node.table_key], result="void*", prefix="idx")
+        table_state = (
+            _bind_table(self.comp, node.table, node.rename_map)
+            if node.residual is not None
+            else None
+        )
+        return index, table_state
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def emit(state, cb: RecCallback) -> None:
+            index, table_state = state
+            node = self.node
+            ctx = self.ctx
+
+            def probe(rec: StagedRecord) -> None:
+                key = _join_key(rec[node.child_key])
+                if node.residual is None:
+                    if node.unique:
+                        rowid = ctx.call(
+                            "index_lookup_unique", [index, key], result="long"
+                        )
+                        hit = rowid >= 0
+                    else:
+                        rows = ctx.call("index_lookup", [index, key], result="void*")
+                        count = ctx.call("list_len", [rows], result="long")
+                        hit = count > 0
+                else:
+                    found = ctx.var(ctx.bool_(False), prefix="found")
+
+                    def check(rowid: Rep) -> None:
+                        table_rec = StagedRecord(
+                            ctx, table_state.descs, table_state.loaders_at(rowid)
+                        )
+                        merged = rec.merged(table_rec)
+                        with ctx.if_(node.residual.stage(merged)):
+                            found.set(True)
+
+                    if node.unique:
+                        rowid = ctx.call(
+                            "index_lookup_unique", [index, key], result="long"
+                        )
+                        with ctx.if_(rowid >= 0):
+                            check(rowid)
+                    else:
+                        rows = ctx.call("index_lookup", [index, key], result="void*")
+                        with ctx.for_each(rows, prefix="rid", ctype="long") as rowid:
+                            check(rowid)
+                            ctx.break_if(found.get())
+                    hit = found.get()
+                cond = ~hit if node.anti else hit
+                with ctx.if_(cond):
+                    cb(rec)
+
+            child_dp(probe)
+
+        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class StagedAggOp(StagedOp):
+    def __init__(self, comp, node: phys.Agg, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+        self.child_types = node.child.field_types(comp.catalog)
+        self.staged_aggs = build_staged_aggs(node.aggs, self.child_types)
+        self.out_fields = node.fields(comp.catalog)
+
+    def exec(self) -> Datapath:
+        if not self.node.keys:
+            return self._exec_global()
+        return self._exec_grouped()
+
+    # -- grouped ---------------------------------------------------------------
+
+    def _key_ctypes(self) -> list[str]:
+        ctypes = []
+        statics = self.comp.static_fields(self.node.child)
+        static_map = {f.name: f for f in statics}
+        for _, expr in self.node.keys:
+            if isinstance(expr, Col) and static_map.get(expr.name, None) and static_map[expr.name].compressed:
+                ctypes.append("long")  # dictionary code
+            else:
+                ctypes.append(expr.result_type(self.child_types).ctype)
+        return ctypes
+
+    def _exec_grouped(self) -> Datapath:
+        child_dp = self.child.exec()
+        key_ctypes = self._key_ctypes()
+        slot_ctypes = all_slot_ctypes(self.staged_aggs)
+
+        def allocate():
+            self.ctx.comment(
+                f"aggregation hash map ({self.comp.config.hashmap}); "
+                f"keys: {[n for n, _ in self.node.keys]}"
+            )
+            if self.comp.config.hashmap == "open":
+                return OpenAggMap(
+                    self.ctx, key_ctypes, slot_ctypes, self.comp.config.open_map_size
+                )
+            return NativeAggMap(self.ctx, key_ctypes, slot_ctypes)
+
+        def emit(hm, cb: RecCallback) -> None:
+            key_descs: list[Optional[FieldDesc]] = [None] * len(self.node.keys)
+            self._emit_grouped_accumulate(child_dp, hm, key_descs)
+
+            def on_group(keys: list[Rep], slots) -> None:
+                values: dict[str, StagedValue] = {}
+                descs: list[FieldDesc] = []
+                for key, desc in zip(keys, key_descs):
+                    assert desc is not None
+                    if desc.compressed:
+                        assert desc.dictionary is not None
+                        assert desc.strings_sym is not None
+                        values[desc.name] = DicValue(
+                            RepInt(key.expr, self.ctx),
+                            desc.dictionary,
+                            desc.strings_sym,
+                            self.ctx,
+                        )
+                    else:
+                        values[desc.name] = key
+                    descs.append(desc)
+                for (name, _), agg in zip(self.node.aggs, self.staged_aggs):
+                    values[name] = agg.finalize(self.ctx, slots)
+                    descs.append(FieldDesc(name, dict(self.out_fields)[name]))
+                cb(StagedRecord.from_values(self.ctx, descs, values))
+
+            hm.foreach(on_group)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+    # -- partial mode (Section 4.5 thread-local state) ---------------------------
+
+    def exec_partial(self) -> None:
+        """Emit a *partial* aggregation: accumulate, then return raw state.
+
+        The generated function ends with ``return`` of the thread-local hash
+        map (grouped) or ``[seen, slot...]`` (global); the parallel driver
+        merges these across partitions (the ``hm.merge`` step of the paper's
+        parallel ``Agg``).
+        """
+        child_dp = self.child.exec()
+        if not self.node.keys:
+            seen = self.ctx.var(self.ctx.int_(0), prefix="rows")
+            slots = _VarSlots(self.ctx, all_slot_ctypes(self.staged_aggs))
+            self._emit_global_accumulate(child_dp, seen, slots)
+            items = [seen.get().expr] + [
+                slots.get(i).expr for i in range(len(slots.ctypes))
+            ]
+            self.ctx.emit(ir.Return(ir.ListExpr(tuple(items))))
+            return
+        if self.comp.config.hashmap != "native":
+            raise CompileError(
+                "parallel partial aggregation requires the native hash map"
+            )
+        key_ctypes = self._key_ctypes()
+        slot_ctypes = all_slot_ctypes(self.staged_aggs)
+        hm = NativeAggMap(self.ctx, key_ctypes, slot_ctypes)
+        self._emit_grouped_accumulate(child_dp, hm, [None] * len(self.node.keys))
+        self.ctx.emit(ir.Return(hm.hm.expr))
+
+    def _emit_grouped_accumulate(self, child_dp, hm, key_descs) -> None:
+        def accumulate(rec: StagedRecord) -> None:
+            keys: list[Rep] = []
+            for i, (name, expr) in enumerate(self.node.keys):
+                value = expr.stage(rec)
+                keys.append(value_payload(value))
+                if isinstance(value, DicValue):
+                    key_descs[i] = FieldDesc(
+                        name,
+                        ColumnType.STRING,
+                        dictionary=value.dictionary,
+                        strings_sym=value.strings_sym,
+                    )
+                else:
+                    key_descs[i] = FieldDesc(
+                        name, self.node.keys[i][1].result_type(self.child_types)
+                    )
+            values = [agg.row_value(rec) for agg in self.staged_aggs]
+
+            def on_insert() -> list[Rep]:
+                init: list[Rep] = []
+                for agg, value in zip(self.staged_aggs, values):
+                    init.extend(agg.init_values(self.ctx, value))
+                return init
+
+            def on_update(slots) -> None:
+                for agg, value in zip(self.staged_aggs, values):
+                    agg.update(self.ctx, slots, value)
+
+            hm.update(keys, on_insert, on_update)
+
+        child_dp(accumulate)
+
+    def _emit_global_accumulate(self, child_dp, seen, slots) -> None:
+        def accumulate(rec: StagedRecord) -> None:
+            values = [agg.row_value(rec) for agg in self.staged_aggs]
+            first = seen.get() == 0
+            with self.ctx.if_(first):
+                for agg, value in zip(self.staged_aggs, values):
+                    for offset, init in enumerate(agg.init_values(self.ctx, value)):
+                        slots.set(agg.base + offset, init)
+            with self.ctx.else_():
+                for agg, value in zip(self.staged_aggs, values):
+                    agg.update(self.ctx, slots, value)
+            seen.set(seen.get() + 1)
+
+        child_dp(accumulate)
+
+    # -- global (no grouping keys) -------------------------------------------------
+
+    def _exec_global(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def allocate():
+            self.ctx.comment("global aggregate state")
+            seen = self.ctx.var(self.ctx.int_(0), prefix="rows")
+            slots = _VarSlots(self.ctx, all_slot_ctypes(self.staged_aggs))
+            return seen, slots
+
+        def emit(state, cb: RecCallback) -> None:
+            seen, slots = state
+            self._emit_global_accumulate(child_dp, seen, slots)
+
+            values: dict[str, StagedValue] = {}
+            descs: list[FieldDesc] = []
+            empty = seen.get() == 0
+            for (name, _), agg in zip(self.node.aggs, self.staged_aggs):
+                result = self.ctx.var(agg.empty_value(self.ctx), prefix="agg")
+                with self.ctx.if_(~empty):
+                    result.set(agg.finalize(self.ctx, slots))
+                values[name] = result.get()
+                descs.append(FieldDesc(name, dict(self.out_fields)[name]))
+            cb(StagedRecord.from_values(self.ctx, descs, values))
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+class _VarSlots:
+    """Aggregate slots held in mutable staged locals (global aggregates)."""
+
+    def __init__(self, ctx: StagingContext, ctypes: Sequence[str]) -> None:
+        self.ctx = ctx
+        none = Rep(ir.Const(None), ctx, ctype="void*")
+        self.vars = [ctx.var(none, prefix="gagg") for _ in ctypes]
+        self.ctypes = list(ctypes)
+
+    def get(self, i: int) -> Rep:
+        return rep_for_ctype(self.ctypes[i])(ir.Sym(self.vars[i].name), self.ctx)
+
+    def set(self, i: int, value: Rep) -> None:
+        self.vars[i].set(value)
+
+
+class StagedGroupJoin(StagedOp):
+    """HyPer's GroupJoin, staged: aggregate the right side per join key,
+    then stream left rows with finalized (or empty-group) values appended.
+    One row out per left row; no intermediate join product materializes."""
+
+    def __init__(self, comp, node: phys.GroupJoin, left: StagedOp, right: StagedOp):
+        super().__init__(comp)
+        self.node = node
+        self.left = left
+        self.right = right
+        right_types = node.right.field_types(comp.catalog)
+        self.staged_aggs = build_staged_aggs(node.aggs, right_types)
+        self.out_types = dict(node.fields(comp.catalog))
+
+    def exec(self) -> Datapath:
+        left_dp = self.left.exec()
+        right_dp = self.right.exec()
+        node = self.node
+        right_types = node.right.field_types(self.comp.catalog)
+        key_ctypes = [right_types[k].ctype for k in node.right_keys]
+        slot_ctypes = all_slot_ctypes(self.staged_aggs)
+
+        def allocate() -> NativeAggMap:
+            self.ctx.comment(
+                f"group join state (aggregate right side by {list(node.right_keys)})"
+            )
+            return NativeAggMap(self.ctx, key_ctypes, slot_ctypes)
+
+        def emit(hm: NativeAggMap, cb: RecCallback) -> None:
+            ctx = self.ctx
+
+            def build(rec: StagedRecord) -> None:
+                keys = [_join_key(rec[k]) for k in node.right_keys]
+                values = [agg.row_value(rec) for agg in self.staged_aggs]
+
+                def on_insert() -> list[Rep]:
+                    init: list[Rep] = []
+                    for agg, value in zip(self.staged_aggs, values):
+                        init.extend(agg.init_values(ctx, value))
+                    return init
+
+                def on_update(slots) -> None:
+                    for agg, value in zip(self.staged_aggs, values):
+                        agg.update(ctx, slots, value)
+
+                hm.update(keys, on_insert, on_update)
+
+            right_dp(build)
+
+            def probe(rec: StagedRecord) -> None:
+                keys = [_join_key(rec[k]) for k in node.left_keys]
+                state, present = hm.lookup(keys)
+                values: dict[str, StagedValue] = {}
+                descs: list[FieldDesc] = []
+                for (name, _), agg in zip(node.aggs, self.staged_aggs):
+                    slot = ctx.var(agg.empty_value(ctx), prefix="gj")
+                    with ctx.if_(present):
+                        slot.set(agg.finalize(ctx, hm.slots_of(state)))
+                    values[name] = rep_for_ctype(self.out_types[name].ctype)(
+                        ir.Sym(slot.name), ctx
+                    )
+                    descs.append(FieldDesc(name, self.out_types[name]))
+                agg_rec = StagedRecord.from_values(ctx, descs, values)
+                cb(rec.merged(agg_rec))
+
+            left_dp(probe)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Materializing tail operators
+# ---------------------------------------------------------------------------
+
+
+class StagedSort(StagedOp):
+    """Sort pipeline breaker; materializes in row OR column layout.
+
+    Section 4.1: "A pipeline breaker materializes the intermediate Records
+    inside a buffer ... at which point a format conversion may occur."
+    ``Config.sort_layout`` picks the buffer shape -- a row buffer of tuples
+    sorted in place, or one list per field permuted through an argsort --
+    with zero change to any operator code (the abstraction dissolves).
+    """
+
+    def __init__(self, comp, node: phys.Sort, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+        self.field_names = node.child.field_names(comp.catalog)
+
+    def _spec(self) -> tuple[tuple[int, bool], ...]:
+        index_of = {name: i for i, name in enumerate(self.field_names)}
+        return tuple((index_of[name], asc) for name, asc in self.node.keys)
+
+    def exec(self) -> Datapath:
+        if self.comp.config.sort_layout == "column":
+            return self._exec_columnar()
+        return self._exec_row()
+
+    # -- row layout: a FlatBuffer of tuples --------------------------------------
+
+    def _exec_row(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def allocate() -> Rep:
+            self.ctx.comment("sort buffer (row layout)")
+            return self.ctx.call("list_new", [], result="void*", prefix="buf")
+
+        def emit(buf: Rep, cb: RecCallback) -> None:
+            descs_holder: list[FieldDesc] = []
+
+            def collect(rec: StagedRecord) -> None:
+                nonlocal descs_holder
+                payloads, descs_holder = _materialize(rec)
+                row = self.ctx.bind(
+                    ir.TupleExpr(tuple(v.expr for v in payloads)), ctype="void*"
+                )
+                self.ctx.call_stmt("list_append", [buf, Rep(row, self.ctx, ctype="void*")])
+
+            child_dp(collect)
+            # Dictionary codes are order-preserving, so sorting payloads is
+            # exactly sorting the decoded strings.
+            if self.node.limit is not None:
+                # Top-K fusion: bounded heap selection instead of a full sort.
+                buf = self.ctx.call(
+                    "topk_rows",
+                    [buf, Rep(ir.Const(self._spec()), self.ctx), self.node.limit],
+                    result="void*",
+                    prefix="top",
+                )
+            else:
+                self.ctx.call_stmt(
+                    "sort_rows", [buf, Rep(ir.Const(self._spec()), self.ctx)]
+                )
+            with self.ctx.for_each(buf, prefix="row", ctype="void*") as row:
+                cb(_rebuild_record(self.ctx, row, descs_holder))
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+    # -- column layout: one list per field + argsort permutation ---------------------
+
+    def _exec_columnar(self) -> Datapath:
+        child_dp = self.child.exec()
+        ctx = self.ctx
+
+        def allocate() -> list[Rep]:
+            ctx.comment("sort buffer (column layout: one list per field)")
+            return [
+                ctx.call("list_new", [], result="void*", prefix="sc")
+                for _ in self.field_names
+            ]
+
+        def emit(columns: list[Rep], cb: RecCallback) -> None:
+            descs_holder: list[FieldDesc] = []
+
+            def collect(rec: StagedRecord) -> None:
+                nonlocal descs_holder
+                payloads, descs_holder = _materialize(rec)
+                for column, value in zip(columns, payloads):
+                    ctx.call_stmt("list_append", [column, value])
+
+            child_dp(collect)
+            cols_tuple = ctx.bind(
+                ir.TupleExpr(tuple(c.expr for c in columns)), ctype="void*"
+            )
+            order = ctx.call(
+                "argsort_columns",
+                [Rep(cols_tuple, ctx, "void*"), Rep(ir.Const(self._spec()), ctx)],
+                result="void*",
+                prefix="ord",
+            )
+            if self.node.limit is not None:
+                order = ctx.call(
+                    "list_head", [order, self.node.limit], result="void*", prefix="ord"
+                )
+            with ctx.for_each(order, prefix="p", ctype="long") as pos:
+                loaders = {
+                    desc.name: _column_loader(ctx, columns[i], pos, desc)
+                    for i, desc in enumerate(descs_holder)
+                }
+                cb(StagedRecord(ctx, list(descs_holder), loaders))
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+def _column_loader(
+    ctx: StagingContext, column: Rep, pos: Rep, desc: FieldDesc
+) -> Callable[[], StagedValue]:
+    def load() -> StagedValue:
+        sym = ctx.bind(ir.Index(column.expr, pos.expr), ctype=desc.ctype)
+        if desc.compressed:
+            assert desc.dictionary is not None and desc.strings_sym is not None
+            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
+        return rep_for_ctype(desc.type.ctype)(sym, ctx)
+
+    return load
+
+
+class StagedLimit(StagedOp):
+    def __init__(self, comp, node: phys.Limit, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def datapath(cb: RecCallback) -> None:
+            counter = self.ctx.var(self.ctx.int_(0), prefix="lim")
+
+            def on_rec(rec: StagedRecord) -> None:
+                with self.ctx.if_(counter.get() < self.node.n):
+                    counter.set(counter.get() + 1)
+                    cb(rec)
+
+            child_dp(on_rec)
+
+        return datapath
+
+
+class StagedDistinct(StagedOp):
+    def __init__(self, comp, node: phys.Distinct, child: StagedOp) -> None:
+        super().__init__(comp)
+        self.node = node
+        self.child = child
+
+    def exec(self) -> Datapath:
+        child_dp = self.child.exec()
+
+        def allocate() -> StagedSet:
+            self.ctx.comment("distinct key set")
+            return StagedSet(self.ctx)
+
+        def emit(seen: StagedSet, cb: RecCallback) -> None:
+            def on_rec(rec: StagedRecord) -> None:
+                payloads = [value_payload(rec[n]) for n in rec.field_names]
+                fresh = seen.add_if_absent(payloads)
+                with self.ctx.if_(fresh):
+                    cb(rec)
+
+            child_dp(on_rec)
+
+        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+
+
+class InstrumentedOp(StagedOp):
+    """Wraps any staged operator with a generated row counter.
+
+    With ``Config(instrument=True)`` the residual program counts every
+    record each operator emits and stores the totals into the ``stats``
+    dict parameter -- the compiled analogue of EXPLAIN ANALYZE, produced by
+    the same single generation pass (instrumentation is just one more
+    generation-time abstraction).
+    """
+
+    def __init__(self, comp: "StagedPlanBuilder", inner: StagedOp, label: str) -> None:
+        super().__init__(comp)
+        self.inner = inner
+        self.label = label
+
+    def exec(self) -> Datapath:
+        inner_dp = self.inner.exec()
+        counter = self.ctx.var(self.ctx.int_(0), prefix="cnt")
+
+        def datapath(cb: RecCallback) -> None:
+            def counting_cb(rec: StagedRecord) -> None:
+                counter.set(counter.get() + 1)
+                cb(rec)
+
+            inner_dp(counting_cb)
+            stats = self.comp.stats_sym
+            assert stats is not None
+            self.ctx.emit(
+                ir.SetIndex(stats.expr, ir.Const(self.label), ir.Sym(counter.name))
+            )
+
+        return datapath
+
+
+# ---------------------------------------------------------------------------
+# Plan -> staged operators
+# ---------------------------------------------------------------------------
+
+
+class StagedPlanBuilder:
+    """Builds the staged operator tree and tracks shared cold-path binds."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        db: Database,
+        ctx: StagingContext,
+        config: Config,
+    ) -> None:
+        self.catalog = catalog
+        self.db = db
+        self.ctx = ctx
+        self.config = config
+        self._strings_syms: dict[tuple[str, str], Rep] = {}
+        self._partition_target: Optional[phys.Scan] = None
+        self._partition_bounds: Optional[tuple[Rep, Rep]] = None
+        self.stats_sym: Optional[Rep] = None  # set by the driver in instrument mode
+        self._op_counter = 0
+
+    def _maybe_instrument(self, op: StagedOp, node: phys.PhysicalPlan) -> StagedOp:
+        if not self.config.instrument:
+            return op
+        self._op_counter += 1
+        label = f"{type(node).__name__}#{self._op_counter}"
+        return InstrumentedOp(self, op, label)
+
+    def set_partition(self, target: phys.Scan, lo: Rep, hi: Rep) -> None:
+        """Mark ``target`` as the partitioned driving scan (Section 4.5)."""
+        self._partition_target = target
+        self._partition_bounds = (lo, hi)
+
+    def partition_bounds_for(self, node: phys.Scan) -> Optional[tuple[Rep, Rep]]:
+        if self._partition_target is not None and node is self._partition_target:
+            return self._partition_bounds
+        return None
+
+    def strings_sym(self, table: str, column: str) -> Rep:
+        """Bind (once) the decoded-string table of a dictionary."""
+        key = (table, column)
+        if key not in self._strings_syms:
+            self._strings_syms[key] = self.ctx.call(
+                "db_dict_strings", [table, column], result="void*", prefix="dic"
+            )
+        return self._strings_syms[key]
+
+    # -- static (pre-datapath) field info --------------------------------------
+
+    def static_fields(self, node: phys.PhysicalPlan) -> list[StaticField]:
+        if isinstance(node, (phys.Scan, phys.DateIndexScan)):
+            schema = self.catalog.table(node.table)
+            rename = node.rename_map
+            out = []
+            for column in schema.columns:
+                compressed = (
+                    self.config.use_dictionaries
+                    and column.type is ColumnType.STRING
+                    and self.db.has_dictionary(node.table, column.name)
+                )
+                out.append(
+                    StaticField(rename.get(column.name, column.name), column.type, compressed)
+                )
+            return out
+        if isinstance(
+            node, (phys.Select, phys.Sort, phys.Limit, phys.Distinct, phys.IndexSemiJoin)
+        ):
+            return self.static_fields(node.child)
+        if isinstance(node, phys.Project):
+            child = {f.name: f for f in self.static_fields(node.child)}
+            types = node.child.field_types(self.catalog)
+            out = []
+            for name, expr in node.outputs:
+                if isinstance(expr, Col) and child[expr.name].compressed:
+                    out.append(StaticField(name, ColumnType.STRING, True))
+                else:
+                    out.append(StaticField(name, expr.result_type(types)))
+            return out
+        if isinstance(node, phys.HashJoin):
+            return self.static_fields(node.left) + self.static_fields(node.right)
+        if isinstance(node, phys.LeftOuterJoin):
+            right = [
+                StaticField(f.name, f.type, False)
+                for f in self.static_fields(node.right)
+            ]
+            return self.static_fields(node.left) + right
+        if isinstance(node, (phys.SemiJoin, phys.AntiJoin)):
+            return self.static_fields(node.left)
+        if isinstance(node, phys.IndexJoin):
+            schema = self.catalog.table(node.table)
+            rename = node.rename_map
+            table_fields = [
+                StaticField(
+                    rename.get(c.name, c.name),
+                    c.type,
+                    self.config.use_dictionaries
+                    and c.type is ColumnType.STRING
+                    and self.db.has_dictionary(node.table, c.name),
+                )
+                for c in schema.columns
+            ]
+            return self.static_fields(node.child) + table_fields
+        if isinstance(node, phys.GroupJoin):
+            right_types = node.right.field_types(self.catalog)
+            out = list(self.static_fields(node.left))
+            for name, spec in node.aggs:
+                out.append(StaticField(name, spec.result_type(right_types)))
+            return out
+        if isinstance(node, phys.Agg):
+            types = node.child.field_types(self.catalog)
+            child = {f.name: f for f in self.static_fields(node.child)}
+            out = []
+            for name, expr in node.keys:
+                if isinstance(expr, Col) and child[expr.name].compressed:
+                    out.append(StaticField(name, ColumnType.STRING, True))
+                else:
+                    out.append(StaticField(name, expr.result_type(types)))
+            for name, spec in node.aggs:
+                out.append(StaticField(name, spec.result_type(types)))
+            return out
+        raise CompileError(f"static_fields: unhandled node {type(node).__name__}")
+
+    # -- construction --------------------------------------------------------------
+
+    def build(self, node: phys.PhysicalPlan) -> StagedOp:
+        return self._maybe_instrument(self._build_raw(node), node)
+
+    def _build_raw(self, node: phys.PhysicalPlan) -> StagedOp:
+        if isinstance(node, phys.Scan):
+            return StagedScan(self, node)
+        if isinstance(node, phys.DateIndexScan):
+            return StagedDateIndexScan(self, node)
+        if isinstance(node, phys.Select):
+            return StagedSelect(self, node, self.build(node.child))
+        if isinstance(node, phys.Project):
+            return StagedProject(self, node, self.build(node.child))
+        if isinstance(node, phys.HashJoin):
+            return StagedHashJoin(self, node, self.build(node.left), self.build(node.right))
+        if isinstance(node, phys.LeftOuterJoin):
+            return StagedLeftOuterJoin(
+                self, node, self.build(node.left), self.build(node.right)
+            )
+        if isinstance(node, phys.SemiJoin):
+            return StagedKeySetJoin(
+                self, node, self.build(node.left), self.build(node.right), keep=True
+            )
+        if isinstance(node, phys.AntiJoin):
+            return StagedKeySetJoin(
+                self, node, self.build(node.left), self.build(node.right), keep=False
+            )
+        if isinstance(node, phys.IndexJoin):
+            return StagedIndexJoin(self, node, self.build(node.child))
+        if isinstance(node, phys.IndexSemiJoin):
+            return StagedIndexSemiJoin(self, node, self.build(node.child))
+        if isinstance(node, phys.GroupJoin):
+            return StagedGroupJoin(
+                self, node, self.build(node.left), self.build(node.right)
+            )
+        if isinstance(node, phys.Agg):
+            return StagedAggOp(self, node, self.build(node.child))
+        if isinstance(node, phys.Sort):
+            return StagedSort(self, node, self.build(node.child))
+        if isinstance(node, phys.Limit):
+            return StagedLimit(self, node, self.build(node.child))
+        if isinstance(node, phys.Distinct):
+            return StagedDistinct(self, node, self.build(node.child))
+        raise CompileError(f"no staged implementation for {type(node).__name__}")

@@ -1,0 +1,149 @@
+"""Runtime helpers available to generated code under the name ``rt``.
+
+These mirror LB2's tiny C support layer (timing, printing, sorting): code on
+the per-tuple hot path is always emitted inline by the generators; only
+per-query, cold operations (sorting a result buffer, building a comparison
+key) are routed through here.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Sequence
+
+
+def sort_rows(rows: list, spec: Sequence[tuple[int, bool]]) -> list:
+    """Sort ``rows`` (tuples) in place by a multi-key ordering spec.
+
+    ``spec`` is a sequence of ``(column_index, ascending)`` pairs.  Mixed
+    ascending/descending orderings over non-numeric keys cannot be expressed
+    with a single ``key=`` function, so a comparator is used; this runs once
+    per query, never per tuple of the hot path.
+    """
+    if all(asc for _, asc in spec):
+        rows.sort(key=lambda row: tuple(row[i] for i, _ in spec))
+        return rows
+
+    def compare(a: tuple, b: tuple) -> int:
+        for idx, asc in spec:
+            av, bv = a[idx], b[idx]
+            if av == bv:
+                continue
+            if av < bv:
+                return -1 if asc else 1
+            return 1 if asc else -1
+        return 0
+
+    rows.sort(key=functools.cmp_to_key(compare))
+    return rows
+
+
+def topk_rows(rows: list, spec: Sequence[tuple[int, bool]], n: int) -> list:
+    """The ``n`` smallest rows under the multi-key ordering spec.
+
+    Backs the Limit-over-Sort fusion: a bounded heap selection instead of a
+    full sort when only the top of the ordering is needed.
+    """
+    import heapq
+
+    if n <= 0:
+        return []
+    if all(asc for _, asc in spec):
+        return heapq.nsmallest(n, rows, key=lambda row: tuple(row[i] for i, _ in spec))
+
+    def compare(a: tuple, b: tuple) -> int:
+        for idx, asc in spec:
+            av, bv = a[idx], b[idx]
+            if av == bv:
+                continue
+            if av < bv:
+                return -1 if asc else 1
+            return 1 if asc else -1
+        return 0
+
+    return heapq.nsmallest(n, rows, key=functools.cmp_to_key(compare))
+
+
+def argsort_columns(columns: Sequence[list], spec: Sequence[tuple[int, bool]]) -> list[int]:
+    """Row-id permutation ordering columnar buffers by a multi-key spec.
+
+    ``columns[i]`` is the i-th field's value list; ``spec`` pairs are
+    ``(column index, ascending)``.  The columnar counterpart of
+    :func:`sort_rows` -- used when the compiler materializes pipeline
+    breakers in column layout (Section 4.1 of the paper).
+    """
+    size = len(columns[0]) if columns else 0
+    order = list(range(size))
+    if all(asc for _, asc in spec):
+        order.sort(key=lambda rid: tuple(columns[i][rid] for i, _ in spec))
+        return order
+
+    def compare(a: int, b: int) -> int:
+        for i, asc in spec:
+            av, bv = columns[i][a], columns[i][b]
+            if av == bv:
+                continue
+            if av < bv:
+                return -1 if asc else 1
+            return 1 if asc else -1
+        return 0
+
+    order.sort(key=functools.cmp_to_key(compare))
+    return order
+
+
+def like(value: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` wildcards (the general fallback path).
+
+    The compiler specializes the common shapes (``abc%``, ``%abc``,
+    ``%abc%``, exact) to direct string operations at generation time; this
+    helper handles arbitrary multi-``%`` patterns such as ``%a%b%``.
+    ``_`` (single char) is supported for completeness.
+    """
+    import re
+
+    regex = "^" + "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    ) + "$"
+    return re.match(regex, value) is not None
+
+
+def like_contains2(value: str, first: str, second: str) -> bool:
+    """Match ``%first%second%``: ordered, non-overlapping containment."""
+    start = value.find(first)
+    if start < 0:
+        return False
+    return value.find(second, start + len(first)) >= 0
+
+
+def map_full() -> None:
+    """Generated open-addressing maps call this when every slot is taken."""
+    raise RuntimeError(
+        "open-addressing hash map is full; recompile with a larger "
+        "open_map_size (Config.open_map_size)"
+    )
+
+
+def round_half_up(value: float, digits: int) -> float:
+    """Decimal-style rounding used when formatting numeric results."""
+    scale = 10 ** digits
+    if value >= 0:
+        return int(value * scale + 0.5) / scale
+    return -int(-value * scale + 0.5) / scale
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    import time
+
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def first_or_none(seq: Iterable):
+    """Return the first element of ``seq`` or None when empty."""
+    for item in seq:
+        return item
+    return None

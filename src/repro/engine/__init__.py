@@ -1,0 +1,12 @@
+"""Interpreted query engines: Volcano (pull) and data-centric push.
+
+These are the *interpreters* of the paper's story.  ``volcano`` is the
+iterator model of Figure 3(d) (the Postgres-representative baseline);
+``push`` is the data-centric evaluator with callbacks of Figure 6 -- the
+very program that, run on staged inputs, *becomes* the LB2 compiler.
+"""
+
+from repro.engine.push import execute_push
+from repro.engine.volcano import execute_volcano
+
+__all__ = ["execute_push", "execute_volcano"]

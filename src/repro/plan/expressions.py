@@ -1,0 +1,669 @@
+"""Scalar expressions over records, with three co-defined backends.
+
+Each node knows how to:
+
+* ``eval(row)``      -- evaluate directly on a runtime row (dict); used by the
+  Volcano and push interpreters;
+* ``stage(rec)``     -- evaluate symbolically on a staged record, *emitting*
+  residual code (the LB2 path -- the Futamura projection applied to this very
+  evaluator);
+* ``template(rec)``  -- render a Python source fragment referencing ``rec``
+  (the coarse template-expansion compiler of Section 4's strawman).
+
+Keeping all three on one node is the reproduction's embodiment of the
+paper's claim that the compiler is the interpreter, re-typed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.catalog.types import ColumnType
+
+Types = dict[str, ColumnType]
+
+
+class ExprError(Exception):
+    """Raised on malformed expressions or unresolvable columns."""
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def eval(self, row: dict) -> object:
+        raise NotImplementedError
+
+    def stage(self, rec) -> object:
+        raise NotImplementedError
+
+    def template(self, rec: str) -> str:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        raise NotImplementedError
+
+    def result_type(self, types: Types) -> ColumnType:
+        raise NotImplementedError
+
+    # -- tiny combinator sugar used by query definitions ------------------------
+
+    def __add__(self, other: "Expr") -> "Arith":
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other: "Expr") -> "Arith":
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other: "Expr") -> "Arith":
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other: "Expr") -> "Arith":
+        return Arith("/", self, _wrap(other))
+
+    def eq(self, other) -> "Cmp":
+        return Cmp("==", self, _wrap(other))
+
+    def ne(self, other) -> "Cmp":
+        return Cmp("!=", self, _wrap(other))
+
+    def lt(self, other) -> "Cmp":
+        return Cmp("<", self, _wrap(other))
+
+    def le(self, other) -> "Cmp":
+        return Cmp("<=", self, _wrap(other))
+
+    def gt(self, other) -> "Cmp":
+        return Cmp(">", self, _wrap(other))
+
+    def ge(self, other) -> "Cmp":
+        return Cmp(">=", self, _wrap(other))
+
+
+def _wrap(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    """A reference to a named field of the current record."""
+
+    name: str
+
+    def eval(self, row: dict) -> object:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExprError(
+                f"record has no field {self.name!r}; fields: {sorted(row)}"
+            ) from None
+
+    def stage(self, rec):
+        return rec[self.name]
+
+    def template(self, rec: str) -> str:
+        return f"{rec}[{self.name!r}]"
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def result_type(self, types: Types) -> ColumnType:
+        try:
+            return types[self.name]
+        except KeyError:
+            raise ExprError(f"unknown field {self.name!r} in type context") from None
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (present-stage: folded into generated code)."""
+
+    value: object
+
+    def eval(self, row: dict) -> object:
+        return self.value
+
+    def stage(self, rec):
+        return rec.ctx.lift(self.value)
+
+    def template(self, rec: str) -> str:
+        return repr(self.value)
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def result_type(self, types: Types) -> ColumnType:
+        if isinstance(self.value, bool):
+            return ColumnType.BOOL
+        if isinstance(self.value, int):
+            return ColumnType.INT
+        if isinstance(self.value, float):
+            return ColumnType.FLOAT
+        if isinstance(self.value, str):
+            return ColumnType.STRING
+        raise ExprError(f"untypable constant {self.value!r}")
+
+
+_ARITH_EVAL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """Binary arithmetic (+ - * /)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_EVAL:
+            raise ExprError(f"unknown arithmetic operator {self.op!r}")
+
+    def eval(self, row: dict) -> object:
+        return _ARITH_EVAL[self.op](self.lhs.eval(row), self.rhs.eval(row))
+
+    def stage(self, rec):
+        lhs, rhs = self.lhs.stage(rec), self.rhs.stage(rec)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        return lhs / rhs
+
+    def template(self, rec: str) -> str:
+        return f"({self.lhs.template(rec)} {self.op} {self.rhs.template(rec)})"
+
+    def columns(self) -> set[str]:
+        return self.lhs.columns() | self.rhs.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        if self.op == "/":
+            return ColumnType.FLOAT
+        left = self.lhs.result_type(types)
+        right = self.rhs.result_type(types)
+        if ColumnType.FLOAT in (left, right):
+            return ColumnType.FLOAT
+        return ColumnType.INT
+
+
+_CMP_EVAL = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A comparison producing a boolean."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_EVAL:
+            raise ExprError(f"unknown comparison operator {self.op!r}")
+
+    def eval(self, row: dict) -> bool:
+        return _CMP_EVAL[self.op](self.lhs.eval(row), self.rhs.eval(row))
+
+    def stage(self, rec):
+        from repro.compiler.staged_record import DicValue
+
+        lhs, rhs = self.lhs.stage(rec), self.rhs.stage(rec)
+        op = self.op
+        if isinstance(rhs, DicValue) and not isinstance(lhs, DicValue):
+            # Dictionary-compressed values drive the specialization; mirror
+            # the comparison so the DicValue is the receiver.
+            lhs, rhs = rhs, lhs
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}[op]
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        return lhs >= rhs
+
+    def template(self, rec: str) -> str:
+        return f"({self.lhs.template(rec)} {self.op} {self.rhs.template(rec)})"
+
+    def columns(self) -> set[str]:
+        return self.lhs.columns() | self.rhs.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of one or more boolean expressions."""
+
+    terms: tuple[Expr, ...]
+
+    def __init__(self, *terms: Expr) -> None:
+        flat: list[Expr] = []
+        for term in terms:
+            if isinstance(term, And):
+                flat.extend(term.terms)
+            else:
+                flat.append(term)
+        if not flat:
+            raise ExprError("And() needs at least one term")
+        object.__setattr__(self, "terms", tuple(flat))
+
+    def eval(self, row: dict) -> bool:
+        return all(t.eval(row) for t in self.terms)
+
+    def stage(self, rec):
+        result = self.terms[0].stage(rec)
+        for term in self.terms[1:]:
+            result = result & term.stage(rec)
+        return result
+
+    def template(self, rec: str) -> str:
+        return "(" + " and ".join(t.template(rec) for t in self.terms) + ")"
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for term in self.terms:
+            out |= term.columns()
+        return out
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of one or more boolean expressions."""
+
+    terms: tuple[Expr, ...]
+
+    def __init__(self, *terms: Expr) -> None:
+        flat: list[Expr] = []
+        for term in terms:
+            if isinstance(term, Or):
+                flat.extend(term.terms)
+            else:
+                flat.append(term)
+        if not flat:
+            raise ExprError("Or() needs at least one term")
+        object.__setattr__(self, "terms", tuple(flat))
+
+    def eval(self, row: dict) -> bool:
+        return any(t.eval(row) for t in self.terms)
+
+    def stage(self, rec):
+        result = self.terms[0].stage(rec)
+        for term in self.terms[1:]:
+            result = result | term.stage(rec)
+        return result
+
+    def template(self, rec: str) -> str:
+        return "(" + " or ".join(t.template(rec) for t in self.terms) + ")"
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for term in self.terms:
+            out |= term.columns()
+        return out
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Boolean negation."""
+
+    term: Expr
+
+    def eval(self, row: dict) -> bool:
+        return not self.term.eval(row)
+
+    def stage(self, rec):
+        return ~self.term.stage(rec)
+
+    def template(self, rec: str) -> str:
+        return f"(not {self.term.template(rec)})"
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+def _like_shape(pattern: str) -> tuple[str, tuple[str, ...]]:
+    """Classify a LIKE pattern for specialization.
+
+    Returns ``(shape, parts)`` where shape is one of ``exact``, ``prefix``,
+    ``suffix``, ``contains``, ``contains2`` (``%a%b%``) or ``generic``.
+    The common shapes compile to direct string operations; ``generic`` falls
+    back to the runtime matcher.
+    """
+    if "_" in pattern:
+        return "generic", (pattern,)
+    body = pattern.split("%")
+    if len(body) == 1:
+        return "exact", (pattern,)
+    if len(body) == 2:
+        head, tail = body
+        if head and not tail:
+            return "prefix", (head,)
+        if tail and not head:
+            return "suffix", (tail,)
+        if head and tail:
+            return "generic", (pattern,)
+        return "any", ()
+    if len(body) == 3 and not body[0] and not body[2] and body[1]:
+        return "contains", (body[1],)
+    if (
+        len(body) == 4
+        and not body[0]
+        and not body[3]
+        and body[1]
+        and body[2]
+    ):
+        return "contains2", (body[1], body[2])
+    return "generic", (pattern,)
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE, specialized by pattern shape at construction time."""
+
+    term: Expr
+    pattern: str
+    negate: bool = False
+
+    @property
+    def shape(self) -> str:
+        return _like_shape(self.pattern)[0]
+
+    def _match(self, value: str) -> bool:
+        shape, parts = _like_shape(self.pattern)
+        if shape == "exact":
+            result = value == self.pattern
+        elif shape == "prefix":
+            result = value.startswith(parts[0])
+        elif shape == "suffix":
+            result = value.endswith(parts[0])
+        elif shape == "contains":
+            result = parts[0] in value
+        elif shape == "contains2":
+            first = value.find(parts[0])
+            result = first >= 0 and value.find(parts[1], first + len(parts[0])) >= 0
+        elif shape == "any":
+            result = True
+        else:
+            from repro.compiler import runtime
+
+            result = runtime.like(value, self.pattern)
+        return not result if self.negate else result
+
+    def eval(self, row: dict) -> bool:
+        return self._match(self.term.eval(row))
+
+    def stage(self, rec):
+        value = self.term.stage(rec)
+        shape, parts = _like_shape(self.pattern)
+        ctx = rec.ctx
+        if shape == "exact":
+            result = value == self.pattern
+        elif shape == "prefix":
+            result = value.startswith(parts[0])
+        elif shape == "suffix":
+            result = value.endswith(parts[0])
+        elif shape == "contains":
+            result = value.contains(parts[0])
+        elif shape == "contains2":
+            result = ctx.call(
+                "like_contains2", [value, parts[0], parts[1]], result="bool"
+            )
+        elif shape == "any":
+            result = ctx.bool_(True)
+        else:
+            result = ctx.call("like", [value, self.pattern], result="bool")
+        return ~result if self.negate else result
+
+    def template(self, rec: str) -> str:
+        value = self.term.template(rec)
+        shape, parts = _like_shape(self.pattern)
+        if shape == "exact":
+            body = f"({value} == {self.pattern!r})"
+        elif shape == "prefix":
+            body = f"{value}.startswith({parts[0]!r})"
+        elif shape == "suffix":
+            body = f"{value}.endswith({parts[0]!r})"
+        elif shape == "contains":
+            body = f"({parts[0]!r} in {value})"
+        elif shape == "any":
+            body = "True"
+        else:
+            body = f"rt.like({value}, {self.pattern!r})"
+        return f"(not {body})" if self.negate else body
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN a ELSE b END`` (two-armed)."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+
+    def eval(self, row: dict) -> object:
+        return self.then.eval(row) if self.cond.eval(row) else self.els.eval(row)
+
+    def stage(self, rec):
+        # Both arms are staged *outside* the branch: expressions are pure,
+        # and hoisting the loads keeps record-field memoization sound (a
+        # field first touched inside a branch must not be reused after it).
+        ctx = rec.ctx
+        cond = self.cond.stage(rec)
+        then = self.then.stage(rec)
+        els = self.els.stage(rec)
+        var = ctx.var(_plain(els, ctx), prefix="case")
+        with ctx.if_(cond):
+            var.set(_plain(then, ctx))
+        return var.get()
+
+    def template(self, rec: str) -> str:
+        return (
+            f"({self.then.template(rec)} if {self.cond.template(rec)} "
+            f"else {self.els.template(rec)})"
+        )
+
+    def columns(self) -> set[str]:
+        return self.cond.columns() | self.then.columns() | self.els.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return self.then.result_type(types)
+
+
+def _plain(value, ctx):
+    """Force a staged value to a plain Rep (decode dictionary codes)."""
+    from repro.compiler.staged_record import DicValue
+
+    if isinstance(value, DicValue):
+        return value.decode()
+    return value
+
+
+@dataclass(frozen=True)
+class ExtractYear(Expr):
+    """``extract(year from date_col)`` on the integer date encoding."""
+
+    term: Expr
+
+    def eval(self, row: dict) -> int:
+        return self.term.eval(row) // 10000
+
+    def stage(self, rec):
+        return self.term.stage(rec) // 10000
+
+    def template(self, rec: str) -> str:
+        return f"({self.term.template(rec)} // 10000)"
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.INT
+
+
+@dataclass(frozen=True)
+class Substring(Expr):
+    """``substring(s from start for length)`` -- 1-based, like SQL."""
+
+    term: Expr
+    start: int
+    length: int
+
+    def eval(self, row: dict) -> str:
+        value = self.term.eval(row)
+        return value[self.start - 1 : self.start - 1 + self.length]
+
+    def stage(self, rec):
+        value = self.term.stage(rec)
+        return value.substring(self.start - 1, self.start - 1 + self.length)
+
+    def template(self, rec: str) -> str:
+        lo = self.start - 1
+        return f"{self.term.template(rec)}[{lo}:{lo + self.length}]"
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.STRING
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (const, ...)`` over a literal list."""
+
+    term: Expr
+    values: tuple
+
+    def __init__(self, term: Expr, values: Sequence[object]) -> None:
+        object.__setattr__(self, "term", term)
+        object.__setattr__(self, "values", tuple(values))
+
+    def eval(self, row: dict) -> bool:
+        return self.term.eval(row) in self.values
+
+    def stage(self, rec):
+        value = self.term.stage(rec)
+        result = value == self.values[0]
+        for candidate in self.values[1:]:
+            result = result | (value == candidate)
+        return result
+
+    def template(self, rec: str) -> str:
+        return f"({self.term.template(rec)} in {self.values!r})"
+
+    def columns(self) -> set[str]:
+        return self.term.columns()
+
+    def result_type(self, types: Types) -> ColumnType:
+        return ColumnType.BOOL
+
+
+def Between(term: Expr, lo, hi) -> And:
+    """``term BETWEEN lo AND hi`` (inclusive both ends)."""
+    return And(term.ge(lo), term.le(hi))
+
+
+# -- aggregate specifications ---------------------------------------------------
+
+_AGG_KINDS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """An aggregate over a group: kind plus the aggregated expression."""
+
+    kind: str
+    expr: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _AGG_KINDS:
+            raise ExprError(f"unknown aggregate kind {self.kind!r}")
+        if self.kind != "count" and self.expr is None:
+            raise ExprError(f"aggregate {self.kind!r} requires an expression")
+
+    def columns(self) -> set[str]:
+        return self.expr.columns() if self.expr is not None else set()
+
+    def result_type(self, types: Types) -> ColumnType:
+        if self.kind in ("count", "count_distinct"):
+            return ColumnType.INT
+        if self.kind == "avg":
+            return ColumnType.FLOAT
+        assert self.expr is not None
+        return self.expr.result_type(types)
+
+
+def sum_(expr: Expr) -> AggSpec:
+    return AggSpec("sum", expr)
+
+
+def count() -> AggSpec:
+    return AggSpec("count")
+
+
+def count_col(expr: Expr) -> AggSpec:
+    """``count(expr)`` -- counts non-null values (left outer join support)."""
+    return AggSpec("count", expr)
+
+
+def avg(expr: Expr) -> AggSpec:
+    return AggSpec("avg", expr)
+
+
+def min_(expr: Expr) -> AggSpec:
+    return AggSpec("min", expr)
+
+
+def max_(expr: Expr) -> AggSpec:
+    return AggSpec("max", expr)
+
+
+def count_distinct(expr: Expr) -> AggSpec:
+    return AggSpec("count_distinct", expr)
+
+
+# -- terse constructors -----------------------------------------------------------
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value) -> Const:
+    return Const(value)

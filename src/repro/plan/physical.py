@@ -1,0 +1,651 @@
+"""Physical query plans.
+
+These are the operator trees that all four engines consume: the Volcano
+interpreter, the data-centric push interpreter, the template-expansion
+compiler and the LB2 single-pass compiler.  As in the paper, plans are
+supplied explicitly (by the optimizer, by the SQL planner, or hand-written
+for the TPC-H suite) -- "Query plans in LB2 and DBLAB are supplied
+explicitly".
+
+Every node can compute its ordered output fields (name, type) given the
+catalog; the compiled engines rely on this for typed code generation, and
+the interpreters use it to emit result rows in a deterministic column order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.types import ColumnType
+from repro.plan.expressions import AggSpec, Expr, ExprError
+
+Fields = list[tuple[str, ColumnType]]
+
+
+class PlanError(Exception):
+    """Raised on malformed plans (unknown fields, clashing names...)."""
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    def children(self) -> tuple["PhysicalPlan", ...]:
+        raise NotImplementedError
+
+    def fields(self, catalog: Catalog) -> Fields:
+        """Ordered output fields of this operator (memoized per catalog).
+
+        Plans are immutable, so the result is cached on the node; deep
+        plans would otherwise recompute child fields exponentially often.
+        """
+        memo = self.__dict__.get("_fields_memo")
+        if memo is not None and memo[0] is catalog:
+            return memo[1]
+        result = self.compute_fields(catalog)
+        object.__setattr__(self, "_fields_memo", (catalog, result))
+        return result
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        """Compute ordered output fields (overridden per operator)."""
+        raise NotImplementedError
+
+    def field_types(self, catalog: Catalog) -> dict[str, ColumnType]:
+        return dict(self.fields(catalog))
+
+    def field_names(self, catalog: Catalog) -> list[str]:
+        return [name for name, _ in self.fields(catalog)]
+
+    def validate(self, catalog: Catalog) -> None:
+        """Walk the plan, forcing field resolution everywhere."""
+        for child in self.children():
+            child.validate(catalog)
+        self.fields(catalog)
+
+    def operator_count(self) -> int:
+        return 1 + sum(c.operator_count() for c in self.children())
+
+    def _require(self, catalog: Catalog, child: "PhysicalPlan", names: Sequence[str]) -> None:
+        have = set(child.field_names(catalog))
+        missing = [n for n in names if n not in have]
+        if missing:
+            raise PlanError(
+                f"{type(self).__name__}: fields {missing} not produced by child "
+                f"{type(child).__name__} (has: {sorted(have)})"
+            )
+
+
+@dataclass(frozen=True)
+class Scan(PhysicalPlan):
+    """Full scan of a base table, optionally renaming columns.
+
+    ``rename`` supports self-joins (e.g. TPC-H Q21 scans lineitem three
+    times): renamed fields keep their column's type.  Only renamed fields
+    change; others pass through under their own names.
+    """
+
+    table: str
+    rename: tuple[tuple[str, str], ...] = ()
+
+    def __init__(self, table: str, rename: Optional[dict[str, str]] = None) -> None:
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "rename", tuple(sorted((rename or {}).items())))
+
+    @property
+    def rename_map(self) -> dict[str, str]:
+        return dict(self.rename)
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return ()
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        schema = catalog.table(self.table)
+        renames = self.rename_map
+        for old in renames:
+            schema.require(old)
+        return [(renames.get(c.name, c.name), c.type) for c in schema.columns]
+
+
+@dataclass(frozen=True)
+class DateIndexScan(PhysicalPlan):
+    """Scan of a table pruned by a date index to a date range.
+
+    Two modes:
+
+    * ``enforce=False`` (default): the scan only *prunes* whole partitions;
+      the plan's Select still carries the exact predicate (boundary
+      partitions can contain out-of-range rows).
+    * ``enforce=True``: the scan itself enforces the bounds, using the
+      comparison strictness in ``lo_strict``/``hi_strict``; the rewriter
+      removes the corresponding conjuncts from the Select.  The LB2
+      back-end then emits *two* loops -- interior partitions run the
+      pipeline with no date check at all, boundary partitions re-check --
+      one of the "intricate compilation patterns" done in a single pass.
+
+    ``lo_strict=True`` means ``column > lo``; ``hi_strict=True`` means
+    ``column < hi``.
+    """
+
+    table: str
+    column: str
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    rename: tuple[tuple[str, str], ...] = ()
+    enforce: bool = False
+    lo_strict: bool = False
+    hi_strict: bool = False
+
+    def __init__(
+        self,
+        table: str,
+        column: str,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+        rename: Optional[dict[str, str]] = None,
+        enforce: bool = False,
+        lo_strict: bool = False,
+        hi_strict: bool = False,
+    ) -> None:
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "rename", tuple(sorted((rename or {}).items())))
+        object.__setattr__(self, "enforce", enforce)
+        object.__setattr__(self, "lo_strict", lo_strict)
+        object.__setattr__(self, "hi_strict", hi_strict)
+
+    def bound_check(self, value: int) -> bool:
+        """Evaluate the enforced bounds on one encoded date (runtime use)."""
+        if self.lo is not None:
+            if self.lo_strict:
+                if not value > self.lo:
+                    return False
+            elif not value >= self.lo:
+                return False
+        if self.hi is not None:
+            if self.hi_strict:
+                if not value < self.hi:
+                    return False
+            elif not value <= self.hi:
+                return False
+        return True
+
+    @property
+    def rename_map(self) -> dict[str, str]:
+        return dict(self.rename)
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return ()
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        schema = catalog.table(self.table)
+        if schema.column_type(self.column) is not ColumnType.DATE:
+            raise PlanError(
+                f"DateIndexScan column {self.table}.{self.column} is not a date"
+            )
+        renames = self.rename_map
+        return [(renames.get(c.name, c.name), c.type) for c in schema.columns]
+
+
+@dataclass(frozen=True)
+class Select(PhysicalPlan):
+    """Filter by a boolean predicate."""
+
+    child: PhysicalPlan
+    pred: Expr
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        out = self.child.fields(catalog)
+        self._require(catalog, self.child, sorted(self.pred.columns()))
+        if self.pred.result_type(dict(out)) is not ColumnType.BOOL:
+            raise PlanError("Select predicate is not boolean")
+        return out
+
+
+@dataclass(frozen=True)
+class Project(PhysicalPlan):
+    """Compute named output expressions (also used for renaming)."""
+
+    child: PhysicalPlan
+    outputs: tuple[tuple[str, Expr], ...]
+
+    def __init__(self, child: PhysicalPlan, outputs: Sequence[tuple[str, Expr]]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "outputs", tuple(outputs))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        types = self.child.field_types(catalog)
+        names = [n for n, _ in self.outputs]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate output names in Project: {names}")
+        needed: set[str] = set()
+        for _, expr in self.outputs:
+            needed |= expr.columns()
+        self._require(catalog, self.child, sorted(needed))
+        return [(name, expr.result_type(types)) for name, expr in self.outputs]
+
+
+def _join_fields(
+    node: PhysicalPlan,
+    catalog: Catalog,
+    left: PhysicalPlan,
+    right: PhysicalPlan,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+) -> Fields:
+    if len(left_keys) != len(right_keys):
+        raise PlanError(f"{type(node).__name__}: key arity mismatch")
+    node._require(catalog, left, left_keys)
+    node._require(catalog, right, right_keys)
+    lf, rf = left.fields(catalog), right.fields(catalog)
+    clash = {n for n, _ in lf} & {n for n, _ in rf}
+    if clash:
+        raise PlanError(
+            f"{type(node).__name__}: output field name clash {sorted(clash)}; "
+            "rename one side (Scan(rename=...) or Project)"
+        )
+    return lf + rf
+
+
+@dataclass(frozen=True)
+class HashJoin(PhysicalPlan):
+    """Inner equi-join; builds a hash table on the left (build) side."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __init__(self, left, right, left_keys, right_keys):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", _as_keys(left_keys))
+        object.__setattr__(self, "right_keys", _as_keys(right_keys))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        return _join_fields(
+            self, catalog, self.left, self.right, self.left_keys, self.right_keys
+        )
+
+
+@dataclass(frozen=True)
+class LeftOuterJoin(PhysicalPlan):
+    """Left outer equi-join; unmatched left rows carry None right fields."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __init__(self, left, right, left_keys, right_keys):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", _as_keys(left_keys))
+        object.__setattr__(self, "right_keys", _as_keys(right_keys))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        return _join_fields(
+            self, catalog, self.left, self.right, self.left_keys, self.right_keys
+        )
+
+
+@dataclass(frozen=True)
+class SemiJoin(PhysicalPlan):
+    """Keep left rows having at least one key match on the right (EXISTS)."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __init__(self, left, right, left_keys, right_keys):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", _as_keys(left_keys))
+        object.__setattr__(self, "right_keys", _as_keys(right_keys))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        self._require(catalog, self.left, self.left_keys)
+        self._require(catalog, self.right, self.right_keys)
+        return self.left.fields(catalog)
+
+
+@dataclass(frozen=True)
+class AntiJoin(PhysicalPlan):
+    """Keep left rows having no key match on the right (NOT EXISTS)."""
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+
+    def __init__(self, left, right, left_keys, right_keys):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", _as_keys(left_keys))
+        object.__setattr__(self, "right_keys", _as_keys(right_keys))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        self._require(catalog, self.left, self.left_keys)
+        self._require(catalog, self.right, self.right_keys)
+        return self.left.fields(catalog)
+
+
+@dataclass(frozen=True)
+class IndexJoin(PhysicalPlan):
+    """Join the child stream against a base table through its hash index.
+
+    The paper's Section 4.3 operator: ``index(rkey(rTuple))`` finds matching
+    base-table rows without building a hash table.  ``unique`` selects the
+    primary-key (one row) vs foreign-key (row list) index.  An optional
+    residual predicate filters fetched base rows before merging.
+    """
+
+    child: PhysicalPlan
+    table: str
+    table_key: str
+    child_key: str
+    unique: bool = True
+    residual: Optional[Expr] = None
+    rename: tuple[tuple[str, str], ...] = ()
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        table: str,
+        table_key: str,
+        child_key: str,
+        unique: bool = True,
+        residual: Optional[Expr] = None,
+        rename: Optional[dict[str, str]] = None,
+    ) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "table_key", table_key)
+        object.__setattr__(self, "child_key", child_key)
+        object.__setattr__(self, "unique", unique)
+        object.__setattr__(self, "residual", residual)
+        object.__setattr__(self, "rename", tuple(sorted((rename or {}).items())))
+
+    @property
+    def rename_map(self) -> dict[str, str]:
+        return dict(self.rename)
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        self._require(catalog, self.child, [self.child_key])
+        schema = catalog.table(self.table)
+        schema.require(self.table_key)
+        renames = self.rename_map
+        table_fields = [(renames.get(c.name, c.name), c.type) for c in schema.columns]
+        child_fields = self.child.fields(catalog)
+        clash = {n for n, _ in child_fields} & {n for n, _ in table_fields}
+        if clash:
+            raise PlanError(f"IndexJoin: field name clash {sorted(clash)}")
+        out = child_fields + table_fields
+        if self.residual is not None:
+            types = dict(out)
+            for name in self.residual.columns():
+                if name not in types:
+                    raise PlanError(f"IndexJoin residual references unknown {name!r}")
+        return out
+
+
+@dataclass(frozen=True)
+class IndexSemiJoin(PhysicalPlan):
+    """Semi/anti join through a base-table index (Section 4.3).
+
+    The paper: "Method ``exists`` is used by IndexSemiJoin and
+    IndexAntiJoin operators."  Keeps child rows for which the indexed
+    table has (``anti=False``) or lacks (``anti=True``) a matching row;
+    with a ``residual`` predicate, existence is evaluated against fetched
+    rows (the ``IndexEntryView.exists(pred)`` form).
+    """
+
+    child: PhysicalPlan
+    table: str
+    table_key: str
+    child_key: str
+    anti: bool = False
+    unique: bool = False
+    residual: Optional[Expr] = None
+    rename: tuple[tuple[str, str], ...] = ()
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        table: str,
+        table_key: str,
+        child_key: str,
+        anti: bool = False,
+        unique: bool = False,
+        residual: Optional[Expr] = None,
+        rename: Optional[dict[str, str]] = None,
+    ) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "table_key", table_key)
+        object.__setattr__(self, "child_key", child_key)
+        object.__setattr__(self, "anti", anti)
+        object.__setattr__(self, "unique", unique)
+        object.__setattr__(self, "residual", residual)
+        object.__setattr__(self, "rename", tuple(sorted((rename or {}).items())))
+
+    @property
+    def rename_map(self) -> dict[str, str]:
+        return dict(self.rename)
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        self._require(catalog, self.child, [self.child_key])
+        schema = catalog.table(self.table)
+        schema.require(self.table_key)
+        out = self.child.fields(catalog)
+        if self.residual is not None:
+            renames = self.rename_map
+            table_types = {
+                renames.get(c.name, c.name): c.type for c in schema.columns
+            }
+            types = dict(out) | table_types
+            for name in self.residual.columns():
+                if name not in types:
+                    raise PlanError(
+                        f"IndexSemiJoin residual references unknown {name!r}"
+                    )
+        return out
+
+
+@dataclass(frozen=True)
+class Agg(PhysicalPlan):
+    """Hash aggregation with optional grouping keys.
+
+    With no keys this is a global aggregate producing exactly one row (SQL
+    semantics for empty input: count = 0, sum/avg/min/max = None).
+    """
+
+    child: PhysicalPlan
+    keys: tuple[tuple[str, Expr], ...]
+    aggs: tuple[tuple[str, AggSpec], ...]
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        keys: Sequence[tuple[str, Expr]],
+        aggs: Sequence[tuple[str, AggSpec]],
+    ) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "aggs", tuple(aggs))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        types = self.child.field_types(catalog)
+        needed: set[str] = set()
+        for _, expr in self.keys:
+            needed |= expr.columns()
+        for _, spec in self.aggs:
+            needed |= spec.columns()
+        self._require(catalog, self.child, sorted(needed))
+        out: Fields = [(n, e.result_type(types)) for n, e in self.keys]
+        out += [(n, s.result_type(types)) for n, s in self.aggs]
+        names = [n for n, _ in out]
+        if len(set(names)) != len(names):
+            raise PlanError(f"duplicate output names in Agg: {names}")
+        return out
+
+
+@dataclass(frozen=True)
+class GroupJoin(PhysicalPlan):
+    """Combined outer join + aggregation (HyPer's specialized operator).
+
+    The paper attributes part of HyPer's edge on some queries to "specialized
+    operators like GroupJoin"; this is that operator, as an extension: for
+    each left row, aggregate the matching right rows directly -- one row out
+    per left row, no intermediate join product.  Unmatched left rows get the
+    empty-group values (count = 0, sum/avg/min/max = None), i.e. the
+    ``LEFT OUTER JOIN ... GROUP BY left key`` pattern of TPC-H Q13 in one
+    operator.
+
+    ``aggs`` range over *right-side* fields only.
+    """
+
+    left: PhysicalPlan
+    right: PhysicalPlan
+    left_keys: tuple[str, ...]
+    right_keys: tuple[str, ...]
+    aggs: tuple[tuple[str, AggSpec], ...]
+
+    def __init__(self, left, right, left_keys, right_keys, aggs):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "left_keys", _as_keys(left_keys))
+        object.__setattr__(self, "right_keys", _as_keys(right_keys))
+        object.__setattr__(self, "aggs", tuple(aggs))
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.left, self.right)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        if len(self.left_keys) != len(self.right_keys):
+            raise PlanError("GroupJoin: key arity mismatch")
+        self._require(catalog, self.left, self.left_keys)
+        self._require(catalog, self.right, self.right_keys)
+        right_types = self.right.field_types(catalog)
+        needed: set[str] = set()
+        for _, spec in self.aggs:
+            needed |= spec.columns()
+        self._require(catalog, self.right, sorted(needed))
+        out = list(self.left.fields(catalog))
+        names = {n for n, _ in out}
+        for name, spec in self.aggs:
+            if name in names:
+                raise PlanError(f"GroupJoin output name clash: {name!r}")
+            out.append((name, spec.result_type(right_types)))
+        return out
+
+
+@dataclass(frozen=True)
+class Sort(PhysicalPlan):
+    """Order by named output fields of the child; True = ascending.
+
+    ``limit`` bounds the output (Top-K): engines may then use a bounded
+    heap selection instead of a full sort -- the fusion target of
+    :func:`repro.plan.rewrite.fuse_topk`.
+    """
+
+    child: PhysicalPlan
+    keys: tuple[tuple[str, bool], ...]
+    limit: Optional[int] = None
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        keys: Sequence[tuple[str, bool]],
+        limit: Optional[int] = None,
+    ):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "limit", limit)
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        if self.limit is not None and self.limit < 0:
+            raise PlanError("Sort limit must be non-negative")
+        self._require(catalog, self.child, [n for n, _ in self.keys])
+        return self.child.fields(catalog)
+
+
+@dataclass(frozen=True)
+class Limit(PhysicalPlan):
+    """Emit at most ``n`` rows."""
+
+    child: PhysicalPlan
+    n: int
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        if self.n < 0:
+            raise PlanError(f"Limit must be non-negative, got {self.n}")
+        return self.child.fields(catalog)
+
+
+@dataclass(frozen=True)
+class Distinct(PhysicalPlan):
+    """Remove duplicate rows."""
+
+    child: PhysicalPlan
+
+    def children(self) -> tuple[PhysicalPlan, ...]:
+        return (self.child,)
+
+    def compute_fields(self, catalog: Catalog) -> Fields:
+        return self.child.fields(catalog)
+
+
+def needs_null_guard(node: PhysicalPlan) -> bool:
+    """True when a Project's outputs must propagate SQL NULLs.
+
+    Global aggregates over empty input yield None for sum/avg/min/max;
+    Projects directly over them (the Q14/Q17-style final ratio) must map
+    None through arithmetic instead of crashing.  All engines consult this.
+    """
+    if not isinstance(node, Project):
+        return False
+    child = node.child
+    return isinstance(child, Agg) and not child.keys
+
+
+def _as_keys(keys) -> tuple[str, ...]:
+    if isinstance(keys, str):
+        return (keys,)
+    return tuple(keys)

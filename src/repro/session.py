@@ -1,0 +1,97 @@
+"""A small session facade: SQL in, rows out, compiled queries cached.
+
+This is the "downstream user" surface: it owns a database, plans SQL
+through the optimizer, compiles with LB2, and caches compiled queries by
+SQL text so repeated statements skip planning and code generation (the
+paper: "compilation times ... can often be amortized if queries are
+precompiled and used multiple times").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compiler.driver import CompiledQuery, LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.plan.explain import explain
+from repro.plan.physical import PhysicalPlan
+from repro.plan.rewrite import optimize_for_level
+from repro.sql import sql_to_plan
+from repro.storage.database import Database
+
+
+class Session:
+    """Compile-and-cache query execution against one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: Optional[Config] = None,
+        use_index_rewrites: bool = True,
+    ) -> None:
+        self.db = db
+        self.config = config
+        self.use_index_rewrites = use_index_rewrites
+        self._cache: dict[str, CompiledQuery] = {}
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, sql: str) -> PhysicalPlan:
+        """Parse + optimize one SQL statement into a physical plan."""
+        plan = sql_to_plan(sql, self.db)
+        if self.use_index_rewrites:
+            plan = optimize_for_level(plan, self.db, self.db.catalog)
+        return plan
+
+    def prepare(self, sql: str) -> CompiledQuery:
+        """The compiled query for ``sql``, cached by statement text."""
+        key = " ".join(sql.split())  # whitespace-insensitive cache key
+        if key not in self._cache:
+            compiler = LB2Compiler(self.db.catalog, self.db, self.config)
+            self._cache[key] = compiler.compile(self.plan(sql))
+        return self._cache[key]
+
+    # -- execution -----------------------------------------------------------------
+
+    def query(self, sql: str) -> list[tuple]:
+        """Execute SQL (compiled); returns result rows."""
+        return self.prepare(sql).run(self.db)
+
+    def execute_plan(self, plan: PhysicalPlan) -> list[tuple]:
+        """Execute a hand-built physical plan (compiled, uncached)."""
+        compiler = LB2Compiler(self.db.catalog, self.db, self.config)
+        return compiler.compile(plan).run(self.db)
+
+    def analyze(self, sql: str) -> tuple[list[tuple], dict[str, int]]:
+        """Execute with per-operator row counters (EXPLAIN ANALYZE).
+
+        Returns ``(rows, stats)`` where stats maps operator labels to the
+        number of records each emitted.  Compiles a fresh instrumented
+        query (not cached -- counters cost a little on the hot path).
+        """
+        from dataclasses import replace
+
+        base = self.config or Config()
+        compiler = LB2Compiler(
+            self.db.catalog, self.db, replace(base, instrument=True)
+        )
+        compiled = compiler.compile(self.plan(sql))
+        rows = compiled.run(self.db)
+        return rows, dict(compiled.last_stats or {})
+
+    # -- introspection -----------------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """The optimized physical plan for ``sql``, pretty-printed."""
+        return explain(self.plan(sql), self.db.catalog)
+
+    def generated_code(self, sql: str) -> str:
+        """The residual Python program for ``sql``."""
+        return self.prepare(sql).source
+
+    @property
+    def cached_statements(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,27 @@
+"""SQL front-end: a single-block SQL subset planned onto physical plans.
+
+This is the front half of Figure 1's pipeline: ``SQL -> logical plan ->
+(cost-based optimization) -> physical plan``.  The back half -- executing or
+compiling the physical plan -- is shared with the hand-written TPC-H plans.
+
+Supported: SELECT [DISTINCT] with expressions and aggregates, FROM with
+comma-joins, aliases and INNER JOIN ... ON, WHERE, GROUP BY, HAVING,
+ORDER BY (names, positions, ASC/DESC), LIMIT; scalar functions EXTRACT,
+SUBSTRING, CASE; LIKE / IN / BETWEEN; DATE literals and INTERVAL constant
+folding.  Decorrelated/outer-join queries use the plan DSL directly, as the
+paper does ("query plans are supplied explicitly").
+"""
+
+from repro.sql.lexer import SqlLexError, tokenize
+from repro.sql.parser import SqlParseError, parse_select
+from repro.sql.planner import SqlPlanError, plan_query, sql_to_plan
+
+__all__ = [
+    "SqlLexError",
+    "SqlParseError",
+    "SqlPlanError",
+    "tokenize",
+    "parse_select",
+    "plan_query",
+    "sql_to_plan",
+]

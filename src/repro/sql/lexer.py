@@ -1,0 +1,109 @@
+"""A hand-written SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "having", "order",
+    "limit", "as", "and", "or", "not", "like", "in", "between", "case", "when",
+    "then", "else", "end", "join", "inner", "on", "asc", "desc", "date", "exists",
+    "interval", "year", "month", "day", "extract", "substring", "for", "is",
+    "null", "count", "sum", "avg", "min", "max", "true", "false",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", "+", "-", "*", "/",
+           "=", "<", ">", ".", ";")
+
+
+class SqlLexError(Exception):
+    """Raised on unrecognizable input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
+    ``symbol``, ``eof``; keywords are lower-cased, identifiers keep case.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_kw(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_sym(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an ``eof`` token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            pieces = []
+            while True:
+                if j >= n:
+                    raise SqlLexError(f"unterminated string literal at {i}")
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        pieces.append("'")
+                        j += 2
+                        continue
+                    break
+                pieces.append(text[j])
+                j += 1
+            yield Token("string", "".join(pieces), i)
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot followed by a non-digit is a qualifier, not a decimal
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("number", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token("keyword", lowered, i)
+            else:
+                yield Token("ident", word, i)
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                yield Token("symbol", sym, i)
+                i += len(sym)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    yield Token("eof", "", n)

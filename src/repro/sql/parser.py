@@ -1,0 +1,399 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informally)::
+
+    select   := SELECT [DISTINCT] item (',' item)* FROM from_item (',' from_item)*
+                [JOIN table [alias] ON expr]*
+                [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+                [ORDER BY ord (',' ord)*] [LIMIT n]
+    expr     := or_expr;  usual precedence: OR < AND < NOT < cmp < add < mul
+    primary  := literal | DATE 'lit' | INTERVAL 'n' unit | ref | '(' expr ')'
+                | CASE WHEN ... | EXTRACT(YEAR FROM e) | SUBSTRING(e FROM i FOR n)
+                | agg '(' [DISTINCT] expr | '*' ')'
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.catalog.types import date_to_int
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import Token, tokenize
+
+
+class SqlParseError(Exception):
+    """Raised on syntax errors, with token position context."""
+
+
+_AGG_NAMES = ("count", "sum", "avg", "min", "max")
+_CMP_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def accept_kw(self, *names: str) -> bool:
+        if self.cur.is_kw(*names):
+            self.advance()
+            return True
+        return False
+
+    def accept_sym(self, *symbols: str) -> bool:
+        if self.cur.is_sym(*symbols):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, name: str) -> None:
+        if not self.accept_kw(name):
+            self.fail(f"expected {name.upper()}")
+
+    def expect_sym(self, symbol: str) -> None:
+        if not self.accept_sym(symbol):
+            self.fail(f"expected {symbol!r}")
+
+    def fail(self, message: str) -> None:
+        token = self.cur
+        raise SqlParseError(
+            f"{message}, found {token.kind} {token.value!r} at position {token.position}"
+        )
+
+    # -- statement ---------------------------------------------------------------
+
+    def parse(self) -> ast.SelectStmt:
+        stmt = self.select_body()
+        self.accept_sym(";")
+        if self.cur.kind != "eof":
+            self.fail("unexpected trailing input")
+        return stmt
+
+    def subselect(self) -> ast.SelectStmt:
+        """A parenthesized SELECT; the caller consumed '(' already."""
+        stmt = self.select_body()
+        self.expect_sym(")")
+        return stmt
+
+    def select_body(self) -> ast.SelectStmt:
+        self.expect_kw("select")
+        distinct = self.accept_kw("distinct")
+        items = [self.select_item()]
+        while self.accept_sym(","):
+            items.append(self.select_item())
+        self.expect_kw("from")
+        from_tables = [self.from_item()]
+        join_conds: list[ast.SqlExpr] = []
+        while True:
+            if self.accept_sym(","):
+                from_tables.append(self.from_item())
+            elif self.cur.is_kw("join", "inner"):
+                self.accept_kw("inner")
+                self.expect_kw("join")
+                from_tables.append(self.from_item())
+                self.expect_kw("on")
+                join_conds.append(self.expr())
+            else:
+                break
+        where = self.expr() if self.accept_kw("where") else None
+        for cond in join_conds:
+            where = cond if where is None else ast.BinOp("and", where, cond)
+        group_by: list[ast.SqlExpr] = []
+        if self.accept_kw("group"):
+            self.expect_kw("by")
+            group_by.append(self.expr())
+            while self.accept_sym(","):
+                group_by.append(self.expr())
+        having = self.expr() if self.accept_kw("having") else None
+        order_by: list[tuple[Union[ast.SqlExpr, int], bool]] = []
+        if self.accept_kw("order"):
+            self.expect_kw("by")
+            order_by.append(self.order_item())
+            while self.accept_sym(","):
+                order_by.append(self.order_item())
+        limit: Optional[int] = None
+        if self.accept_kw("limit"):
+            token = self.cur
+            if token.kind != "number":
+                self.fail("expected a number after LIMIT")
+            limit = int(self.advance().value)
+        return ast.SelectStmt(
+            items=items,
+            from_tables=from_tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> tuple[Optional[str], ast.SqlExpr]:
+        expr = self.expr()
+        alias: Optional[str] = None
+        if self.accept_kw("as"):
+            if self.cur.kind != "ident":
+                self.fail("expected an alias after AS")
+            alias = self.advance().value
+        elif self.cur.kind == "ident":
+            alias = self.advance().value
+        return alias, expr
+
+    def from_item(self) -> ast.FromTable:
+        if self.cur.kind != "ident":
+            self.fail("expected a table name")
+        table = self.advance().value
+        alias = table
+        if self.accept_kw("as"):
+            if self.cur.kind != "ident":
+                self.fail("expected an alias after AS")
+            alias = self.advance().value
+        elif self.cur.kind == "ident":
+            alias = self.advance().value
+        return ast.FromTable(table, alias)
+
+    def order_item(self) -> tuple[Union[ast.SqlExpr, int], bool]:
+        if self.cur.kind == "number":
+            key: Union[ast.SqlExpr, int] = int(self.advance().value)
+        else:
+            key = self.expr()
+        asc = True
+        if self.accept_kw("desc"):
+            asc = False
+        else:
+            self.accept_kw("asc")
+        return key, asc
+
+    # -- expressions --------------------------------------------------------------
+
+    def expr(self) -> ast.SqlExpr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.SqlExpr:
+        left = self.and_expr()
+        while self.accept_kw("or"):
+            left = ast.BinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.SqlExpr:
+        left = self.not_expr()
+        while self.accept_kw("and"):
+            left = ast.BinOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.SqlExpr:
+        if self.cur.is_kw("not") and self.tokens[self.pos + 1].is_kw("exists"):
+            self.advance()
+            self.advance()
+            self.expect_sym("(")
+            return ast.Exists(self.subselect(), negate=True)
+        if self.accept_kw("not"):
+            return ast.NotOp(self.not_expr())
+        if self.accept_kw("exists"):
+            self.expect_sym("(")
+            return ast.Exists(self.subselect())
+        return self.predicate()
+
+    def predicate(self) -> ast.SqlExpr:
+        left = self.additive()
+        negate = False
+        if self.cur.is_kw("not"):
+            # LIKE/IN/BETWEEN can be negated inline: x NOT LIKE 'p'
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_kw("like", "in", "between"):
+                self.advance()
+                negate = True
+        if self.accept_kw("like"):
+            if self.cur.kind != "string":
+                self.fail("expected a pattern string after LIKE")
+            return ast.LikeOp(left, self.advance().value, negate=negate)
+        if self.accept_kw("in"):
+            self.expect_sym("(")
+            if self.cur.is_kw("select"):
+                return ast.InSelectOp(left, self.subselect(), negate=negate)
+            values = [self.constant()]
+            while self.accept_sym(","):
+                values.append(self.constant())
+            self.expect_sym(")")
+            return ast.InListOp(left, tuple(values), negate=negate)
+        if self.accept_kw("between"):
+            lo = self.additive()
+            self.expect_kw("and")
+            hi = self.additive()
+            return ast.BetweenOp(left, lo, hi, negate=negate)
+        if negate:
+            self.fail("expected LIKE, IN or BETWEEN after NOT")
+        if self.cur.is_sym(*_CMP_OPS):
+            op = self.advance().value
+            right = self.additive()
+            return ast.BinOp(op, left, right)
+        return left
+
+    def additive(self) -> ast.SqlExpr:
+        left = self.multiplicative()
+        while self.cur.is_sym("+", "-"):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> ast.SqlExpr:
+        left = self.unary()
+        while self.cur.is_sym("*", "/"):
+            op = self.advance().value
+            left = ast.BinOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> ast.SqlExpr:
+        if self.accept_sym("-"):
+            term = self.unary()
+            if isinstance(term, ast.Literal) and isinstance(term.value, (int, float)):
+                return ast.Literal(-term.value)
+            return ast.BinOp("-", ast.Literal(0), term)
+        return self.primary()
+
+    def constant(self) -> object:
+        """A bare literal (for IN lists)."""
+        token = self.cur
+        if token.kind == "number":
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        if token.is_kw("date"):
+            self.advance()
+            if self.cur.kind != "string":
+                self.fail("expected a date string")
+            return date_to_int(self.advance().value)
+        self.fail("expected a constant")
+        raise AssertionError  # unreachable
+
+    def primary(self) -> ast.SqlExpr:
+        token = self.cur
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_kw("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_kw("false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_kw("date"):
+            self.advance()
+            if self.cur.kind != "string":
+                self.fail("expected a date string after DATE")
+            return ast.Literal(date_to_int(self.advance().value))
+        if token.is_kw("interval"):
+            self.advance()
+            if self.cur.kind != "string":
+                self.fail("expected a quoted amount after INTERVAL")
+            amount = int(self.advance().value)
+            if not self.cur.is_kw("day", "month", "year"):
+                self.fail("expected DAY, MONTH or YEAR")
+            unit = self.advance().value
+            return ast.Interval(amount, unit)
+        if token.is_kw("case"):
+            return self.case_expr()
+        if token.is_kw("extract"):
+            self.advance()
+            self.expect_sym("(")
+            if not self.cur.is_kw("year", "month", "day"):
+                self.fail("expected YEAR, MONTH or DAY in EXTRACT")
+            unit = self.advance().value
+            self.expect_kw("from")
+            term = self.expr()
+            self.expect_sym(")")
+            return ast.ExtractOp(unit, term)
+        if token.is_kw("substring"):
+            self.advance()
+            self.expect_sym("(")
+            term = self.expr()
+            self.expect_kw("from")
+            if self.cur.kind != "number":
+                self.fail("expected a start position")
+            start = int(self.advance().value)
+            self.expect_kw("for")
+            if self.cur.kind != "number":
+                self.fail("expected a length")
+            length = int(self.advance().value)
+            self.expect_sym(")")
+            return ast.SubstringOp(term, start, length)
+        if token.is_kw(*_AGG_NAMES):
+            name = self.advance().value
+            self.expect_sym("(")
+            if name == "count" and self.accept_sym("*"):
+                self.expect_sym(")")
+                return ast.FuncCall("count", star=True)
+            distinct = self.accept_kw("distinct")
+            arg = self.expr()
+            self.expect_sym(")")
+            return ast.FuncCall(name, arg=arg, distinct=distinct)
+        if token.kind == "ident":
+            name = self.advance().value
+            if self.accept_sym("."):
+                if self.cur.kind not in ("ident",):
+                    self.fail("expected a column name after '.'")
+                column = self.advance().value
+                return ast.Ref(column=column, table=name)
+            return ast.Ref(column=name)
+        if self.accept_sym("("):
+            if self.cur.is_kw("select"):
+                return ast.ScalarSubquery(self.subselect())
+            inner = self.expr()
+            self.expect_sym(")")
+            return inner
+        self.fail("expected an expression")
+        raise AssertionError  # unreachable
+
+    def case_expr(self) -> ast.SqlExpr:
+        self.expect_kw("case")
+        self.expect_kw("when")
+        cond = self.expr()
+        self.expect_kw("then")
+        then = self.expr()
+        if self.cur.is_kw("when"):
+            els = self.case_tail()
+        elif self.accept_kw("else"):
+            els = self.expr()
+            self.expect_kw("end")
+        else:
+            self.fail("CASE requires an ELSE branch")
+            raise AssertionError
+        return ast.CaseOp(cond, then, els)
+
+    def case_tail(self) -> ast.SqlExpr:
+        """Additional WHEN arms desugar to nested CASE."""
+        self.expect_kw("when")
+        cond = self.expr()
+        self.expect_kw("then")
+        then = self.expr()
+        if self.cur.is_kw("when"):
+            els = self.case_tail()
+        elif self.accept_kw("else"):
+            els = self.expr()
+            self.expect_kw("end")
+        else:
+            self.fail("CASE requires an ELSE branch")
+            raise AssertionError
+        return ast.CaseOp(cond, then, els)
+
+
+def parse_select(text: str) -> ast.SelectStmt:
+    """Parse one SELECT statement."""
+    return _Parser(text).parse()

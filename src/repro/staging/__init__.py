@@ -1,0 +1,45 @@
+"""Staging framework: the LMS analogue used by the LB2 compiler.
+
+This package realizes the mechanism of Section 2 of the paper: symbolic
+``Rep`` values with overloaded operators that *emit code as a side effect*
+of running ordinary high-level programs.  Running the query interpreter on
+``Rep`` inputs therefore performs the first Futamura projection: the output
+is a residual program specialized to the query.
+
+Layout:
+
+* :mod:`repro.staging.ir` -- a tiny statement/expression IR (the "graph-like
+  intermediate representation" LMS maintains).
+* :mod:`repro.staging.builder` -- :class:`StagingContext`: fresh names,
+  structured control flow, function scoping.
+* :mod:`repro.staging.rep` -- typed symbolic values (``RepInt`` et al.),
+  mirroring the paper's ``MyInt`` / ``Rep[T]``.
+* :mod:`repro.staging.pygen` -- emits executable Python source.
+* :mod:`repro.staging.cgen` -- emits illustrative C source (the paper's
+  Appendix B.2 / Figure 14 rendering).
+"""
+
+from repro.staging.builder import StagingContext
+from repro.staging.rep import (
+    Rep,
+    RepBool,
+    RepFloat,
+    RepInt,
+    RepStr,
+    StagedVar,
+)
+from repro.staging.pygen import PyProgram, generate_python
+from repro.staging.cgen import generate_c
+
+__all__ = [
+    "StagingContext",
+    "Rep",
+    "RepBool",
+    "RepFloat",
+    "RepInt",
+    "RepStr",
+    "StagedVar",
+    "PyProgram",
+    "generate_python",
+    "generate_c",
+]

@@ -1,0 +1,249 @@
+"""A minimal statement/expression IR for staged programs.
+
+The paper's point is that a *single* generation pass suffices, so this IR is
+deliberately small: it is built once, in order, by the staged interpreter and
+then pretty-printed to Python (executable) or C (illustrative).  There are no
+transformation passes over it -- it exists only so that the same generated
+program can be rendered in more than one target language.
+
+Expressions are trees of :class:`Expr`; statements are :class:`Stmt` nodes
+held in :class:`Block` lists.  Every intermediate value computed by the
+staged interpreter is bound to a fresh symbol (:class:`Assign`), which --
+exactly as in the paper -- guarantees proper sequencing of effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for IR expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A compile-time constant (int, float, bool, str or None)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A reference to a previously bound name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """A binary operation.
+
+    ``op`` is one of: ``+ - * / // % == != < <= > >= and or`` plus the
+    string-typed operators which the emitters special-case.
+    """
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """A unary operation: ``not`` or ``-``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a named intrinsic or runtime helper.
+
+    The Python emitter inlines known intrinsics (``len``, ``hash_str``,
+    ``tuple``...) and routes everything else through the ``rt`` runtime
+    module; the C emitter maps them onto C idioms or helper functions.
+    """
+
+    fn: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """An array/list/dict subscript read: ``arr[idx]``."""
+
+    arr: Expr
+    idx: Expr
+
+
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """Construction of an immutable tuple (used for group keys and rows)."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """Construction of a mutable list (used for aggregate state)."""
+
+    items: tuple[Expr, ...]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt:
+    """Base class for IR statements."""
+
+    __slots__ = ()
+
+
+Block = list  # Block is simply a list[Stmt]; alias for readability.
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = expr`` -- binds a fresh symbol.
+
+    ``ctype`` is a C-type hint recorded when the value was staged, used only
+    by the C emitter.  ``mutable`` marks names introduced by ``StagedVar``
+    that are reassigned later (C emits these as declarations + assignments).
+    """
+
+    name: str
+    expr: Expr
+    ctype: str = "long"
+    mutable: bool = False
+
+
+@dataclass
+class Reassign(Stmt):
+    """``name = expr`` for an already-declared mutable variable."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass
+class SetIndex(Stmt):
+    """``arr[idx] = value``."""
+
+    arr: Expr
+    idx: Expr
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """Evaluate an expression for its side effect (e.g. ``out.append(...)``)."""
+
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    """A structured conditional."""
+
+    cond: Expr
+    then: Block = field(default_factory=list)
+    els: Block = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    """``while True:`` -- staged code exits with :class:`Break` guards.
+
+    Modelling loops this way lets the staged condition be computed with
+    arbitrary emitted statements inside the loop header, which a
+    ``while cond:`` form could not express.
+    """
+
+    body: Block = field(default_factory=list)
+
+
+@dataclass
+class ForRange(Stmt):
+    """``for var in range(start, stop):``."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: Block = field(default_factory=list)
+    step: Optional[Expr] = None
+
+
+@dataclass
+class ForEach(Stmt):
+    """``for var in iterable:`` -- iteration over a runtime collection."""
+
+    var: str
+    iterable: Expr
+    body: Block = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    """``break``."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue``."""
+
+
+@dataclass
+class Return(Stmt):
+    """``return expr`` (or bare ``return``)."""
+
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class NestedFunc(Stmt):
+    """A function defined inside another (closure).
+
+    Used for the code-motion pattern of Section 4.4: ``prepare`` allocates
+    data structures and returns a ``run`` closure containing the hot path.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    body: Block = field(default_factory=list)
+
+
+@dataclass
+class Comment(Stmt):
+    """A generated-code comment; kept so emitted artifacts stay readable."""
+
+    text: str
+
+
+@dataclass
+class Function:
+    """A generated function: name, parameter list and body block."""
+
+    name: str
+    params: tuple[str, ...]
+    body: Block = field(default_factory=list)
+
+
+Node = Union[Expr, Stmt]
+
+
+def is_atom(expr: Expr) -> bool:
+    """Return True when ``expr`` needs no binding to a fresh name.
+
+    Symbols and constants can be referenced any number of times without
+    duplicating work; everything else is bound once by the staging context.
+    """
+    return isinstance(expr, (Sym, Const))

@@ -1,0 +1,271 @@
+"""Render staged IR to executable Python source and compile it.
+
+This is the production back-end of the reproduction: the residual program of
+the first Futamura projection is Python source containing only loops, local
+variables, subscripts and arithmetic -- all interpretive overhead (operator
+objects, expression trees, per-tuple dispatch) has been dissolved by the
+generation pass.
+
+Generated functions receive three well-known names:
+
+* ``db``  -- a :class:`repro.storage.database.Database` (raw column access),
+* ``out`` -- the output row collector (a list),
+* ``rt``  -- the :mod:`repro.compiler.runtime` helper module.
+
+Because every staged intermediate is bound to a fresh name, all expressions
+rendered here have atomic operands; no precedence analysis is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+from repro.staging import ir
+
+
+class CodegenError(Exception):
+    """Raised when the IR contains a node the target cannot render."""
+
+
+def _py_const(value: object) -> str:
+    if isinstance(value, float):
+        # repr keeps round-trip precision; make sure a dot is present so the
+        # C emitter's counterpart stays in sync about literal kinds.
+        return repr(value)
+    return repr(value)
+
+
+# Intrinsics inlined to plain Python; everything else goes through ``rt.``.
+_INLINE: dict[str, Callable[..., str]] = {
+    "len": lambda a: f"len({a})",
+    "to_float": lambda a: f"float({a})",
+    "to_int": lambda a: f"int({a})",
+    "hash_str": lambda a: f"hash({a})",
+    "hash_int": lambda a: f"({a})",
+    "abs": lambda a: f"abs({a})",
+    "min2": lambda a, b: f"min({a}, {b})",
+    "max2": lambda a, b: f"max({a}, {b})",
+    "str_startswith": lambda a, b: f"{a}.startswith({b})",
+    "str_endswith": lambda a, b: f"{a}.endswith({b})",
+    "str_contains": lambda a, b: f"({b} in {a})",
+    "str_slice": lambda a, lo, hi: f"{a}[{lo}:{hi}]",
+    "str_concat": lambda a, b: f"({a} + {b})",
+    "alloc": lambda n, v: f"[{v}] * {n}",
+    "list_new": lambda: "[]",
+    "list_append": lambda l, v: f"{l}.append({v})",
+    "list_len": lambda l: f"len({l})",
+    "list_extend": lambda l, v: f"{l}.extend({v})",
+    "list_head": lambda l, n: f"{l}[:{n}]",
+    "dict_new": lambda: "{}",
+    "dict_get": lambda d, k, default: f"{d}.get({k}, {default})",
+    "dict_contains": lambda d, k: f"({k} in {d})",
+    "dict_items": lambda d: f"{d}.items()",
+    "dict_values": lambda d: f"{d}.values()",
+    "dict_keys": lambda d: f"{d}.keys()",
+    "dict_len": lambda d: f"len({d})",
+    "db_column": lambda t, c: f"db.column({t}, {c})",
+    "db_size": lambda t: f"db.size({t})",
+    "db_index": lambda t, c: f"db.index({t}, {c})",
+    "db_unique_index": lambda t, c: f"db.unique_index({t}, {c})",
+    "db_dictionary": lambda t, c: f"db.dictionary({t}, {c})",
+    "db_date_index": lambda t, c: f"db.date_index({t}, {c})",
+    "db_encoded": lambda t, c: f"db.encoded_column({t}, {c})",
+    "db_dict_strings": lambda t, c: f"db.dictionary({t}, {c}).strings",
+    "db_date_candidates": lambda t, c, lo, hi: (
+        f"db.date_index({t}, {c}).candidate_list({lo}, {hi})"
+    ),
+    "db_date_runs": lambda t, c, lo, hi: (
+        f"db.date_index({t}, {c}).runs({lo}, {hi})"
+    ),
+    "index_lookup": lambda idx, k: f"{idx}.get({k}, ())",
+    "index_lookup_unique": lambda idx, k: f"{idx}.get({k}, -1)",
+    "set_new": lambda: "set()",
+    "set_new1": lambda v: f"{{{v}}}",
+    "set_add": lambda s, v: f"{s}.add({v})",
+    "set_contains": lambda s, v: f"({v} in {s})",
+    "set_len": lambda s: f"len({s})",
+    "tuple1": lambda a: f"({a},)",
+    "not_none": lambda a: f"({a} is not None)",
+    "is_none": lambda a: f"({a} is None)",
+    "out_append": lambda v: f"out.append({v})",
+}
+
+
+def _render_call(node: ir.Call, args: Sequence[str]) -> str:
+    fn = _INLINE.get(node.fn)
+    if fn is not None:
+        return fn(*args)
+    return f"rt.{node.fn}({', '.join(args)})"
+
+
+def render_expr(expr: ir.Expr) -> str:
+    """Render one IR expression as Python source."""
+    if isinstance(expr, ir.Const):
+        return _py_const(expr.value)
+    if isinstance(expr, ir.Sym):
+        return expr.name
+    if isinstance(expr, ir.Bin):
+        return f"{render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)}"
+    if isinstance(expr, ir.Un):
+        if expr.op == "not":
+            return f"not {render_expr(expr.operand)}"
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ir.Call):
+        return _render_call(expr, [render_expr(a) for a in expr.args])
+    if isinstance(expr, ir.Index):
+        return f"{render_expr(expr.arr)}[{render_expr(expr.idx)}]"
+    if isinstance(expr, ir.TupleExpr):
+        inner = ", ".join(render_expr(i) for i in expr.items)
+        if len(expr.items) == 1:
+            inner += ","
+        return f"({inner})"
+    if isinstance(expr, ir.ListExpr):
+        return f"[{', '.join(render_expr(i) for i in expr.items)}]"
+    raise CodegenError(f"unhandled expression node: {expr!r}")
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def block(self, body: ir.Block) -> None:
+        self.depth += 1
+        emitted = False
+        for stmt in body:
+            emitted = self.stmt(stmt) or emitted
+        if not emitted:
+            self.line("pass")
+        self.depth -= 1
+
+    def stmt(self, node: ir.Stmt) -> bool:
+        """Render one statement; returns False for pure comments."""
+        if isinstance(node, ir.Comment):
+            self.line(f"# {node.text}")
+            return False
+        if isinstance(node, (ir.Assign, ir.Reassign)):
+            self.line(f"{node.name} = {render_expr(node.expr)}")
+        elif isinstance(node, ir.SetIndex):
+            self.line(
+                f"{render_expr(node.arr)}[{render_expr(node.idx)}] = "
+                f"{render_expr(node.value)}"
+            )
+        elif isinstance(node, ir.ExprStmt):
+            self.line(render_expr(node.expr))
+        elif isinstance(node, ir.If):
+            self.line(f"if {render_expr(node.cond)}:")
+            self.block(node.then)
+            if node.els:
+                self.line("else:")
+                self.block(node.els)
+        elif isinstance(node, ir.While):
+            self.line("while True:")
+            self.block(node.body)
+        elif isinstance(node, ir.ForRange):
+            if node.step is None:
+                rng = f"range({render_expr(node.start)}, {render_expr(node.stop)})"
+            else:
+                rng = (
+                    f"range({render_expr(node.start)}, {render_expr(node.stop)}, "
+                    f"{render_expr(node.step)})"
+                )
+            self.line(f"for {node.var} in {rng}:")
+            self.block(node.body)
+        elif isinstance(node, ir.ForEach):
+            self.line(f"for {node.var} in {render_expr(node.iterable)}:")
+            self.block(node.body)
+        elif isinstance(node, ir.NestedFunc):
+            self.line(f"def {node.name}({', '.join(node.params)}):")
+            free = _free_mutables(node.body)
+            self.depth += 1
+            emitted = False
+            if free:
+                # Mutable staged locals hoisted into the enclosing prepare()
+                # scope (Section 4.4) are reassigned by this closure.
+                self.line(f"nonlocal {', '.join(sorted(free))}")
+                emitted = True
+            for stmt in node.body:
+                emitted = self.stmt(stmt) or emitted
+            if not emitted:
+                self.line("pass")
+            self.depth -= 1
+        elif isinstance(node, ir.Break):
+            self.line("break")
+        elif isinstance(node, ir.Continue):
+            self.line("continue")
+        elif isinstance(node, ir.Return):
+            if node.expr is None:
+                self.line("return")
+            else:
+                self.line(f"return {render_expr(node.expr)}")
+        else:
+            raise CodegenError(f"unhandled statement node: {node!r}")
+        return True
+
+
+def _free_mutables(body) -> set[str]:
+    """Names a block reassigns without defining -- closures need ``nonlocal``."""
+    assigned: set[str] = set()
+    reassigned: set[str] = set()
+
+    def walk(block) -> None:
+        for stmt in block:
+            if isinstance(stmt, ir.Assign):
+                assigned.add(stmt.name)
+            elif isinstance(stmt, ir.Reassign):
+                reassigned.add(stmt.name)
+            elif isinstance(stmt, ir.If):
+                walk(stmt.then)
+                walk(stmt.els)
+            elif isinstance(stmt, (ir.While,)):
+                walk(stmt.body)
+            elif isinstance(stmt, (ir.ForRange, ir.ForEach)):
+                assigned.add(stmt.var)
+                walk(stmt.body)
+            elif isinstance(stmt, ir.NestedFunc):
+                walk(stmt.body)
+
+    walk(body)
+    return reassigned - assigned
+
+
+def generate_python(functions: Sequence[ir.Function], header: str = "") -> str:
+    """Render a staged program (list of functions) to Python source."""
+    writer = _Writer()
+    if header:
+        for line in header.splitlines():
+            writer.line(f"# {line}" if line else "#")
+    for fn in functions:
+        writer.line(f"def {fn.name}({', '.join(fn.params)}):")
+        writer.block(fn.body)
+        writer.line("")
+    return "\n".join(writer.lines) + "\n"
+
+
+_module_counter = itertools.count()
+
+
+class PyProgram:
+    """A compiled staged program: source text plus callable entry points."""
+
+    def __init__(self, source: str, globals_: dict | None = None) -> None:
+        from repro.compiler import runtime as _rt
+
+        self.source = source
+        self.namespace: dict = {"rt": _rt}
+        if globals_:
+            self.namespace.update(globals_)
+        filename = f"<staged-{next(_module_counter)}>"
+        code = compile(source, filename, "exec")
+        exec(code, self.namespace)  # noqa: S102 - executing our own codegen output
+
+    def fn(self, name: str) -> Callable:
+        """Return a generated function by name."""
+        func = self.namespace.get(name)
+        if not callable(func):
+            raise CodegenError(f"no generated function named {name!r}")
+        return func

@@ -1,0 +1,17 @@
+"""Storage engine: columnar tables, loading, dictionaries and indexes."""
+
+from repro.storage.buffer import ColumnarTable, RowTable
+from repro.storage.database import Database, OptimizationLevel
+from repro.storage.dictionary import StringDictionary
+from repro.storage.index import DateIndex, HashIndex, UniqueHashIndex
+
+__all__ = [
+    "ColumnarTable",
+    "RowTable",
+    "Database",
+    "OptimizationLevel",
+    "StringDictionary",
+    "DateIndex",
+    "HashIndex",
+    "UniqueHashIndex",
+]

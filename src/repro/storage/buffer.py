@@ -1,0 +1,133 @@
+"""Row- and column-oriented table storage (the runtime Buffer of Section 4.1).
+
+``ColumnarTable`` is the primary store: one Python list per column.  It is
+what compiled queries read directly (raw subscripting in the residual code).
+``RowTable`` is the row-oriented variant used to demonstrate layout choice;
+both expose the same interface so engines are layout-agnostic, mirroring the
+paper's ``FlatBuffer`` / ``ColumnarBuffer`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.catalog.schema import SchemaError, TableSchema
+
+
+class ColumnarTable:
+    """Column-oriented storage: ``{column name -> list of values}``."""
+
+    layout = "column"
+
+    def __init__(self, schema: TableSchema, columns: dict[str, list] | None = None):
+        self.schema = schema
+        if columns is None:
+            columns = {c.name: [] for c in schema.columns}
+        missing = [c.name for c in schema.columns if c.name not in columns]
+        if missing:
+            raise SchemaError(f"missing columns for {schema.name!r}: {missing}")
+        self.columns: dict[str, list] = {c.name: columns[c.name] for c in schema.columns}
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns in {schema.name!r}: {sorted(lengths)}")
+        self._rows = lengths.pop() if lengths else 0
+
+    # -- sizing ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._rows
+
+    # -- row access ----------------------------------------------------------
+
+    def row(self, i: int) -> dict[str, object]:
+        """Materialize row ``i`` as a dict (interpreted engines only)."""
+        return {name: col[i] for name, col in self.columns.items()}
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        names = list(self.columns)
+        cols = [self.columns[n] for n in names]
+        for values in zip(*cols) if cols else iter(()):
+            yield dict(zip(names, values))
+
+    def row_tuple(self, i: int) -> tuple:
+        return tuple(col[i] for col in self.columns.values())
+
+    def append_row(self, values: dict[str, object]) -> None:
+        for name, col in self.columns.items():
+            col.append(values[name])
+        self._rows += 1
+
+    # -- column access ---------------------------------------------------------
+
+    def column(self, name: str) -> list:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no column {name!r}"
+            ) from None
+
+    @classmethod
+    def from_rows(
+        cls, schema: TableSchema, rows: Iterable[Sequence[object]]
+    ) -> "ColumnarTable":
+        """Build from an iterable of positional row tuples."""
+        names = schema.column_names()
+        columns: dict[str, list] = {n: [] for n in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise SchemaError(
+                    f"row arity {len(row)} != schema arity {len(names)} "
+                    f"for table {schema.name!r}"
+                )
+            for name, value in zip(names, row):
+                columns[name].append(value)
+        return cls(schema, columns)
+
+    def to_rows(self) -> list[tuple]:
+        return [self.row_tuple(i) for i in range(len(self))]
+
+
+class RowTable:
+    """Row-oriented storage: a list of row tuples (the ``FlatBuffer`` analogue)."""
+
+    layout = "row"
+
+    def __init__(self, schema: TableSchema, rows: list[tuple] | None = None):
+        self.schema = schema
+        self.data: list[tuple] = rows if rows is not None else []
+        self._index = {c.name: i for i, c in enumerate(schema.columns)}
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def row(self, i: int) -> dict[str, object]:
+        values = self.data[i]
+        return {name: values[j] for name, j in self._index.items()}
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        names = list(self._index)
+        for values in self.data:
+            yield dict(zip(names, values))
+
+    def row_tuple(self, i: int) -> tuple:
+        return self.data[i]
+
+    def append_row(self, values: dict[str, object]) -> None:
+        self.data.append(tuple(values[c.name] for c in self.schema.columns))
+
+    def column(self, name: str) -> list:
+        """Extract one column (O(n) copy -- row stores pay for column access)."""
+        j = self._index[name]
+        return [row[j] for row in self.data]
+
+    @classmethod
+    def from_rows(cls, schema: TableSchema, rows: Iterable[Sequence[object]]) -> "RowTable":
+        return cls(schema, [tuple(r) for r in rows])
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.data)
+
+    @classmethod
+    def from_columnar(cls, table: ColumnarTable) -> "RowTable":
+        return cls(table.schema, table.to_rows())

@@ -1,0 +1,206 @@
+"""The in-memory database: tables plus the auxiliary structures of Section 4.3.
+
+A :class:`Database` owns columnar tables and, depending on the configured
+:class:`OptimizationLevel`, the index structures the paper's Figures 9/10
+evaluate:
+
+* ``COMPLIANT``     -- raw columns only (TPC-H-compliant loading);
+* ``IDX``           -- + primary/foreign-key hash indexes;
+* ``IDX_DATE``      -- + per-(year, month) date partitions;
+* ``IDX_DATE_STR``  -- + order-preserving string dictionaries.
+
+Index construction is timed (``build_seconds``) so the loading-overhead
+experiment (Figure 10) can report slowdowns relative to compliant loading.
+
+Generated code accesses everything through the narrow, stable surface
+``column / size / index / unique_index / date_index / dictionary /
+encoded_column`` -- these names are baked into residual programs.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Iterable, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import SchemaError, TableSchema
+from repro.catalog.statistics import TableStats, collect_table_stats
+from repro.catalog.types import ColumnType
+from repro.storage.buffer import ColumnarTable
+from repro.storage.dictionary import StringDictionary
+from repro.storage.index import DateIndex, HashIndex, UniqueHashIndex
+
+
+class OptimizationLevel(enum.IntEnum):
+    """Cumulative data-preparation levels (each includes the previous)."""
+
+    COMPLIANT = 0
+    IDX = 1
+    IDX_DATE = 2
+    IDX_DATE_STR = 3
+
+    @property
+    def builds_key_indexes(self) -> bool:
+        return self >= OptimizationLevel.IDX
+
+    @property
+    def builds_date_indexes(self) -> bool:
+        return self >= OptimizationLevel.IDX_DATE
+
+    @property
+    def builds_dictionaries(self) -> bool:
+        return self >= OptimizationLevel.IDX_DATE_STR
+
+
+class Database:
+    """Tables, indexes, dictionaries and statistics behind one facade."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        level: OptimizationLevel = OptimizationLevel.COMPLIANT,
+        dictionary_columns: Optional[dict[str, Sequence[str]]] = None,
+        date_index_columns: Optional[dict[str, Sequence[str]]] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.level = level
+        self._tables: dict[str, ColumnarTable] = {}
+        self._unique_indexes: dict[tuple[str, str], UniqueHashIndex] = {}
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._date_indexes: dict[tuple[str, str], DateIndex] = {}
+        self._dictionaries: dict[tuple[str, str], StringDictionary] = {}
+        self._encoded: dict[tuple[str, str], list[int]] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._dictionary_columns = dict(dictionary_columns or {})
+        self._date_index_columns = dict(date_index_columns or {})
+        self.build_seconds = 0.0  # auxiliary-structure build time (Figure 10)
+
+    # -- population ------------------------------------------------------------
+
+    def add_table(self, table: ColumnarTable) -> None:
+        """Register loaded data and build the level's auxiliary structures."""
+        name = table.schema.name
+        if not self.catalog.has_table(name):
+            self.catalog.register(table.schema)
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already loaded")
+        self._tables[name] = table
+        start = time.perf_counter()
+        self._build_auxiliary(table)
+        self.build_seconds += time.perf_counter() - start
+
+    def _build_auxiliary(self, table: ColumnarTable) -> None:
+        schema = table.schema
+        name = schema.name
+        if self.level.builds_key_indexes:
+            if len(schema.primary_key) == 1:
+                key = schema.primary_key[0]
+                self._unique_indexes[(name, key)] = UniqueHashIndex(table.column(key))
+            for fk_col in schema.foreign_keys:
+                self._indexes[(name, fk_col)] = HashIndex(table.column(fk_col))
+        if self.level.builds_date_indexes:
+            date_cols = self._date_index_columns.get(
+                name,
+                [c.name for c in schema.columns if c.type is ColumnType.DATE],
+            )
+            for col in date_cols:
+                self._date_indexes[(name, col)] = DateIndex(table.column(col))
+        if self.level.builds_dictionaries:
+            dict_cols = self._dictionary_columns.get(
+                name,
+                [c.name for c in schema.columns if c.type is ColumnType.STRING],
+            )
+            for col in dict_cols:
+                values = table.column(col)
+                dictionary = StringDictionary(values)
+                self._dictionaries[(name, col)] = dictionary
+                self._encoded[(name, col)] = dictionary.encode_column(values)
+
+    def add_rows(self, schema: TableSchema, rows: Iterable[Sequence[object]]) -> None:
+        """Convenience: build a columnar table from row tuples and register it."""
+        self.add_table(ColumnarTable.from_rows(schema, rows))
+
+    # -- generated-code surface ---------------------------------------------------
+
+    def table(self, name: str) -> ColumnarTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"table {name!r} is not loaded") from None
+
+    def has_loaded(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def column(self, table: str, column: str) -> list:
+        return self.table(table).column(column)
+
+    def size(self, table: str) -> int:
+        return len(self.table(table))
+
+    def unique_index(self, table: str, column: str) -> UniqueHashIndex:
+        key = (table, column)
+        if key not in self._unique_indexes:
+            raise SchemaError(
+                f"no unique index on {table}.{column} "
+                f"(optimization level: {self.level.name})"
+            )
+        return self._unique_indexes[key]
+
+    def index(self, table: str, column: str) -> HashIndex:
+        key = (table, column)
+        if key not in self._indexes:
+            raise SchemaError(
+                f"no index on {table}.{column} "
+                f"(optimization level: {self.level.name})"
+            )
+        return self._indexes[key]
+
+    def date_index(self, table: str, column: str) -> DateIndex:
+        key = (table, column)
+        if key not in self._date_indexes:
+            raise SchemaError(
+                f"no date index on {table}.{column} "
+                f"(optimization level: {self.level.name})"
+            )
+        return self._date_indexes[key]
+
+    def dictionary(self, table: str, column: str) -> StringDictionary:
+        key = (table, column)
+        if key not in self._dictionaries:
+            raise SchemaError(
+                f"no string dictionary on {table}.{column} "
+                f"(optimization level: {self.level.name})"
+            )
+        return self._dictionaries[key]
+
+    def encoded_column(self, table: str, column: str) -> list[int]:
+        key = (table, column)
+        if key not in self._encoded:
+            raise SchemaError(f"column {table}.{column} is not dictionary-compressed")
+        return self._encoded[key]
+
+    # -- capability queries (used by the optimizer/compiler) ----------------------
+
+    def has_unique_index(self, table: str, column: str) -> bool:
+        return (table, column) in self._unique_indexes
+
+    def has_index(self, table: str, column: str) -> bool:
+        return (table, column) in self._indexes
+
+    def has_date_index(self, table: str, column: str) -> bool:
+        return (table, column) in self._date_indexes
+
+    def has_dictionary(self, table: str, column: str) -> bool:
+        return (table, column) in self._dictionaries
+
+    # -- statistics -------------------------------------------------------------
+
+    def stats(self, table: str) -> TableStats:
+        """Table statistics, computed lazily and cached."""
+        if table not in self._stats:
+            self._stats[table] = collect_table_stats(self.table(table).columns)
+        return self._stats[table]

@@ -1,0 +1,85 @@
+"""String dictionaries (Section 4.3).
+
+A dictionary assigns each distinct string of a column an integer code.
+Codes are assigned in *sorted* order, so the encoding is order-preserving:
+
+* equality compiles to an integer comparison against a code looked up once,
+  at query-compile time;
+* ``<``/``<=``/``>``/``>=`` compile to integer comparisons directly;
+* ``startsWith(p)`` compiles to one range check ``lo <= code < hi`` where
+  ``[lo, hi)`` is the code range of strings with prefix ``p`` (this is the
+  generalization of the paper's ``p.idx <= idx`` trick);
+* anything else (``endsWith``, ``%x%``, substring) decodes and falls back to
+  the string representation, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Optional, Sequence
+
+
+class StringDictionary:
+    """An order-preserving code table for one string column."""
+
+    def __init__(self, values: Iterable[str]) -> None:
+        self.strings: list[str] = sorted(set(values))
+        self._codes: dict[str, int] = {s: i for i, s in enumerate(self.strings)}
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    # -- encode / decode -----------------------------------------------------
+
+    def code(self, value: str) -> Optional[int]:
+        """The code for ``value`` or None when absent from the dictionary.
+
+        A missing constant means an equality predicate can be folded to
+        ``False`` at generation time.
+        """
+        return self._codes.get(value)
+
+    def encode_column(self, values: Sequence[str]) -> list[int]:
+        codes = self._codes
+        return [codes[v] for v in values]
+
+    def decode(self, code: int) -> str:
+        return self.strings[code]
+
+    # -- predicate support ------------------------------------------------------
+
+    def prefix_range(self, prefix: str) -> tuple[int, int]:
+        """The half-open code range of strings starting with ``prefix``.
+
+        Returns ``(lo, hi)`` with ``lo == hi`` when no string matches, so the
+        generated range check is uniformly correct.
+        """
+        lo = bisect.bisect_left(self.strings, prefix)
+        # The successor of prefix in prefix-order: bump the last character.
+        hi = bisect.bisect_left(self.strings, _prefix_successor(prefix)) if prefix else len(self.strings)
+        return lo, hi
+
+    def code_floor(self, value: str) -> int:
+        """Number of dictionary strings strictly less than ``value``.
+
+        Lets ``col < const`` compile to ``code < code_floor(const)`` even
+        when ``const`` itself is not in the dictionary.
+        """
+        return bisect.bisect_left(self.strings, value)
+
+    def code_ceil(self, value: str) -> int:
+        """Number of dictionary strings less than or equal to ``value``."""
+        return bisect.bisect_right(self.strings, value)
+
+
+def _prefix_successor(prefix: str) -> str:
+    """The smallest string greater than every string with prefix ``prefix``."""
+    chars = list(prefix)
+    while chars:
+        code_point = ord(chars[-1])
+        if code_point < 0x10FFFF:
+            chars[-1] = chr(code_point + 1)
+            return "".join(chars)
+        chars.pop()
+    # Prefix was entirely U+10FFFF characters; no successor exists.
+    return "\U0010ffff" * (len(prefix) + 1)

@@ -1,0 +1,91 @@
+"""Loading and saving tables in the TPC-H ``.tbl`` format.
+
+``.tbl`` files are pipe-separated with a trailing pipe per line, exactly as
+produced by the official dbgen.  Values are converted according to the
+table schema; dates become the integer encoding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, TextIO
+
+from repro.catalog.schema import SchemaError, TableSchema
+from repro.catalog.types import ColumnType, date_to_int, int_to_date
+from repro.storage.buffer import ColumnarTable
+
+
+class LoadError(Exception):
+    """Raised on malformed input files."""
+
+
+def _parser_for(column_type: ColumnType) -> Callable[[str], object]:
+    if column_type is ColumnType.INT:
+        return int
+    if column_type is ColumnType.FLOAT:
+        return float
+    if column_type is ColumnType.DATE:
+        return date_to_int
+    if column_type is ColumnType.BOOL:
+        return lambda text: text in ("1", "true", "True", "t")
+    return lambda text: text
+
+
+def parse_tbl_lines(schema: TableSchema, lines: Iterable[str]) -> ColumnarTable:
+    """Parse an iterable of ``.tbl`` lines into a columnar table."""
+    parsers = [_parser_for(c.type) for c in schema.columns]
+    names = schema.column_names()
+    columns: dict[str, list] = {n: [] for n in names}
+    arity = len(names)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        parts = line.split("|")
+        if parts and parts[-1] == "":
+            parts.pop()  # trailing separator
+        if len(parts) != arity:
+            raise LoadError(
+                f"{schema.name}.tbl line {lineno}: expected {arity} fields, "
+                f"got {len(parts)}"
+            )
+        try:
+            for name, parser, text in zip(names, parsers, parts):
+                columns[name].append(parser(text))
+        except ValueError as exc:
+            raise LoadError(f"{schema.name}.tbl line {lineno}: {exc}") from exc
+    return ColumnarTable(schema, columns)
+
+
+def load_tbl(schema: TableSchema, path: str) -> ColumnarTable:
+    """Load ``path`` as table ``schema``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_tbl_lines(schema, handle)
+
+
+def _format_value(column_type: ColumnType, value: object) -> str:
+    if column_type is ColumnType.DATE:
+        return int_to_date(int(value))  # type: ignore[arg-type]
+    if column_type is ColumnType.FLOAT:
+        return f"{value:.2f}"
+    if column_type is ColumnType.BOOL:
+        return "1" if value else "0"
+    return str(value)
+
+
+def write_tbl(table: ColumnarTable, handle: TextIO) -> None:
+    """Write a table in ``.tbl`` format to an open text handle."""
+    types = [c.type for c in table.schema.columns]
+    cols = [table.columns[c.name] for c in table.schema.columns]
+    for i in range(len(table)):
+        fields = (_format_value(t, col[i]) for t, col in zip(types, cols))
+        handle.write("|".join(fields) + "|\n")
+
+
+def save_tbl(table: ColumnarTable, path: str) -> None:
+    """Write a table as ``<path>`` (creating parent directories)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        write_tbl(table, handle)

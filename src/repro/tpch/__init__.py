@@ -1,0 +1,17 @@
+"""TPC-H substrate: schema, deterministic data generator, the 22 query plans."""
+
+from repro.tpch.schema import TPCH_TABLES, tpch_catalog
+from repro.tpch.dbgen import generate_database, generate_tables
+from repro.tpch.queries import QUERIES, query_plan
+from repro.tpch.sql_queries import PLAN_ONLY, SQL_QUERIES
+
+__all__ = [
+    "TPCH_TABLES",
+    "tpch_catalog",
+    "generate_database",
+    "generate_tables",
+    "QUERIES",
+    "query_plan",
+    "SQL_QUERIES",
+    "PLAN_ONLY",
+]

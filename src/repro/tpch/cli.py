@@ -1,0 +1,127 @@
+"""Command-line dbgen: generate TPC-H data as ``.tbl`` files, and reload.
+
+Usage::
+
+    python -m repro.tpch.cli generate --scale 0.01 --out ./tpch-data
+    python -m repro.tpch.cli show --scale 0.002 --query 6
+    python -m repro.tpch.cli run --dir ./tpch-data --query 6 [--level idx_date]
+
+``generate`` writes the eight tables in the official pipe-separated format;
+``run`` loads a directory and executes one of the 22 queries with the LB2
+compiler; ``show`` prints a query's physical plan and generated code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.compiler.driver import LB2Compiler
+from repro.plan.explain import explain
+from repro.plan.rewrite import optimize_for_level
+from repro.storage.database import Database, OptimizationLevel
+from repro.storage.loader import load_tbl, save_tbl
+from repro.tpch.dbgen import generate_database, generate_tables
+from repro.tpch.queries import query_plan
+from repro.tpch.schema import DICTIONARY_COLUMNS, TPCH_TABLES, tpch_catalog
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    tables = generate_tables(args.scale)
+    os.makedirs(args.out, exist_ok=True)
+    for name, table in tables.items():
+        path = os.path.join(args.out, f"{name}.tbl")
+        save_tbl(table, path)
+        print(f"wrote {path} ({len(table)} rows)")
+    return 0
+
+
+def load_directory(directory: str, level: OptimizationLevel) -> Database:
+    """Load a dbgen-format directory into a Database."""
+    db = Database(tpch_catalog(), level=level, dictionary_columns=DICTIONARY_COLUMNS)
+    for name, schema in TPCH_TABLES.items():
+        path = os.path.join(directory, f"{name}.tbl")
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"missing table file {path}")
+        db.add_table(load_tbl(schema, path))
+    return db
+
+
+def _level(text: str) -> OptimizationLevel:
+    try:
+        return OptimizationLevel[text.upper()]
+    except KeyError:
+        valid = ", ".join(l.name.lower() for l in OptimizationLevel)
+        raise argparse.ArgumentTypeError(f"level must be one of: {valid}") from None
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    if args.dir:
+        db = load_directory(args.dir, args.level)
+    else:
+        db = generate_database(args.scale, level=args.level)
+    load_seconds = time.perf_counter() - start
+    plan = query_plan(args.query, scale=args.scale)
+    if args.level is not OptimizationLevel.COMPLIANT:
+        plan = optimize_for_level(plan, db, db.catalog)
+    compiled = LB2Compiler(db.catalog, db).compile(plan)
+    start = time.perf_counter()
+    rows = compiled.run(db)
+    run_seconds = time.perf_counter() - start
+    for row in rows:
+        print("|".join(str(v) for v in row))
+    print(
+        f"-- Q{args.query}: {len(rows)} rows; load {load_seconds * 1000:.0f}ms, "
+        f"compile {1000 * (compiled.generation_seconds + compiled.compile_seconds):.1f}ms, "
+        f"run {run_seconds * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    db = generate_database(args.scale, level=args.level)
+    plan = query_plan(args.query, scale=args.scale)
+    if args.level is not OptimizationLevel.COMPLIANT:
+        plan = optimize_for_level(plan, db, db.catalog)
+    print(explain(plan, db.catalog))
+    compiled = LB2Compiler(db.catalog, db).compile(plan)
+    print("\n-- generated code --")
+    print(compiled.source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.tpch", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write .tbl files")
+    gen.add_argument("--scale", type=float, default=0.01)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=cmd_generate)
+
+    run = sub.add_parser("run", help="execute a TPC-H query (compiled)")
+    run.add_argument("--dir", default=None, help=".tbl directory (else generate)")
+    run.add_argument("--scale", type=float, default=0.01)
+    run.add_argument("--query", type=int, required=True, choices=range(1, 23))
+    run.add_argument("--level", type=_level, default=OptimizationLevel.COMPLIANT)
+    run.set_defaults(fn=cmd_run)
+
+    show = sub.add_parser("show", help="print plan and generated code")
+    show.add_argument("--scale", type=float, default=0.002)
+    show.add_argument("--query", type=int, required=True, choices=range(1, 23))
+    show.add_argument("--level", type=_level, default=OptimizationLevel.COMPLIANT)
+    show.set_defaults(fn=cmd_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,280 @@
+"""A from-scratch, deterministic TPC-H data generator.
+
+Follows the population rules of TPC-H spec Clause 4.2.3: cardinalities,
+key formation (including the partsupp/lineitem supplier permutation
+formula), value domains, the order/lineitem date relationships, and the
+derived columns (``o_orderstatus``, ``o_totalprice``,
+``l_extendedprice``).  Generation is seeded, so the same scale factor
+always yields byte-identical tables -- the property the differential tests
+and benchmarks rely on.
+
+This replaces the official ``dbgen`` binary (unavailable offline); see
+DESIGN.md for the substitution note.  Distributions are spec-shaped, which
+is what keeps all 22 query predicates selective-but-non-empty.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Iterable, Optional
+
+from repro.catalog.types import date_add_days, date_to_int, int_to_date, make_date
+from repro.storage.buffer import ColumnarTable
+from repro.storage.database import Database, OptimizationLevel
+from repro.tpch import text
+from repro.tpch.schema import DICTIONARY_COLUMNS, TPCH_TABLES, tpch_catalog
+
+START_DATE = date_to_int("1992-01-01")
+CURRENT_DATE = date_to_int("1995-06-17")
+# Order dates end 151 days before the last shipdate window closes.
+LAST_ORDER_DATE = date_to_int("1998-08-02")
+
+_ORDER_DATE_SPAN = 2405  # days between START_DATE and LAST_ORDER_DATE inclusive
+
+
+def _money(rng: Random, lo_cents: int, hi_cents: int) -> float:
+    return rng.randint(lo_cents, hi_cents) / 100.0
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(1, int(round(base * scale)))
+
+
+def generate_region() -> list[tuple]:
+    rng = Random(4150)
+    return [
+        (i, name, text.comment(rng, 10)) for i, name in enumerate(text.REGIONS)
+    ]
+
+
+def generate_nation() -> list[tuple]:
+    rng = Random(4151)
+    return [
+        (i, name, region, text.comment(rng, 10))
+        for i, (name, region) in enumerate(text.NATIONS)
+    ]
+
+
+def generate_supplier(scale: float) -> list[tuple]:
+    rng = Random(4152)
+    count = _scaled(10_000, scale)
+    rows = []
+    for suppkey in range(1, count + 1):
+        nationkey = rng.randrange(25)
+        rows.append(
+            (
+                suppkey,
+                f"Supplier#{suppkey:09d}",
+                text.words(rng, 3),
+                nationkey,
+                text.phone(rng, nationkey),
+                _money(rng, -99_999, 999_999),
+                text.supplier_comment(rng),
+            )
+        )
+    return rows
+
+
+def generate_customer(scale: float) -> list[tuple]:
+    rng = Random(4153)
+    count = _scaled(150_000, scale)
+    rows = []
+    for custkey in range(1, count + 1):
+        nationkey = rng.randrange(25)
+        rows.append(
+            (
+                custkey,
+                f"Customer#{custkey:09d}",
+                text.words(rng, 3),
+                nationkey,
+                text.phone(rng, nationkey),
+                _money(rng, -99_999, 999_999),
+                rng.choice(text.SEGMENTS),
+                text.comment(rng),
+            )
+        )
+    return rows
+
+
+def _retail_price(partkey: int) -> float:
+    """Spec 4.2.3: (90000 + ((partkey/10) mod 20001) + 100*(partkey mod 1000)) / 100."""
+    return (90_000 + ((partkey // 10) % 20_001) + 100 * (partkey % 1_000)) / 100.0
+
+
+def generate_part(scale: float) -> list[tuple]:
+    rng = Random(4154)
+    count = _scaled(200_000, scale)
+    rows = []
+    for partkey in range(1, count + 1):
+        mfgr = rng.randint(1, 5)
+        brand = mfgr * 10 + rng.randint(1, 5)
+        part_type = (
+            f"{rng.choice(text.TYPE_SYLLABLE_1)} "
+            f"{rng.choice(text.TYPE_SYLLABLE_2)} "
+            f"{rng.choice(text.TYPE_SYLLABLE_3)}"
+        )
+        container = (
+            f"{rng.choice(text.CONTAINER_SYLLABLE_1)} "
+            f"{rng.choice(text.CONTAINER_SYLLABLE_2)}"
+        )
+        rows.append(
+            (
+                partkey,
+                text.part_name(rng),
+                f"Manufacturer#{mfgr}",
+                f"Brand#{brand}",
+                part_type,
+                rng.randint(1, 50),
+                container,
+                _retail_price(partkey),
+                text.comment(rng, 5),
+            )
+        )
+    return rows
+
+
+def _partsupp_suppkey(partkey: int, i: int, supplier_count: int) -> int:
+    """The spec's supplier permutation: spreads a part's 4 suppliers."""
+    s = supplier_count
+    return (
+        partkey + (i * (s // 4 + (partkey - 1) // s))
+    ) % s + 1
+
+
+def generate_partsupp(scale: float) -> list[tuple]:
+    rng = Random(4155)
+    part_count = _scaled(200_000, scale)
+    supplier_count = _scaled(10_000, scale)
+    rows = []
+    for partkey in range(1, part_count + 1):
+        for i in range(4):
+            rows.append(
+                (
+                    partkey,
+                    _partsupp_suppkey(partkey, i, supplier_count),
+                    rng.randint(1, 9_999),
+                    _money(rng, 100, 100_000),
+                    text.comment(rng, 10),
+                )
+            )
+    return rows
+
+
+def _order_custkey(rng: Random, customer_count: int) -> int:
+    """Customers ≡ 0 (mod 3) never place orders (spec: one third inactive)."""
+    while True:
+        custkey = rng.randint(1, customer_count)
+        if custkey % 3 != 0:
+            return custkey
+
+
+def generate_orders_and_lineitem(scale: float) -> tuple[list[tuple], list[tuple]]:
+    rng = Random(4156)
+    order_count = _scaled(1_500_000, scale)
+    customer_count = _scaled(150_000, scale)
+    part_count = _scaled(200_000, scale)
+    supplier_count = _scaled(10_000, scale)
+    clerk_count = _scaled(1_000, scale)
+
+    orders: list[tuple] = []
+    lineitems: list[tuple] = []
+    for orderkey in range(1, order_count + 1):
+        orderdate = date_add_days(START_DATE, rng.randint(0, _ORDER_DATE_SPAN))
+        line_count = rng.randint(1, 7)
+        total = 0.0
+        statuses = []
+        for linenumber in range(1, line_count + 1):
+            partkey = rng.randint(1, part_count)
+            suppkey = _partsupp_suppkey(partkey, rng.randrange(4), supplier_count)
+            quantity = float(rng.randint(1, 50))
+            extendedprice = round(quantity * _retail_price(partkey), 2)
+            discount = rng.randint(0, 10) / 100.0
+            tax = rng.randint(0, 8) / 100.0
+            shipdate = date_add_days(orderdate, rng.randint(1, 121))
+            commitdate = date_add_days(orderdate, rng.randint(30, 90))
+            receiptdate = date_add_days(shipdate, rng.randint(1, 30))
+            if receiptdate <= CURRENT_DATE:
+                returnflag = rng.choice(("R", "A"))
+            else:
+                returnflag = "N"
+            linestatus = "O" if shipdate > CURRENT_DATE else "F"
+            statuses.append(linestatus)
+            total += extendedprice * (1.0 + tax) * (1.0 - discount)
+            lineitems.append(
+                (
+                    orderkey,
+                    partkey,
+                    suppkey,
+                    linenumber,
+                    quantity,
+                    extendedprice,
+                    discount,
+                    tax,
+                    returnflag,
+                    linestatus,
+                    shipdate,
+                    commitdate,
+                    receiptdate,
+                    rng.choice(text.INSTRUCTIONS),
+                    rng.choice(text.MODES),
+                    text.comment(rng, 6),
+                )
+            )
+        if all(s == "F" for s in statuses):
+            orderstatus = "F"
+        elif all(s == "O" for s in statuses):
+            orderstatus = "O"
+        else:
+            orderstatus = "P"
+        orders.append(
+            (
+                orderkey,
+                _order_custkey(rng, customer_count),
+                orderstatus,
+                round(total, 2),
+                orderdate,
+                rng.choice(text.PRIORITIES),
+                f"Clerk#{rng.randint(1, clerk_count):09d}",
+                0,
+                text.order_comment(rng),
+            )
+        )
+    return orders, lineitems
+
+
+def generate_tables(scale: float = 0.01) -> dict[str, ColumnarTable]:
+    """Generate all eight tables at ``scale`` (fraction of SF1)."""
+    orders, lineitems = generate_orders_and_lineitem(scale)
+    rows_by_table: dict[str, Iterable[tuple]] = {
+        "region": generate_region(),
+        "nation": generate_nation(),
+        "supplier": generate_supplier(scale),
+        "customer": generate_customer(scale),
+        "part": generate_part(scale),
+        "partsupp": generate_partsupp(scale),
+        "orders": orders,
+        "lineitem": lineitems,
+    }
+    return {
+        name: ColumnarTable.from_rows(TPCH_TABLES[name], rows)
+        for name, rows in rows_by_table.items()
+    }
+
+
+def generate_database(
+    scale: float = 0.01,
+    level: OptimizationLevel = OptimizationLevel.COMPLIANT,
+    tables: Optional[dict[str, ColumnarTable]] = None,
+) -> Database:
+    """A loaded TPC-H database at the given optimization level.
+
+    Pass pre-generated ``tables`` to re-load the same data at several levels
+    without regenerating (the Figure 10 loading experiment does this).
+    """
+    catalog = tpch_catalog()
+    db = Database(catalog, level=level, dictionary_columns=DICTIONARY_COLUMNS)
+    if tables is None:
+        tables = generate_tables(scale)
+    for name in TPCH_TABLES:
+        db.add_table(tables[name])
+    return db

@@ -1,0 +1,1083 @@
+"""Physical plans for all 22 TPC-H queries.
+
+Plans are supplied explicitly, exactly as for LB2 and DBLAB in the paper
+("Query plans in LB2 and DBLAB are supplied explicitly").  Parameters use
+the spec's validation values.  Correlated subqueries are decorrelated by
+hand into the standard join/aggregate shapes (e.g. Q2's per-part minimum
+cost, Q17's per-part average quantity, Q21's per-order supplier counts).
+
+Each ``qN`` function builds a fresh plan; :data:`QUERIES` maps query number
+to builder.  ``scale`` only affects Q11, whose HAVING fraction is
+``0.0001 / SF`` per the spec.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog.types import date_add_days, date_add_months, date_add_years, date_to_int
+from repro.plan import (
+    Agg,
+    AntiJoin,
+    Arith,
+    Between,
+    Case,
+    Cmp,
+    Col,
+    Const,
+    ExtractYear,
+    HashJoin,
+    InList,
+    LeftOuterJoin,
+    Like,
+    Limit,
+    Not,
+    Or,
+    PhysicalPlan,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Sort,
+    Substring,
+    And,
+    avg,
+    col,
+    count,
+    count_col,
+    count_distinct,
+    lit,
+    max_,
+    min_,
+    sum_,
+)
+from repro.tpch.schema import TPCH_TABLES
+
+
+def _d(text: str) -> int:
+    return date_to_int(text)
+
+
+def keep(plan: PhysicalPlan, names: list[str]) -> Project:
+    """Projection-prune to ``names`` (pass-through columns)."""
+    return Project(plan, [(n, col(n)) for n in names])
+
+
+def alias(table: str, prefix: str) -> dict[str, str]:
+    """Rename every column ``t_x`` of ``table`` to ``<prefix>_x``."""
+    out = {}
+    for column in TPCH_TABLES[table].columns:
+        _, _, rest = column.name.partition("_")
+        out[column.name] = f"{prefix}_{rest}"
+    return out
+
+
+def single_row_join(
+    left: PhysicalPlan,
+    right_single: PhysicalPlan,
+    left_names: list[str],
+    right_names: list[str],
+) -> HashJoin:
+    """Join every left row with the unique row of ``right_single``.
+
+    This is the decorrelation device for scalar subqueries (Q11, Q15, Q22):
+    both sides gain a constant key column and hash-join on it; the
+    single-row side is the build side.
+    """
+    left_proj = Project(left, [(n, col(n)) for n in left_names] + [("__kl", lit(1))])
+    right_proj = Project(
+        right_single, [(n, col(n)) for n in right_names] + [("__kr", lit(1))]
+    )
+    return HashJoin(right_proj, left_proj, ("__kr",), ("__kl",))
+
+
+def revenue() -> Arith:
+    """The ubiquitous ``l_extendedprice * (1 - l_discount)``."""
+    return col("l_extendedprice") * (lit(1.0) - col("l_discount"))
+
+
+# ---------------------------------------------------------------------------
+
+
+def q1(scale: float = 1.0) -> PhysicalPlan:
+    """Pricing summary report."""
+    cutoff = date_add_days(_d("1998-12-01"), -90)
+    filtered = Select(Scan("lineitem"), col("l_shipdate").le(cutoff))
+    agg = Agg(
+        filtered,
+        keys=[("l_returnflag", col("l_returnflag")), ("l_linestatus", col("l_linestatus"))],
+        aggs=[
+            ("sum_qty", sum_(col("l_quantity"))),
+            ("sum_base_price", sum_(col("l_extendedprice"))),
+            ("sum_disc_price", sum_(revenue())),
+            ("sum_charge", sum_(revenue() * (lit(1.0) + col("l_tax")))),
+            ("avg_qty", avg(col("l_quantity"))),
+            ("avg_price", avg(col("l_extendedprice"))),
+            ("avg_disc", avg(col("l_discount"))),
+            ("count_order", count()),
+        ],
+    )
+    return Sort(agg, [("l_returnflag", True), ("l_linestatus", True)])
+
+
+def q2(scale: float = 1.0) -> PhysicalPlan:
+    """Minimum cost supplier.  Inner block: min supply cost per part in EUROPE."""
+
+    def europe_suppliers(prefix: str | None) -> PhysicalPlan:
+        """Suppliers in EUROPE; ``prefix`` renames columns for the inner
+        block so the two instances of the join do not clash."""
+
+        def name(base: str) -> str:
+            if prefix is None:
+                return base
+            _, _, rest = base.partition("_")
+            return f"{prefix}{base[0]}_{rest}"
+
+        def scan(table: str) -> Scan:
+            if prefix is None:
+                return Scan(table)
+            short = table[0]
+            return Scan(table, rename=alias(table, f"{prefix}{short}"))
+
+        region = Select(scan("region"), col(name("r_name")).eq("EUROPE"))
+        nations = HashJoin(
+            keep(region, [name("r_regionkey")]),
+            scan("nation"),
+            (name("r_regionkey"),),
+            (name("n_regionkey"),),
+        )
+        return HashJoin(
+            keep(nations, [name("n_nationkey"), name("n_name")]),
+            scan("supplier"),
+            (name("n_nationkey"),),
+            (name("s_nationkey"),),
+        )
+
+    inner = Agg(
+        HashJoin(
+            keep(europe_suppliers("i"), ["is_suppkey"]),
+            Scan("partsupp", rename=alias("partsupp", "m")),
+            ("is_suppkey",),
+            ("m_suppkey",),
+        ),
+        keys=[("m_partkey", col("m_partkey"))],
+        aggs=[("min_cost", min_(col("m_supplycost")))],
+    )
+    parts = Select(
+        Scan("part"),
+        And(col("p_size").eq(15), Like(col("p_type"), "%BRASS")),
+    )
+    part_min = HashJoin(
+        keep(parts, ["p_partkey", "p_mfgr"]), inner, ("p_partkey",), ("m_partkey",)
+    )
+    with_ps = HashJoin(
+        keep(part_min, ["p_partkey", "p_mfgr", "min_cost"]),
+        Scan("partsupp"),
+        ("p_partkey", "min_cost"),
+        ("ps_partkey", "ps_supplycost"),
+    )
+    eu = keep(
+        europe_suppliers(None),  # plain s_/n_/r_ names for the outer block
+        [
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+            "n_name",
+        ],
+    )
+    joined = HashJoin(
+        keep(with_ps, ["p_partkey", "p_mfgr", "ps_suppkey"]),
+        eu,
+        ("ps_suppkey",),
+        ("s_suppkey",),
+    )
+    out = Project(
+        joined,
+        [
+            ("s_acctbal", col("s_acctbal")),
+            ("s_name", col("s_name")),
+            ("n_name", col("n_name")),
+            ("p_partkey", col("p_partkey")),
+            ("p_mfgr", col("p_mfgr")),
+            ("s_address", col("s_address")),
+            ("s_phone", col("s_phone")),
+            ("s_comment", col("s_comment")),
+        ],
+    )
+    return Limit(
+        Sort(
+            out,
+            [
+                ("s_acctbal", False),
+                ("n_name", True),
+                ("s_name", True),
+                ("p_partkey", True),
+            ],
+        ),
+        100,
+    )
+
+
+def q3(scale: float = 1.0) -> PhysicalPlan:
+    """Shipping priority."""
+    cutoff = _d("1995-03-15")
+    customers = keep(
+        Select(Scan("customer"), col("c_mktsegment").eq("BUILDING")), ["c_custkey"]
+    )
+    orders = Select(Scan("orders"), col("o_orderdate").lt(cutoff))
+    co = HashJoin(customers, orders, ("c_custkey",), ("o_custkey",))
+    lines = Select(Scan("lineitem"), col("l_shipdate").gt(cutoff))
+    col_join = HashJoin(
+        keep(co, ["o_orderkey", "o_orderdate", "o_shippriority"]),
+        lines,
+        ("o_orderkey",),
+        ("l_orderkey",),
+    )
+    agg = Agg(
+        col_join,
+        keys=[
+            ("l_orderkey", col("l_orderkey")),
+            ("o_orderdate", col("o_orderdate")),
+            ("o_shippriority", col("o_shippriority")),
+        ],
+        aggs=[("revenue", sum_(revenue()))],
+    )
+    out = Project(
+        agg,
+        [
+            ("l_orderkey", col("l_orderkey")),
+            ("revenue", col("revenue")),
+            ("o_orderdate", col("o_orderdate")),
+            ("o_shippriority", col("o_shippriority")),
+        ],
+    )
+    return Limit(Sort(out, [("revenue", False), ("o_orderdate", True)]), 10)
+
+
+def q4(scale: float = 1.0) -> PhysicalPlan:
+    """Order priority checking."""
+    start = _d("1993-07-01")
+    end = date_add_months(start, 3)
+    orders = Select(
+        Scan("orders"),
+        And(col("o_orderdate").ge(start), col("o_orderdate").lt(end)),
+    )
+    late = keep(
+        Select(Scan("lineitem"), col("l_commitdate").lt(col("l_receiptdate"))),
+        ["l_orderkey"],
+    )
+    semi = SemiJoin(orders, late, ("o_orderkey",), ("l_orderkey",))
+    agg = Agg(
+        semi,
+        keys=[("o_orderpriority", col("o_orderpriority"))],
+        aggs=[("order_count", count())],
+    )
+    return Sort(agg, [("o_orderpriority", True)])
+
+
+def q5(scale: float = 1.0) -> PhysicalPlan:
+    """Local supplier volume (ASIA, 1994)."""
+    start = _d("1994-01-01")
+    end = date_add_years(start, 1)
+    region = Select(Scan("region"), col("r_name").eq("ASIA"))
+    nations = HashJoin(
+        keep(region, ["r_regionkey"]), Scan("nation"), ("r_regionkey",), ("n_regionkey",)
+    )
+    suppliers = HashJoin(
+        keep(nations, ["n_nationkey", "n_name"]),
+        Scan("supplier"),
+        ("n_nationkey",),
+        ("s_nationkey",),
+    )
+    orders = Select(
+        Scan("orders"),
+        And(col("o_orderdate").ge(start), col("o_orderdate").lt(end)),
+    )
+    co = HashJoin(
+        keep(Scan("customer"), ["c_custkey", "c_nationkey"]),
+        keep(orders, ["o_orderkey", "o_custkey"]),
+        ("c_custkey",),
+        ("o_custkey",),
+    )
+    col_join = HashJoin(
+        keep(co, ["o_orderkey", "c_nationkey"]),
+        keep(
+            Scan("lineitem"),
+            ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        ),
+        ("o_orderkey",),
+        ("l_orderkey",),
+    )
+    full = HashJoin(
+        keep(suppliers, ["s_suppkey", "s_nationkey", "n_name"]),
+        col_join,
+        ("s_suppkey", "s_nationkey"),
+        ("l_suppkey", "c_nationkey"),
+    )
+    agg = Agg(full, keys=[("n_name", col("n_name"))], aggs=[("revenue", sum_(revenue()))])
+    return Sort(agg, [("revenue", False)])
+
+
+def q6(scale: float = 1.0) -> PhysicalPlan:
+    """Forecasting revenue change."""
+    start = _d("1994-01-01")
+    end = date_add_years(start, 1)
+    filtered = Select(
+        Scan("lineitem"),
+        And(
+            col("l_shipdate").ge(start),
+            col("l_shipdate").lt(end),
+            Between(col("l_discount"), 0.05, 0.07),
+            col("l_quantity").lt(24.0),
+        ),
+    )
+    return Agg(
+        filtered,
+        keys=[],
+        aggs=[("revenue", sum_(col("l_extendedprice") * col("l_discount")))],
+    )
+
+
+def q7(scale: float = 1.0) -> PhysicalPlan:
+    """Volume shipping between FRANCE and GERMANY."""
+    pair = ("FRANCE", "GERMANY")
+    n1 = Select(
+        Scan("nation", rename={"n_nationkey": "n1_nationkey", "n_name": "supp_nation",
+                               "n_regionkey": "n1_regionkey", "n_comment": "n1_comment"}),
+        InList(col("supp_nation"), pair),
+    )
+    n2 = Select(
+        Scan("nation", rename={"n_nationkey": "n2_nationkey", "n_name": "cust_nation",
+                               "n_regionkey": "n2_regionkey", "n_comment": "n2_comment"}),
+        InList(col("cust_nation"), pair),
+    )
+    suppliers = HashJoin(
+        keep(n1, ["n1_nationkey", "supp_nation"]),
+        Scan("supplier"),
+        ("n1_nationkey",),
+        ("s_nationkey",),
+    )
+    customers = HashJoin(
+        keep(n2, ["n2_nationkey", "cust_nation"]),
+        Scan("customer"),
+        ("n2_nationkey",),
+        ("c_nationkey",),
+    )
+    orders = HashJoin(
+        keep(customers, ["c_custkey", "cust_nation"]),
+        keep(Scan("orders"), ["o_orderkey", "o_custkey"]),
+        ("c_custkey",),
+        ("o_custkey",),
+    )
+    lines = Select(
+        Scan("lineitem"),
+        And(col("l_shipdate").ge(_d("1995-01-01")), col("l_shipdate").le(_d("1996-12-31"))),
+    )
+    ol = HashJoin(
+        keep(orders, ["o_orderkey", "cust_nation"]),
+        keep(
+            lines,
+            ["l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        ),
+        ("o_orderkey",),
+        ("l_orderkey",),
+    )
+    full = HashJoin(
+        keep(suppliers, ["s_suppkey", "supp_nation"]),
+        ol,
+        ("s_suppkey",),
+        ("l_suppkey",),
+    )
+    matched = Select(
+        full,
+        Or(
+            And(col("supp_nation").eq(pair[0]), col("cust_nation").eq(pair[1])),
+            And(col("supp_nation").eq(pair[1]), col("cust_nation").eq(pair[0])),
+        ),
+    )
+    agg = Agg(
+        matched,
+        keys=[
+            ("supp_nation", col("supp_nation")),
+            ("cust_nation", col("cust_nation")),
+            ("l_year", ExtractYear(col("l_shipdate"))),
+        ],
+        aggs=[("volume", sum_(revenue()))],
+    )
+    return Sort(agg, [("supp_nation", True), ("cust_nation", True), ("l_year", True)])
+
+
+def q8(scale: float = 1.0) -> PhysicalPlan:
+    """National market share (BRAZIL in AMERICA, ECONOMY ANODIZED STEEL)."""
+    parts = keep(
+        Select(Scan("part"), col("p_type").eq("ECONOMY ANODIZED STEEL")), ["p_partkey"]
+    )
+    part_lines = HashJoin(
+        parts,
+        keep(
+            Scan("lineitem"),
+            ["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        ),
+        ("p_partkey",),
+        ("l_partkey",),
+    )
+    orders = Select(
+        Scan("orders"),
+        And(col("o_orderdate").ge(_d("1995-01-01")), col("o_orderdate").le(_d("1996-12-31"))),
+    )
+    plo = HashJoin(
+        keep(part_lines, ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"]),
+        keep(orders, ["o_orderkey", "o_custkey", "o_orderdate"]),
+        ("l_orderkey",),
+        ("o_orderkey",),
+    )
+    america = Select(Scan("region"), col("r_name").eq("AMERICA"))
+    am_nations = HashJoin(
+        keep(america, ["r_regionkey"]), Scan("nation"), ("r_regionkey",), ("n_regionkey",)
+    )
+    am_customers = HashJoin(
+        keep(am_nations, ["n_nationkey"]),
+        keep(Scan("customer"), ["c_custkey", "c_nationkey"]),
+        ("n_nationkey",),
+        ("c_nationkey",),
+    )
+    ploc = HashJoin(
+        keep(am_customers, ["c_custkey"]), plo, ("c_custkey",), ("o_custkey",)
+    )
+    supp_nation = HashJoin(
+        keep(Scan("nation", rename=alias("nation", "sn")), ["sn_nationkey", "sn_name"]),
+        keep(Scan("supplier"), ["s_suppkey", "s_nationkey"]),
+        ("sn_nationkey",),
+        ("s_nationkey",),
+    )
+    full = HashJoin(
+        keep(supp_nation, ["s_suppkey", "sn_name"]),
+        ploc,
+        ("s_suppkey",),
+        ("l_suppkey",),
+    )
+    agg = Agg(
+        full,
+        keys=[("o_year", ExtractYear(col("o_orderdate")))],
+        aggs=[
+            (
+                "brazil_volume",
+                sum_(Case(col("sn_name").eq("BRAZIL"), revenue(), lit(0.0))),
+            ),
+            ("total_volume", sum_(revenue())),
+        ],
+    )
+    out = Project(
+        agg,
+        [
+            ("o_year", col("o_year")),
+            ("mkt_share", col("brazil_volume") / col("total_volume")),
+        ],
+    )
+    return Sort(out, [("o_year", True)])
+
+
+def q9(scale: float = 1.0) -> PhysicalPlan:
+    """Product type profit measure (parts containing 'green')."""
+    parts = keep(Select(Scan("part"), Like(col("p_name"), "%green%")), ["p_partkey"])
+    part_lines = HashJoin(
+        parts,
+        keep(
+            Scan("lineitem"),
+            [
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+            ],
+        ),
+        ("p_partkey",),
+        ("l_partkey",),
+    )
+    with_ps = HashJoin(
+        keep(Scan("partsupp"), ["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        part_lines,
+        ("ps_partkey", "ps_suppkey"),
+        ("l_partkey", "l_suppkey"),
+    )
+    with_supp = HashJoin(
+        keep(Scan("supplier"), ["s_suppkey", "s_nationkey"]),
+        with_ps,
+        ("s_suppkey",),
+        ("l_suppkey",),
+    )
+    with_nation = HashJoin(
+        keep(Scan("nation"), ["n_nationkey", "n_name"]),
+        with_supp,
+        ("n_nationkey",),
+        ("s_nationkey",),
+    )
+    full = HashJoin(
+        keep(
+            with_nation,
+            [
+                "n_name",
+                "l_orderkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "ps_supplycost",
+            ],
+        ),
+        keep(Scan("orders"), ["o_orderkey", "o_orderdate"]),
+        ("l_orderkey",),
+        ("o_orderkey",),
+    )
+    profit = revenue() - col("ps_supplycost") * col("l_quantity")
+    agg = Agg(
+        full,
+        keys=[("nation", col("n_name")), ("o_year", ExtractYear(col("o_orderdate")))],
+        aggs=[("sum_profit", sum_(profit))],
+    )
+    return Sort(agg, [("nation", True), ("o_year", False)])
+
+
+def q10(scale: float = 1.0) -> PhysicalPlan:
+    """Returned item reporting."""
+    start = _d("1993-10-01")
+    end = date_add_months(start, 3)
+    orders = Select(
+        Scan("orders"),
+        And(col("o_orderdate").ge(start), col("o_orderdate").lt(end)),
+    )
+    returned = Select(Scan("lineitem"), col("l_returnflag").eq("R"))
+    ol = HashJoin(
+        keep(orders, ["o_orderkey", "o_custkey"]),
+        keep(returned, ["l_orderkey", "l_extendedprice", "l_discount"]),
+        ("o_orderkey",),
+        ("l_orderkey",),
+    )
+    customers = HashJoin(
+        keep(Scan("nation"), ["n_nationkey", "n_name"]),
+        Scan("customer"),
+        ("n_nationkey",),
+        ("c_nationkey",),
+    )
+    full = HashJoin(
+        keep(
+            customers,
+            [
+                "c_custkey",
+                "c_name",
+                "c_acctbal",
+                "c_phone",
+                "n_name",
+                "c_address",
+                "c_comment",
+            ],
+        ),
+        keep(ol, ["o_custkey", "l_extendedprice", "l_discount"]),
+        ("c_custkey",),
+        ("o_custkey",),
+    )
+    agg = Agg(
+        full,
+        keys=[
+            ("c_custkey", col("c_custkey")),
+            ("c_name", col("c_name")),
+            ("c_acctbal", col("c_acctbal")),
+            ("c_phone", col("c_phone")),
+            ("n_name", col("n_name")),
+            ("c_address", col("c_address")),
+            ("c_comment", col("c_comment")),
+        ],
+        aggs=[("revenue", sum_(revenue()))],
+    )
+    out = Project(
+        agg,
+        [
+            ("c_custkey", col("c_custkey")),
+            ("c_name", col("c_name")),
+            ("revenue", col("revenue")),
+            ("c_acctbal", col("c_acctbal")),
+            ("n_name", col("n_name")),
+            ("c_address", col("c_address")),
+            ("c_phone", col("c_phone")),
+            ("c_comment", col("c_comment")),
+        ],
+    )
+    return Limit(Sort(out, [("revenue", False)]), 20)
+
+
+def q11(scale: float = 1.0) -> PhysicalPlan:
+    """Important stock identification (GERMANY)."""
+    fraction = 0.0001 / scale
+
+    def german_partsupp() -> PhysicalPlan:
+        nation = Select(Scan("nation"), col("n_name").eq("GERMANY"))
+        suppliers = HashJoin(
+            keep(nation, ["n_nationkey"]),
+            keep(Scan("supplier"), ["s_suppkey", "s_nationkey"]),
+            ("n_nationkey",),
+            ("s_nationkey",),
+        )
+        return HashJoin(
+            keep(suppliers, ["s_suppkey"]),
+            keep(Scan("partsupp"), ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"]),
+            ("s_suppkey",),
+            ("ps_suppkey",),
+        )
+
+    value_expr = col("ps_supplycost") * col("ps_availqty")
+    groups = Agg(
+        german_partsupp(),
+        keys=[("ps_partkey", col("ps_partkey"))],
+        aggs=[("value", sum_(value_expr))],
+    )
+    total = Agg(german_partsupp(), keys=[], aggs=[("total_value", sum_(value_expr))])
+    joined = single_row_join(groups, total, ["ps_partkey", "value"], ["total_value"])
+    filtered = Select(joined, col("value").gt(col("total_value") * lit(fraction)))
+    out = Project(filtered, [("ps_partkey", col("ps_partkey")), ("value", col("value"))])
+    return Sort(out, [("value", False)])
+
+
+def q12(scale: float = 1.0) -> PhysicalPlan:
+    """Shipping modes and order priority."""
+    start = _d("1994-01-01")
+    end = date_add_years(start, 1)
+    lines = Select(
+        Scan("lineitem"),
+        And(
+            InList(col("l_shipmode"), ("MAIL", "SHIP")),
+            col("l_commitdate").lt(col("l_receiptdate")),
+            col("l_shipdate").lt(col("l_commitdate")),
+            col("l_receiptdate").ge(start),
+            col("l_receiptdate").lt(end),
+        ),
+    )
+    joined = HashJoin(
+        keep(lines, ["l_orderkey", "l_shipmode"]),
+        keep(Scan("orders"), ["o_orderkey", "o_orderpriority"]),
+        ("l_orderkey",),
+        ("o_orderkey",),
+    )
+    urgent = InList(col("o_orderpriority"), ("1-URGENT", "2-HIGH"))
+    agg = Agg(
+        joined,
+        keys=[("l_shipmode", col("l_shipmode"))],
+        aggs=[
+            ("high_line_count", sum_(Case(urgent, lit(1), lit(0)))),
+            ("low_line_count", sum_(Case(Not(urgent), lit(1), lit(0)))),
+        ],
+    )
+    return Sort(agg, [("l_shipmode", True)])
+
+
+def q13(scale: float = 1.0) -> PhysicalPlan:
+    """Customer distribution (left outer join with comment filter)."""
+    orders = Select(
+        Scan("orders"), Not(Like(col("o_comment"), "%special%requests%"))
+    )
+    outer = LeftOuterJoin(
+        keep(Scan("customer"), ["c_custkey"]),
+        keep(orders, ["o_orderkey", "o_custkey"]),
+        ("c_custkey",),
+        ("o_custkey",),
+    )
+    per_customer = Agg(
+        outer,
+        keys=[("c_custkey", col("c_custkey"))],
+        aggs=[("c_count", count_col(col("o_orderkey")))],
+    )
+    distribution = Agg(
+        per_customer,
+        keys=[("c_count", col("c_count"))],
+        aggs=[("custdist", count())],
+    )
+    return Sort(distribution, [("custdist", False), ("c_count", False)])
+
+
+def q13_groupjoin(scale: float = 1.0) -> PhysicalPlan:
+    """Q13 using the GroupJoin extension operator (HyPer-style).
+
+    Replaces the LeftOuterJoin + per-customer Agg pair with one operator
+    that aggregates matching orders per customer directly -- no join
+    product is ever materialized.  Results are identical to :func:`q13`.
+    """
+    from repro.plan.physical import GroupJoin
+
+    orders = Select(
+        Scan("orders"), Not(Like(col("o_comment"), "%special%requests%"))
+    )
+    per_customer = GroupJoin(
+        keep(Scan("customer"), ["c_custkey"]),
+        keep(orders, ["o_orderkey", "o_custkey"]),
+        ("c_custkey",),
+        ("o_custkey",),
+        [("c_count", count_col(col("o_orderkey")))],
+    )
+    distribution = Agg(
+        per_customer,
+        keys=[("c_count", col("c_count"))],
+        aggs=[("custdist", count())],
+    )
+    return Sort(distribution, [("custdist", False), ("c_count", False)])
+
+
+def q14(scale: float = 1.0) -> PhysicalPlan:
+    """Promotion effect."""
+    start = _d("1995-09-01")
+    end = date_add_months(start, 1)
+    lines = Select(
+        Scan("lineitem"),
+        And(col("l_shipdate").ge(start), col("l_shipdate").lt(end)),
+    )
+    joined = HashJoin(
+        keep(lines, ["l_partkey", "l_extendedprice", "l_discount"]),
+        keep(Scan("part"), ["p_partkey", "p_type"]),
+        ("l_partkey",),
+        ("p_partkey",),
+    )
+    agg = Agg(
+        joined,
+        keys=[],
+        aggs=[
+            ("promo", sum_(Case(Like(col("p_type"), "PROMO%"), revenue(), lit(0.0)))),
+            ("total", sum_(revenue())),
+        ],
+    )
+    return Project(
+        agg, [("promo_revenue", lit(100.0) * col("promo") / col("total"))]
+    )
+
+
+def q15(scale: float = 1.0) -> PhysicalPlan:
+    """Top supplier (revenue view + max)."""
+    start = _d("1996-01-01")
+    end = date_add_months(start, 3)
+    lines = Select(
+        Scan("lineitem"),
+        And(col("l_shipdate").ge(start), col("l_shipdate").lt(end)),
+    )
+    view = Agg(
+        lines,
+        keys=[("supplier_no", col("l_suppkey"))],
+        aggs=[("total_revenue", sum_(revenue()))],
+    )
+    top = Agg(view, keys=[], aggs=[("max_revenue", max_(col("total_revenue")))])
+    joined = single_row_join(view, top, ["supplier_no", "total_revenue"], ["max_revenue"])
+    best = Select(joined, col("total_revenue").eq(col("max_revenue")))
+    with_supplier = HashJoin(
+        keep(best, ["supplier_no", "total_revenue"]),
+        keep(Scan("supplier"), ["s_suppkey", "s_name", "s_address", "s_phone"]),
+        ("supplier_no",),
+        ("s_suppkey",),
+    )
+    out = Project(
+        with_supplier,
+        [
+            ("s_suppkey", col("s_suppkey")),
+            ("s_name", col("s_name")),
+            ("s_address", col("s_address")),
+            ("s_phone", col("s_phone")),
+            ("total_revenue", col("total_revenue")),
+        ],
+    )
+    return Sort(out, [("s_suppkey", True)])
+
+
+def q16(scale: float = 1.0) -> PhysicalPlan:
+    """Parts/supplier relationship."""
+    parts = Select(
+        Scan("part"),
+        And(
+            col("p_brand").ne("Brand#45"),
+            Not(Like(col("p_type"), "MEDIUM POLISHED%")),
+            InList(col("p_size"), (49, 14, 23, 45, 19, 3, 36, 9)),
+        ),
+    )
+    joined = HashJoin(
+        keep(parts, ["p_partkey", "p_brand", "p_type", "p_size"]),
+        keep(Scan("partsupp"), ["ps_partkey", "ps_suppkey"]),
+        ("p_partkey",),
+        ("ps_partkey",),
+    )
+    complainers = keep(
+        Select(Scan("supplier"), Like(col("s_comment"), "%Customer%Complaints%")),
+        ["s_suppkey"],
+    )
+    good = AntiJoin(joined, complainers, ("ps_suppkey",), ("s_suppkey",))
+    agg = Agg(
+        good,
+        keys=[
+            ("p_brand", col("p_brand")),
+            ("p_type", col("p_type")),
+            ("p_size", col("p_size")),
+        ],
+        aggs=[("supplier_cnt", count_distinct(col("ps_suppkey")))],
+    )
+    return Sort(
+        agg,
+        [("supplier_cnt", False), ("p_brand", True), ("p_type", True), ("p_size", True)],
+    )
+
+
+def q17(scale: float = 1.0) -> PhysicalPlan:
+    """Small-quantity-order revenue."""
+    averages = Agg(
+        Scan("lineitem"),
+        keys=[("a_partkey", col("l_partkey"))],
+        aggs=[("avg_qty", avg(col("l_quantity")))],
+    )
+    parts = keep(
+        Select(
+            Scan("part"),
+            And(col("p_brand").eq("Brand#23"), col("p_container").eq("MED BOX")),
+        ),
+        ["p_partkey"],
+    )
+    part_lines = HashJoin(
+        parts,
+        keep(Scan("lineitem"), ["l_partkey", "l_quantity", "l_extendedprice"]),
+        ("p_partkey",),
+        ("l_partkey",),
+    )
+    with_avg = HashJoin(
+        keep(part_lines, ["l_partkey", "l_quantity", "l_extendedprice"]),
+        averages,
+        ("l_partkey",),
+        ("a_partkey",),
+    )
+    small = Select(with_avg, col("l_quantity").lt(lit(0.2) * col("avg_qty")))
+    total = Agg(small, keys=[], aggs=[("total_price", sum_(col("l_extendedprice")))])
+    return Project(total, [("avg_yearly", col("total_price") / lit(7.0))])
+
+
+def q18(scale: float = 1.0) -> PhysicalPlan:
+    """Large volume customer."""
+    big = Select(
+        Agg(
+            Scan("lineitem"),
+            keys=[("b_orderkey", col("l_orderkey"))],
+            aggs=[("b_qty", sum_(col("l_quantity")))],
+        ),
+        col("b_qty").gt(300.0),
+    )
+    orders = HashJoin(
+        keep(big, ["b_orderkey"]),
+        keep(Scan("orders"), ["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"]),
+        ("b_orderkey",),
+        ("o_orderkey",),
+    )
+    with_customer = HashJoin(
+        keep(orders, ["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"]),
+        keep(Scan("customer"), ["c_custkey", "c_name"]),
+        ("o_custkey",),
+        ("c_custkey",),
+    )
+    full = HashJoin(
+        keep(
+            with_customer,
+            ["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"],
+        ),
+        keep(Scan("lineitem"), ["l_orderkey", "l_quantity"]),
+        ("o_orderkey",),
+        ("l_orderkey",),
+    )
+    agg = Agg(
+        full,
+        keys=[
+            ("c_name", col("c_name")),
+            ("c_custkey", col("c_custkey")),
+            ("o_orderkey", col("o_orderkey")),
+            ("o_orderdate", col("o_orderdate")),
+            ("o_totalprice", col("o_totalprice")),
+        ],
+        aggs=[("sum_qty", sum_(col("l_quantity")))],
+    )
+    return Limit(Sort(agg, [("o_totalprice", False), ("o_orderdate", True)]), 100)
+
+
+def q19(scale: float = 1.0) -> PhysicalPlan:
+    """Discounted revenue (three OR branches)."""
+    lines = Select(
+        Scan("lineitem"),
+        And(
+            InList(col("l_shipmode"), ("AIR", "AIR REG")),
+            col("l_shipinstruct").eq("DELIVER IN PERSON"),
+        ),
+    )
+    joined = HashJoin(
+        keep(lines, ["l_partkey", "l_quantity", "l_extendedprice", "l_discount"]),
+        keep(Scan("part"), ["p_partkey", "p_brand", "p_size", "p_container"]),
+        ("l_partkey",),
+        ("p_partkey",),
+    )
+    branch1 = And(
+        col("p_brand").eq("Brand#12"),
+        InList(col("p_container"), ("SM CASE", "SM BOX", "SM PACK", "SM PKG")),
+        Between(col("l_quantity"), 1.0, 11.0),
+        Between(col("p_size"), 1, 5),
+    )
+    branch2 = And(
+        col("p_brand").eq("Brand#23"),
+        InList(col("p_container"), ("MED BAG", "MED BOX", "MED PKG", "MED PACK")),
+        Between(col("l_quantity"), 10.0, 20.0),
+        Between(col("p_size"), 1, 10),
+    )
+    branch3 = And(
+        col("p_brand").eq("Brand#34"),
+        InList(col("p_container"), ("LG CASE", "LG BOX", "LG PACK", "LG PKG")),
+        Between(col("l_quantity"), 20.0, 30.0),
+        Between(col("p_size"), 1, 15),
+    )
+    matched = Select(joined, Or(branch1, branch2, branch3))
+    return Agg(matched, keys=[], aggs=[("revenue", sum_(revenue()))])
+
+
+def q20(scale: float = 1.0) -> PhysicalPlan:
+    """Potential part promotion (CANADA, forest parts, 1994)."""
+    start = _d("1994-01-01")
+    end = date_add_years(start, 1)
+    forest_parts = keep(
+        Select(Scan("part"), Like(col("p_name"), "forest%")), ["p_partkey"]
+    )
+    shipped = Agg(
+        Select(
+            Scan("lineitem"),
+            And(col("l_shipdate").ge(start), col("l_shipdate").lt(end)),
+        ),
+        keys=[("g_partkey", col("l_partkey")), ("g_suppkey", col("l_suppkey"))],
+        aggs=[("qty_sum", sum_(col("l_quantity")))],
+    )
+    half = Project(
+        shipped,
+        [
+            ("g_partkey", col("g_partkey")),
+            ("g_suppkey", col("g_suppkey")),
+            ("half_qty", lit(0.5) * col("qty_sum")),
+        ],
+    )
+    candidate_ps = SemiJoin(
+        keep(Scan("partsupp"), ["ps_partkey", "ps_suppkey", "ps_availqty"]),
+        forest_parts,
+        ("ps_partkey",),
+        ("p_partkey",),
+    )
+    with_half = HashJoin(
+        half, candidate_ps, ("g_partkey", "g_suppkey"), ("ps_partkey", "ps_suppkey")
+    )
+    qualified = keep(
+        Select(with_half, col("ps_availqty").gt(col("half_qty"))), ["ps_suppkey"]
+    )
+    canada_suppliers = HashJoin(
+        keep(Select(Scan("nation"), col("n_name").eq("CANADA")), ["n_nationkey"]),
+        Scan("supplier"),
+        ("n_nationkey",),
+        ("s_nationkey",),
+    )
+    final = SemiJoin(canada_suppliers, qualified, ("s_suppkey",), ("ps_suppkey",))
+    out = Project(final, [("s_name", col("s_name")), ("s_address", col("s_address"))])
+    return Sort(out, [("s_name", True)])
+
+
+def q21(scale: float = 1.0) -> PhysicalPlan:
+    """Suppliers who kept orders waiting (SAUDI ARABIA)."""
+    supplier_counts = Agg(
+        Scan("lineitem"),
+        keys=[("k1_orderkey", col("l_orderkey"))],
+        aggs=[("nsupp", count_distinct(col("l_suppkey")))],
+    )
+    late_counts = Agg(
+        Select(Scan("lineitem", rename=alias("lineitem", "x")),
+               col("x_receiptdate").gt(col("x_commitdate"))),
+        keys=[("k2_orderkey", col("x_orderkey"))],
+        aggs=[("nlate", count_distinct(col("x_suppkey")))],
+    )
+    saudi_suppliers = HashJoin(
+        keep(Select(Scan("nation"), col("n_name").eq("SAUDI ARABIA")), ["n_nationkey"]),
+        keep(Scan("supplier"), ["s_suppkey", "s_name", "s_nationkey"]),
+        ("n_nationkey",),
+        ("s_nationkey",),
+    )
+    late_lines = keep(
+        Select(Scan("lineitem"), col("l_receiptdate").gt(col("l_commitdate"))),
+        ["l_orderkey", "l_suppkey"],
+    )
+    sl = HashJoin(
+        keep(saudi_suppliers, ["s_suppkey", "s_name"]),
+        late_lines,
+        ("s_suppkey",),
+        ("l_suppkey",),
+    )
+    f_orders = keep(
+        Select(Scan("orders"), col("o_orderstatus").eq("F")), ["o_orderkey"]
+    )
+    slo = HashJoin(
+        keep(sl, ["s_name", "l_orderkey"]), f_orders, ("l_orderkey",), ("o_orderkey",)
+    )
+    with_counts = HashJoin(
+        keep(slo, ["s_name", "l_orderkey"]),
+        supplier_counts,
+        ("l_orderkey",),
+        ("k1_orderkey",),
+    )
+    multi_supplier = Select(with_counts, col("nsupp").gt(1))
+    with_late = HashJoin(
+        keep(multi_supplier, ["s_name", "l_orderkey"]),
+        late_counts,
+        ("l_orderkey",),
+        ("k2_orderkey",),
+    )
+    # l1's supplier is late by construction, so "no *other* supplier was
+    # late" is exactly "the order has one late supplier".
+    lonely_late = Select(with_late, col("nlate").eq(1))
+    agg = Agg(lonely_late, keys=[("s_name", col("s_name"))], aggs=[("numwait", count())])
+    return Limit(Sort(agg, [("numwait", False), ("s_name", True)]), 100)
+
+
+def q22(scale: float = 1.0) -> PhysicalPlan:
+    """Global sales opportunity."""
+    codes = ("13", "31", "23", "29", "30", "18", "17")
+    code_expr = Substring(col("c_phone"), 1, 2)
+    candidates = Select(Scan("customer"), InList(code_expr, codes))
+    average = Agg(
+        Select(
+            Scan("customer"),
+            And(InList(code_expr, codes), col("c_acctbal").gt(0.0)),
+        ),
+        keys=[],
+        aggs=[("avg_bal", avg(col("c_acctbal")))],
+    )
+    no_orders = AntiJoin(
+        keep(candidates, ["c_custkey", "c_phone", "c_acctbal"]),
+        keep(Scan("orders"), ["o_custkey"]),
+        ("c_custkey",),
+        ("o_custkey",),
+    )
+    joined = single_row_join(
+        no_orders, average, ["c_custkey", "c_phone", "c_acctbal"], ["avg_bal"]
+    )
+    wealthy = Select(joined, col("c_acctbal").gt(col("avg_bal")))
+    agg = Agg(
+        wealthy,
+        keys=[("cntrycode", Substring(col("c_phone"), 1, 2))],
+        aggs=[("numcust", count()), ("totacctbal", sum_(col("c_acctbal")))],
+    )
+    return Sort(agg, [("cntrycode", True)])
+
+
+QUERIES: dict[int, Callable[..., PhysicalPlan]] = {
+    1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8, 9: q9, 10: q10,
+    11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16, 17: q17, 18: q18,
+    19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+
+def query_plan(number: int, scale: float = 1.0) -> PhysicalPlan:
+    """The physical plan for TPC-H query ``number`` (1-22)."""
+    try:
+        builder = QUERIES[number]
+    except KeyError:
+        raise KeyError(f"TPC-H queries are numbered 1..22, got {number}") from None
+    return builder(scale)

@@ -1,0 +1,137 @@
+"""TPC-H value domains and text generation.
+
+The word lists follow Clause 4.2.2.13 / Appendix A of the TPC-H
+specification (colors, type syllables, containers, segments, priorities,
+instructions, modes, nations and regions).  Comments are pseudo-text drawn
+from a small vocabulary; the generator injects the marker phrases the
+benchmark queries grep for (``special ... requests`` in order comments for
+Q13, ``Customer ... Complaints`` in supplier comments for Q16) with
+spec-shaped frequencies.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid",
+    "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff",
+    "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy",
+    "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel",
+    "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+# (name, region index) per the spec's Nation/Region tables.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+_NOUNS = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites",
+    "pinto beans", "instructions", "dependencies", "excuses", "platelets",
+    "asymptotes", "courts", "dolphins", "multipliers", "sauternes", "warthogs",
+    "frets", "dinos", "attainments", "somas", "braids", "hockey players",
+]
+
+_VERBS = [
+    "sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix",
+    "detect", "integrate", "maintain", "nod", "was", "lose", "sublate", "solve",
+    "thrash", "promise", "engage", "hinder", "print", "doze", "run",
+]
+
+_ADJECTIVES = [
+    "furious", "sly", "careful", "blithe", "quick", "fluffy", "slow", "quiet",
+    "ruthless", "thin", "close", "dogged", "daring", "bold", "stealthy",
+    "permanent", "enticing", "idle", "busy", "regular", "final", "ironic",
+    "even", "bold", "silent",
+]
+
+_ADVERBS = [
+    "sometimes", "always", "never", "furiously", "slyly", "carefully", "blithely",
+    "quickly", "fluffily", "slowly", "quietly", "ruthlessly", "thinly", "closely",
+    "doggedly", "daringly", "boldly", "stealthily", "permanently", "enticingly",
+    "idly", "busily", "regularly", "finally", "ironically", "evenly", "silently",
+]
+
+
+def words(rng: Random, count: int) -> str:
+    """``count`` pseudo-text words."""
+    pieces = []
+    for _ in range(count):
+        bucket = rng.randrange(4)
+        if bucket == 0:
+            pieces.append(rng.choice(_NOUNS))
+        elif bucket == 1:
+            pieces.append(rng.choice(_VERBS))
+        elif bucket == 2:
+            pieces.append(rng.choice(_ADJECTIVES))
+        else:
+            pieces.append(rng.choice(_ADVERBS))
+    return " ".join(pieces)
+
+
+def comment(rng: Random, max_words: int = 8) -> str:
+    """A plain random comment."""
+    return words(rng, rng.randint(2, max_words))
+
+
+def order_comment(rng: Random) -> str:
+    """Order comments; ~1.2% contain ``special ... requests`` (Q13)."""
+    if rng.random() < 0.012:
+        return f"{words(rng, 2)} special {words(rng, 1)} requests {words(rng, 1)}"
+    return comment(rng)
+
+
+def supplier_comment(rng: Random) -> str:
+    """Supplier comments; the spec plants ~5 per 10k suppliers with
+    ``Customer ... Complaints`` (Q16) and 5 with ``Customer ... Recommends``."""
+    roll = rng.random()
+    if roll < 0.0005:
+        return f"{words(rng, 2)} Customer {words(rng, 1)} Complaints {words(rng, 1)}"
+    if roll < 0.0010:
+        return f"{words(rng, 2)} Customer {words(rng, 1)} Recommends {words(rng, 1)}"
+    return comment(rng)
+
+
+def part_name(rng: Random) -> str:
+    """Five distinct color words (so Q9's ``%green%`` and Q20's ``forest%``
+    have spec-like selectivity)."""
+    return " ".join(rng.sample(COLORS, 5))
+
+
+def phone(rng: Random, nationkey: int) -> str:
+    """``CC-LLL-LLL-NNNN`` with country code = nation key + 10 (Q22)."""
+    return (
+        f"{nationkey + 10}-{rng.randint(100, 999)}-"
+        f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+    )

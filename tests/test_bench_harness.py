@@ -1,0 +1,124 @@
+"""Tests for the benchmark harness and report formatting."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import BenchContext, bench_scale, run_engine, time_callable
+from repro.bench.report import format_cell, format_table
+from repro.compiler.parallel import PartitionTiming
+from repro.storage.database import OptimizationLevel
+from repro.tpch.dbgen import generate_tables
+from tests.conftest import normalize
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    scale = 0.001
+    return BenchContext(scale=scale, tables=generate_tables(scale))
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SF", raising=False)
+    assert bench_scale() == 0.01
+    monkeypatch.setenv("REPRO_BENCH_SF", "0.25")
+    assert bench_scale() == 0.25
+
+
+def test_context_databases_cached(small_ctx):
+    assert small_ctx.db() is small_ctx.db()
+    assert small_ctx.db(OptimizationLevel.IDX) is small_ctx.db(OptimizationLevel.IDX)
+    assert small_ctx.db() is not small_ctx.db(OptimizationLevel.IDX)
+
+
+def test_context_compiled_cached(small_ctx):
+    a = small_ctx.compiled(6)
+    b = small_ctx.compiled(6)
+    assert a is b
+    c = small_ctx.compiled(6, level=OptimizationLevel.IDX, rewrite=True)
+    assert c is not a
+
+
+def test_all_engines_agree_via_harness(small_ctx):
+    results = {
+        engine: normalize(run_engine(engine, small_ctx, 6))
+        for engine in ("volcano", "push", "template", "lb2")
+    }
+    first = next(iter(results.values()))
+    assert all(r == first for r in results.values())
+
+
+def test_run_engine_unknown(small_ctx):
+    with pytest.raises(KeyError):
+        run_engine("duckdb", small_ctx, 1)
+
+
+def test_time_callable_median():
+    calls = []
+
+    def fn():
+        calls.append(1)
+
+    seconds = time_callable(fn, repeats=5)
+    assert len(calls) == 5
+    assert seconds >= 0.0
+
+
+# -- report -----------------------------------------------------------------------
+
+
+def test_format_cell():
+    assert format_cell(None) == "-"
+    assert format_cell(123.456) == "123"
+    assert format_cell(12.34) == "12.3"
+    assert format_cell(0.1234) == "0.123"
+    assert format_cell(7) == "7"
+    assert format_cell("x") == "x"
+
+
+def test_format_table_alignment():
+    text = format_table(
+        "Title",
+        ["c1", "longcolumn"],
+        [("row1", [1.0, 2.0]), ("longer-row", [3.5, 400.0])],
+        note="a note",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert lines[1] == "====="
+    # all data rows have identical width
+    widths = {len(line) for line in lines[2:6]}
+    assert len(widths) == 1
+    assert "a note" in text
+
+
+# -- timing model -----------------------------------------------------------------
+
+
+def test_dynamic_makespan_never_worse_than_static():
+    timing = PartitionTiming([5.0, 1.0, 1.0, 1.0, 1.0, 1.0], 0.1, 0.0)
+    for workers in (1, 2, 3, 4):
+        assert timing.makespan_dynamic(workers) <= timing.makespan(workers) + 1e-12
+
+
+def test_dynamic_makespan_lpt():
+    timing = PartitionTiming([3.0, 3.0, 2.0, 2.0, 2.0], 0.0, 0.0)
+    # LPT on 2 workers: {3,2,2}=7 vs {3,2}=5 -> 7; static: 3+2+2=7 too
+    assert timing.makespan_dynamic(2) == pytest.approx(7.0)
+    # on 3 workers LPT gives {3,2} {3,2} {2} -> 5
+    assert timing.makespan_dynamic(3) == pytest.approx(5.0)
+
+
+def test_loc_bench_importable():
+    import importlib.util
+
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "bench_table1_loc.py",
+    )
+    spec = importlib.util.spec_from_file_location("bench_table1_loc", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    sizes = module.components()
+    assert sizes["Hash map specialization (native + open addressing)"] > 100

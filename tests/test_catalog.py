@@ -1,0 +1,180 @@
+"""Tests for column types, date arithmetic, schemas, catalog, statistics."""
+
+import pytest
+
+from repro.catalog import (
+    BOOL,
+    DATE,
+    FLOAT,
+    INT,
+    STRING,
+    Catalog,
+    Column,
+    TableSchema,
+    collect_table_stats,
+    date_add_days,
+    date_add_months,
+    date_add_years,
+    date_to_int,
+    int_to_date,
+)
+from repro.catalog.schema import SchemaError, schema
+from repro.catalog.types import ColumnType, date_parts, days_in_month
+
+
+# -- types and dates -------------------------------------------------------------
+
+
+def test_date_roundtrip():
+    for text in ("1992-01-01", "1998-12-31", "1996-02-29"):
+        assert int_to_date(date_to_int(text)) == text
+
+
+def test_date_encoding_orders_like_calendar():
+    dates = ["1992-01-31", "1992-02-01", "1995-06-17", "1998-08-02"]
+    encoded = [date_to_int(d) for d in dates]
+    assert encoded == sorted(encoded)
+
+
+def test_date_parts():
+    assert date_parts(date_to_int("1994-03-15")) == (1994, 3, 15)
+
+
+def test_days_in_month_leap_years():
+    assert days_in_month(1996, 2) == 29
+    assert days_in_month(1900, 2) == 28
+    assert days_in_month(2000, 2) == 29
+    assert days_in_month(1995, 2) == 28
+
+
+def test_date_add_days_crosses_month_and_year():
+    assert int_to_date(date_add_days(date_to_int("1994-12-30"), 5)) == "1995-01-04"
+    assert int_to_date(date_add_days(date_to_int("1996-02-28"), 1)) == "1996-02-29"
+    assert int_to_date(date_add_days(date_to_int("1995-03-01"), -1)) == "1995-02-28"
+
+
+def test_date_add_months_clamps_day():
+    assert int_to_date(date_add_months(date_to_int("1994-01-31"), 1)) == "1994-02-28"
+    assert int_to_date(date_add_months(date_to_int("1994-11-15"), 3)) == "1995-02-15"
+
+
+def test_date_add_years():
+    assert int_to_date(date_add_years(date_to_int("1994-01-01"), 1)) == "1995-01-01"
+
+
+def test_ctype_mapping():
+    assert INT.ctype == "long"
+    assert FLOAT.ctype == "double"
+    assert STRING.ctype == "char*"
+    assert DATE.ctype == "long"
+    assert BOOL.ctype == "bool"
+
+
+def test_python_type_mapping():
+    assert ColumnType.DATE.python_type is int
+    assert ColumnType.STRING.python_type is str
+
+
+# -- schemas ---------------------------------------------------------------------
+
+
+def test_schema_lookup_and_projection():
+    s = schema("t", ("a", INT), ("b", STRING), pk=["a"])
+    assert s.column_names() == ["a", "b"]
+    assert s.column_index("b") == 1
+    assert s.column_type("a") is INT
+    projected = s.project(["b"])
+    assert projected.column_names() == ["b"]
+
+
+def test_schema_duplicate_column_rejected():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("a", INT), Column("a", STRING)])
+
+
+def test_schema_unknown_pk_rejected():
+    with pytest.raises(SchemaError):
+        schema("t", ("a", INT), pk=["zzz"])
+
+
+def test_schema_unknown_column_message():
+    s = schema("t", ("a", INT))
+    with pytest.raises(SchemaError, match="no column 'b'"):
+        s.require("b")
+
+
+def test_schema_foreign_keys_validated():
+    s = schema("t", ("a", INT), fks={"a": ("other", "x")})
+    assert s.foreign_keys == {"a": ("other", "x")}
+    with pytest.raises(SchemaError):
+        schema("t", ("a", INT), fks={"missing": ("other", "x")})
+
+
+# -- catalog ----------------------------------------------------------------------
+
+
+def test_catalog_register_and_lookup():
+    cat = Catalog([schema("t", ("a", INT))])
+    assert cat.has_table("t")
+    assert cat.table("t").column_names() == ["a"]
+    assert cat.table_names() == ["t"]
+
+
+def test_catalog_double_register_rejected():
+    cat = Catalog([schema("t", ("a", INT))])
+    with pytest.raises(SchemaError):
+        cat.register(schema("t", ("b", INT)))
+
+
+def test_catalog_unknown_table():
+    with pytest.raises(SchemaError, match="unknown table"):
+        Catalog().table("ghost")
+
+
+def test_catalog_resolve_column():
+    cat = Catalog([schema("t", ("a", INT)), schema("u", ("b", INT))])
+    assert cat.resolve_column("a")[0] == "t"
+    with pytest.raises(SchemaError, match="no table"):
+        cat.resolve_column("zz")
+
+
+def test_catalog_resolve_ambiguous():
+    cat = Catalog([schema("t", ("a", INT)), schema("u", ("a", INT))])
+    with pytest.raises(SchemaError, match="ambiguous"):
+        cat.resolve_column("a")
+
+
+# -- statistics -------------------------------------------------------------------
+
+
+def test_collect_table_stats():
+    stats = collect_table_stats({"a": [1, 2, 2, 5], "b": ["x", "y", "x", "z"]})
+    assert stats.row_count == 4
+    assert stats.column("a").distinct == 3
+    assert stats.column("a").min_value == 1
+    assert stats.column("a").max_value == 5
+    assert stats.column("b").distinct == 3
+
+
+def test_stats_ragged_rejected():
+    with pytest.raises(ValueError):
+        collect_table_stats({"a": [1], "b": [1, 2]})
+
+
+def test_selectivity_estimates():
+    stats = collect_table_stats({"a": list(range(100))})
+    a = stats.column("a")
+    assert a.selectivity_eq() == pytest.approx(0.01)
+    assert a.selectivity_range(lo=0, hi=49.5) == pytest.approx(0.5)
+    assert a.selectivity_range() == pytest.approx(1.0)
+
+
+def test_selectivity_nonnumeric_defaults():
+    stats = collect_table_stats({"s": ["a", "b"]})
+    assert stats.column("s").selectivity_range() == pytest.approx(1 / 3)
+
+
+def test_stats_empty_column():
+    stats = collect_table_stats({"a": []})
+    assert stats.row_count == 0
+    assert stats.column("a").distinct == 0

@@ -1,0 +1,82 @@
+"""Additional C-emitter coverage: control flow, closures, intrinsics."""
+
+from repro.staging import StagingContext, generate_c
+from repro.staging import ir
+from repro.staging.cgen import render_expr_c
+from repro.staging.rep import RepInt
+
+
+def test_foreach_renders_as_macro():
+    fn = ir.Function(
+        "f", ("xs",),
+        [ir.ForEach("e", ir.Sym("xs"), [ir.Continue()])],
+    )
+    source = generate_c([fn])
+    assert "FOREACH(e, xs) {" in source
+    assert "continue;" in source
+
+
+def test_while_break_renders():
+    fn = ir.Function("f", (), [ir.While([ir.Break()])])
+    source = generate_c([fn])
+    assert "for (;;) {" in source and "break;" in source
+
+
+def test_nested_func_rendered_as_comment_block():
+    fn = ir.Function(
+        "prepare", ("db",),
+        [ir.NestedFunc("run", ("out",), [ir.Return(None)])],
+    )
+    source = generate_c([fn])
+    assert "// closure run(out)" in source
+
+
+def test_setindex_and_reassign():
+    fn = ir.Function(
+        "f", ("a",),
+        [
+            ir.Assign("x", ir.Const(0), ctype="long", mutable=True),
+            ir.Reassign("x", ir.Bin("+", ir.Sym("x"), ir.Const(1))),
+            ir.SetIndex(ir.Sym("a"), ir.Sym("x"), ir.Const(7)),
+        ],
+    )
+    source = generate_c([fn])
+    assert "long x = 0;" in source
+    assert "x = x + 1;" in source
+    assert "a[x] = 7;" in source
+
+
+def test_set_and_dict_intrinsics_map_to_helpers():
+    assert render_expr_c(ir.Call("set_new", ())) == "hashset_new()"
+    assert render_expr_c(ir.Call("set_add", (ir.Sym("s"), ir.Sym("v")))) == (
+        "hashset_add(s, v)"
+    )
+    assert render_expr_c(ir.Call("dict_new", ())) == "hashmap_new()"
+    assert render_expr_c(
+        ir.Call("db_date_runs", (ir.Const("t"), ir.Const("c"), ir.Const(1), ir.Const(2)))
+    ) == 'date_index_runs("t", "c", 1, 2)'
+    assert render_expr_c(ir.Call("list_head", (ir.Sym("l"), ir.Const(5)))) == (
+        "buffer_head(l, 5)"
+    )
+
+
+def test_unknown_call_passes_through():
+    assert render_expr_c(ir.Call("custom_helper", (ir.Sym("x"),))) == "custom_helper(x)"
+
+
+def test_full_staged_program_renders_in_both_targets():
+    """One staged program, two renderings -- the retargeting claim."""
+    ctx = StagingContext()
+    with ctx.function("f", ["n"]):
+        n = ctx.sym("n", "long")
+        total = ctx.var(ctx.int_(0))
+        with ctx.for_range(0, n) as i:
+            with ctx.if_(i % 2 == 0):
+                total.set(total.get() + i)
+        ctx.return_(total.get())
+    from repro.staging import PyProgram, generate_python
+
+    py = generate_python(ctx.program())
+    c = generate_c(ctx.program())
+    assert PyProgram(py).fn("f")(10) == 0 + 2 + 4 + 6 + 8
+    assert "for (long" in c and "if (" in c and "return" in c

@@ -1,0 +1,349 @@
+"""Micro-query tests run against ALL FOUR engines on the tiny database.
+
+Each case states the expected rows explicitly (hand-computed), so these
+tests anchor absolute correctness; the TPC-H differential tests then anchor
+cross-engine agreement at scale.
+"""
+
+import pytest
+
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.template import execute_template
+from repro.engine import execute_push, execute_volcano
+from repro.plan import (
+    Agg,
+    AntiJoin,
+    Between,
+    Case,
+    Distinct,
+    HashJoin,
+    IndexJoin,
+    LeftOuterJoin,
+    Like,
+    Limit,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Sort,
+    avg,
+    col,
+    count,
+    count_col,
+    count_distinct,
+    lit,
+    max_,
+    min_,
+    sum_,
+)
+from tests.conftest import normalize
+
+
+def run_all(plan, db):
+    """Execute on all four engines; assert agreement; return one result."""
+    cat = db.catalog
+    volcano = execute_volcano(plan, db, cat)
+    push = execute_push(plan, db, cat)
+    template = execute_template(plan, db, cat)
+    compiled = LB2Compiler(cat, db).compile(plan).run(db)
+    assert normalize(volcano) == normalize(push) == normalize(template) == normalize(compiled)
+    return volcano
+
+
+def test_scan(tiny_db):
+    rows = run_all(Scan("Dep"), tiny_db)
+    assert normalize(rows) == normalize(
+        [("CS", 1), ("EE", 5), ("ME", 20), ("BIO", 7)]
+    )
+
+
+def test_scan_rename(tiny_db):
+    plan = Scan("Dep", rename={"dname": "d", "rank": "r"})
+    assert plan.field_names(tiny_db.catalog) == ["d", "r"]
+    assert len(run_all(plan, tiny_db)) == 4
+
+
+def test_select(tiny_db):
+    rows = run_all(Select(Scan("Dep"), col("rank").lt(10)), tiny_db)
+    assert normalize(rows) == normalize([("CS", 1), ("EE", 5), ("BIO", 7)])
+
+
+def test_select_conjunction(tiny_db):
+    plan = Select(Scan("Sales"), Between(col("amount"), 30.0, 200.0))
+    rows = run_all(plan, tiny_db)
+    assert {r[0] for r in rows} == {1, 3, 5, 6}
+
+
+def test_project_computation(tiny_db):
+    plan = Project(
+        Select(Scan("Sales"), col("sid").eq(1)),
+        [("doubled", col("amount") * lit(2.0)), ("dep", col("sdep"))],
+    )
+    assert run_all(plan, tiny_db) == [(200.0, "CS")]
+
+
+def test_hash_join(tiny_db):
+    plan = HashJoin(
+        Select(Scan("Dep"), col("rank").lt(10)),
+        Scan("Emp"),
+        ("dname",),
+        ("edname",),
+    )
+    rows = run_all(plan, tiny_db)
+    assert len(rows) == 5  # CS x3, EE x1, BIO x1
+    assert all(r[0] == r[3] for r in rows)
+
+
+def test_hash_join_composite_key(tiny_db):
+    left = Project(Scan("Sales"), [("k1", col("sdep")), ("k2", col("sid")), ("amt", col("amount"))])
+    right = Project(Scan("Sales"), [("r1", col("sdep")), ("r2", col("sid"))])
+    plan = HashJoin(left, right, ("k1", "k2"), ("r1", "r2"))
+    rows = run_all(plan, tiny_db)
+    assert len(rows) == 6  # exactly the diagonal
+
+
+def test_left_outer_join_fills_none(tiny_db):
+    plan = LeftOuterJoin(
+        Scan("Dep"),
+        Project(Select(Scan("Emp"), col("eid").lt(4)), [("edname", col("edname")), ("eid", col("eid"))]),
+        ("dname",),
+        ("edname",),
+    )
+    rows = run_all(plan, tiny_db)
+    unmatched = [r for r in rows if r[2] is None]
+    assert {r[0] for r in unmatched} == {"ME", "BIO"}
+    assert len(rows) == 5  # CS x2 (eids 1,2), EE x1 (eid 3), ME null, BIO null
+
+
+def test_semi_join(tiny_db):
+    plan = SemiJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",))
+    rows = run_all(plan, tiny_db)
+    assert {r[0] for r in rows} == {"CS", "EE", "ME", "BIO"}
+
+
+def test_anti_join(tiny_db):
+    emp = Select(Scan("Emp"), col("eid").lt(4))
+    plan = AntiJoin(Scan("Dep"), emp, ("dname",), ("edname",))
+    rows = run_all(plan, tiny_db)
+    assert {r[0] for r in rows} == {"ME", "BIO"}
+
+
+def test_index_join_unique(tiny_db_full):
+    plan = Project(
+        IndexJoin(Scan("Emp"), table="Dep", table_key="dname", child_key="edname"),
+        [("eid", col("eid")), ("rank", col("rank"))],
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert len(rows) == 6
+
+
+def test_index_join_non_unique(tiny_db_full):
+    plan = IndexJoin(
+        Scan("Dep"), table="Emp", table_key="edname", child_key="dname", unique=False
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert len(rows) == 6
+
+
+def test_index_join_residual(tiny_db_full):
+    plan = IndexJoin(
+        Scan("Emp"),
+        table="Dep",
+        table_key="dname",
+        child_key="edname",
+        residual=col("rank").lt(6),
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert len(rows) == 4  # CS x3 + EE x1
+
+
+def test_group_by_count(tiny_db):
+    plan = Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())])
+    rows = run_all(plan, tiny_db)
+    assert normalize(rows) == normalize(
+        [("CS", 3), ("EE", 1), ("ME", 1), ("BIO", 1)]
+    )
+
+
+def test_group_by_many_aggs(tiny_db):
+    plan = Agg(
+        Scan("Sales"),
+        [("sdep", col("sdep"))],
+        [
+            ("total", sum_(col("amount"))),
+            ("n", count()),
+            ("lo", min_(col("amount"))),
+            ("hi", max_(col("amount"))),
+            ("mean", avg(col("amount"))),
+        ],
+    )
+    rows = run_all(plan, tiny_db)
+    by_dep = {r[0]: r[1:] for r in rows}
+    assert by_dep["CS"] == pytest.approx((392.0, 3, 42.0, 250.0, 392.0 / 3))
+    assert by_dep["EE"] == pytest.approx((75.5, 1, 75.5, 75.5, 75.5))
+
+
+def test_global_agg(tiny_db):
+    plan = Agg(Scan("Sales"), [], [("total", sum_(col("amount"))), ("n", count())])
+    rows = run_all(plan, tiny_db)
+    assert rows[0] == pytest.approx((510.75, 6))
+
+
+def test_global_agg_empty_input(tiny_db):
+    plan = Agg(
+        Select(Scan("Sales"), col("amount").gt(1e9)),
+        [],
+        [("total", sum_(col("amount"))), ("n", count()), ("m", min_(col("amount")))],
+    )
+    rows = run_all(plan, tiny_db)
+    assert rows == [(None, 0, None)]
+
+
+def test_null_guarded_projection_over_empty_agg(tiny_db):
+    inner = Agg(
+        Select(Scan("Sales"), col("amount").gt(1e9)),
+        [],
+        [("total", sum_(col("amount")))],
+    )
+    plan = Project(inner, [("ratio", col("total") / lit(7.0))])
+    rows = run_all(plan, tiny_db)
+    assert rows == [(None,)]
+
+
+def test_count_distinct(tiny_db):
+    plan = Agg(Scan("Emp"), [], [("deps", count_distinct(col("edname")))])
+    assert run_all(plan, tiny_db) == [(4,)]
+
+
+def test_count_col_skips_none(tiny_db):
+    outer = LeftOuterJoin(
+        Scan("Dep"),
+        Project(Select(Scan("Emp"), col("eid").lt(4)), [("edname", col("edname")), ("eid", col("eid"))]),
+        ("dname",),
+        ("edname",),
+    )
+    plan = Agg(outer, [("dname", col("dname"))], [("n", count_col(col("eid")))])
+    rows = dict(run_all(plan, tiny_db))
+    assert rows == {"CS": 2, "EE": 1, "ME": 0, "BIO": 0}
+
+
+def test_case_in_aggregate(tiny_db):
+    plan = Agg(
+        Scan("Sales"),
+        [],
+        [
+            ("big", sum_(Case(col("amount").gt(50.0), lit(1), lit(0)))),
+            ("small", sum_(Case(col("amount").le(50.0), lit(1), lit(0)))),
+        ],
+    )
+    assert run_all(plan, tiny_db) == [(3, 3)]
+
+
+def test_sort_asc_desc(tiny_db):
+    plan = Sort(Scan("Dep"), [("rank", False)])
+    rows = run_all(plan, tiny_db)
+    assert [r[1] for r in rows] == [20, 7, 5, 1]
+    plan = Sort(Scan("Dep"), [("dname", True)])
+    rows = run_all(plan, tiny_db)
+    assert [r[0] for r in rows] == ["BIO", "CS", "EE", "ME"]
+
+
+def test_sort_multi_key_mixed_direction(tiny_db):
+    plan = Sort(
+        Project(Scan("Emp"), [("edname", col("edname")), ("eid", col("eid"))]),
+        [("edname", True), ("eid", False)],
+    )
+    rows = run_all(plan, tiny_db)
+    assert rows[0] == ("BIO", 5)
+    cs_rows = [r for r in rows if r[0] == "CS"]
+    assert [r[1] for r in cs_rows] == [6, 2, 1]
+
+
+def test_limit(tiny_db):
+    plan = Limit(Sort(Scan("Dep"), [("rank", True)]), 2)
+    rows = run_all(plan, tiny_db)
+    assert [r[0] for r in rows] == ["CS", "EE"]
+
+
+def test_limit_zero(tiny_db):
+    assert run_all(Limit(Scan("Dep"), 0), tiny_db) == []
+
+
+def test_limit_beyond_input(tiny_db):
+    assert len(run_all(Limit(Scan("Dep"), 100), tiny_db)) == 4
+
+
+def test_distinct(tiny_db):
+    plan = Distinct(Project(Scan("Emp"), [("edname", col("edname"))]))
+    rows = run_all(plan, tiny_db)
+    assert sorted(rows) == [("BIO",), ("CS",), ("EE",), ("ME",)]
+
+
+def test_like_on_select(tiny_db):
+    plan = Select(Scan("Dep"), Like(col("dname"), "B%"))
+    assert run_all(plan, tiny_db) == [("BIO", 7)]
+
+
+def test_deep_pipeline(tiny_db):
+    plan = Limit(
+        Sort(
+            Agg(
+                HashJoin(
+                    Select(Scan("Dep"), col("rank").lt(25)),
+                    Project(
+                        Scan("Sales"),
+                        [("sdep2", col("sdep")), ("amount", col("amount"))],
+                    ),
+                    ("dname",),
+                    ("sdep2",),
+                ),
+                [("dname", col("dname"))],
+                [("total", sum_(col("amount")))],
+            ),
+            [("total", False)],
+        ),
+        2,
+    )
+    rows = run_all(plan, tiny_db)
+    assert rows[0][0] == "CS"
+    assert rows[0][1] == pytest.approx(392.0)
+
+
+def test_compiled_hoisted_mode_matches(tiny_db):
+    plan = Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())])
+    compiler = LB2Compiler(tiny_db.catalog, tiny_db)
+    hoisted = compiler.compile(plan, split_prepare=True)
+    assert hoisted.hoisted
+    assert "def prepare(db):" in hoisted.source
+    assert "def run(out):" in hoisted.source
+    assert normalize(hoisted.run(tiny_db)) == normalize(
+        execute_push(plan, tiny_db, tiny_db.catalog)
+    )
+
+
+def test_compiled_no_hoist_config(tiny_db):
+    plan = Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())])
+    compiler = LB2Compiler(tiny_db.catalog, tiny_db, Config(hoist=False))
+    assert normalize(compiler.compile(plan).run(tiny_db)) == normalize(
+        execute_push(plan, tiny_db, tiny_db.catalog)
+    )
+
+
+def test_compiled_open_hashmap(tiny_db):
+    plan = Agg(
+        Scan("Sales"),
+        [("sdep", col("sdep"))],
+        [("total", sum_(col("amount"))), ("n", count())],
+    )
+    compiler = LB2Compiler(tiny_db.catalog, tiny_db, Config(hashmap="open", open_map_size=16))
+    got = compiler.compile(plan).run(tiny_db)
+    assert normalize(got) == normalize(execute_push(plan, tiny_db, tiny_db.catalog))
+
+
+def test_compiled_source_has_no_operator_dispatch(tiny_db):
+    """The residual program must not contain engine abstractions."""
+    plan = Select(Scan("Dep"), col("rank").lt(10))
+    source = LB2Compiler(tiny_db.catalog, tiny_db).compile(plan).source
+    for forbidden in ("exec(", "Record", "HashJoin", "eval(", "Op("):
+        assert forbidden not in source

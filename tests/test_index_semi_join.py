@@ -1,0 +1,167 @@
+"""Tests for IndexSemiJoin / IndexAntiJoin (Section 4.3's ``exists``)."""
+
+import pytest
+
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.template import execute_template
+from repro.engine import execute_push, execute_volcano
+from repro.plan import (
+    AntiJoin,
+    IndexSemiJoin,
+    Scan,
+    Select,
+    SemiJoin,
+    col,
+)
+from repro.plan import physical as phys
+from repro.plan.rewrite import rewrite_index_joins
+from tests.conftest import normalize
+
+
+def run_all(plan, db):
+    cat = db.catalog
+    results = [
+        execute_volcano(plan, db, cat),
+        execute_push(plan, db, cat),
+        execute_template(plan, db, cat),
+        LB2Compiler(cat, db).compile(plan).run(db),
+    ]
+    for other in results[1:]:
+        assert normalize(other) == normalize(results[0])
+    return results[0]
+
+
+def test_index_semi_join_fk(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Dep"), table="Emp", table_key="edname", child_key="dname"
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert {r[0] for r in rows} == {"CS", "EE", "ME", "BIO"}
+
+
+def test_index_anti_join_fk(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Sales"), table="Emp", table_key="eid", child_key="sid",
+        anti=True, unique=True,
+    )
+    # Emp has eids 1..6; Sales sids 1..6 -> nothing survives the anti probe
+    assert run_all(plan, tiny_db_full) == []
+
+
+def test_index_semi_join_unique(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Emp"), table="Dep", table_key="dname", child_key="edname", unique=True
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert len(rows) == 6
+
+
+def test_index_semi_join_with_residual(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Emp"),
+        table="Dep",
+        table_key="dname",
+        child_key="edname",
+        unique=True,
+        residual=col("rank").lt(6),
+    )
+    rows = run_all(plan, tiny_db_full)
+    # only employees of departments with rank < 6 (CS, EE)
+    assert {r[1] for r in rows} == {"CS", "EE"}
+
+
+def test_index_anti_join_with_residual(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Emp"),
+        table="Dep",
+        table_key="dname",
+        child_key="edname",
+        unique=True,
+        anti=True,
+        residual=col("rank").lt(6),
+    )
+    rows = run_all(plan, tiny_db_full)
+    assert {r[1] for r in rows} == {"ME", "BIO"}
+
+
+def test_index_semi_join_output_is_child_fields(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Emp"), table="Dep", table_key="dname", child_key="edname", unique=True
+    )
+    assert plan.field_names(tiny_db_full.catalog) == ["eid", "edname"]
+
+
+def test_index_semi_join_residual_unknown_column(tiny_db_full):
+    plan = IndexSemiJoin(
+        Scan("Emp"),
+        table="Dep",
+        table_key="dname",
+        child_key="edname",
+        residual=col("ghost").lt(1),
+    )
+    with pytest.raises(phys.PlanError):
+        plan.fields(tiny_db_full.catalog)
+
+
+def test_rewrite_semi_join_to_index_probe(tiny_db_full):
+    plan = SemiJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert isinstance(rewritten, IndexSemiJoin)
+    assert not rewritten.anti
+    assert normalize(run_all(rewritten, tiny_db_full)) == normalize(
+        run_all(plan, tiny_db_full)
+    )
+
+
+def test_rewrite_anti_join_with_filter_becomes_residual(tiny_db_full):
+    plan = AntiJoin(
+        Scan("Dep"),
+        Select(Scan("Emp"), col("eid").lt(4)),
+        ("dname",),
+        ("edname",),
+    )
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert isinstance(rewritten, IndexSemiJoin)
+    assert rewritten.anti and rewritten.residual is not None
+    assert normalize(run_all(rewritten, tiny_db_full)) == normalize(
+        run_all(plan, tiny_db_full)
+    )
+
+
+def test_rewrite_skipped_without_index(tiny_db):
+    plan = SemiJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",))
+    rewritten = rewrite_index_joins(plan, tiny_db, tiny_db.catalog)
+    assert isinstance(rewritten, SemiJoin)
+
+
+def test_compiled_semi_probe_short_circuits(tiny_db_full):
+    """With a residual, the generated loop breaks on the first witness."""
+    plan = IndexSemiJoin(
+        Scan("Dep"),
+        table="Emp",
+        table_key="edname",
+        child_key="dname",
+        residual=col("eid").gt(0),
+    )
+    compiled = LB2Compiler(tiny_db_full.catalog, tiny_db_full).compile(plan)
+    assert "break" in compiled.source
+    rows = compiled.run(tiny_db_full)
+    assert {r[0] for r in rows} == {"CS", "EE", "ME", "BIO"}
+
+
+@pytest.mark.parametrize("q", (4, 16, 20, 22))
+def test_tpch_semi_anti_rewrites_agree(q, tpch_db, tpch_db_full):
+    from repro.plan.rewrite import optimize_for_level
+    from repro.tpch import query_plan
+    from tests.conftest import TINY_SCALE
+
+    plan = query_plan(q, scale=TINY_SCALE)
+    ref = normalize(execute_push(plan, tpch_db, tpch_db.catalog))
+    opt = optimize_for_level(plan, tpch_db_full, tpch_db_full.catalog)
+
+    def count(p):
+        return isinstance(p, IndexSemiJoin) + sum(count(c) for c in p.children())
+
+    assert count(opt) >= 1
+    got = LB2Compiler(tpch_db_full.catalog, tpch_db_full).compile(opt).run(tpch_db_full)
+    assert normalize(got) == ref

@@ -1,0 +1,166 @@
+"""Unit tests for the cost-based optimizer internals."""
+
+import pytest
+
+from repro.catalog import Catalog, FLOAT, INT, STRING
+from repro.catalog.schema import schema
+from repro.engine import execute_push
+from repro.plan import physical as phys
+from repro.plan.expressions import And, InList, Like, col, count, lit, sum_
+from repro.plan.optimizer import (
+    OptimizeError,
+    QueryBlock,
+    Relation,
+    estimated_rows,
+    order_joins,
+    plan_block,
+)
+from repro.storage import Database
+
+
+@pytest.fixture
+def star_db():
+    """A small star schema: facts referencing two dimensions."""
+    dims = schema("dim_a", ("a_id", INT), ("a_name", STRING))
+    dimb = schema("dim_b", ("b_id", INT), ("b_name", STRING))
+    facts = schema("facts", ("f_id", INT), ("f_a", INT), ("f_b", INT), ("f_v", FLOAT))
+    db = Database(Catalog())
+    db.add_rows(dims, [(i, f"a{i}") for i in range(10)])
+    db.add_rows(dimb, [(i, f"b{i}") for i in range(4)])
+    db.add_rows(
+        facts,
+        [(i, i % 10, i % 4, float(i)) for i in range(200)],
+    )
+    return db
+
+
+def _rel(alias, table, filters=()):
+    return Relation(alias, table, list(filters))
+
+
+def test_estimated_rows_no_filters(star_db):
+    assert estimated_rows(_rel("f", "facts"), star_db) == 200.0
+
+
+def test_estimated_rows_equality_filter(star_db):
+    rel = _rel("f", "facts", [col("f.f_a").eq(3)])
+    est = estimated_rows(rel, star_db)
+    assert est == pytest.approx(200 / 10)
+
+
+def test_estimated_rows_range_filter(star_db):
+    rel = _rel("f", "facts", [col("f.f_v").lt(99.5)])
+    est = estimated_rows(rel, star_db)
+    assert 80 <= est <= 120  # ~half of the 0..199 span
+
+
+def test_estimated_rows_in_list(star_db):
+    rel = _rel("f", "facts", [InList(col("f.f_a"), (1, 2))])
+    assert estimated_rows(rel, star_db) == pytest.approx(200 * 2 / 10)
+
+
+def test_estimated_rows_like_default(star_db):
+    rel = _rel("a", "dim_a", [Like(col("a.a_name"), "a%")])
+    assert estimated_rows(rel, star_db) == pytest.approx(1.0)
+
+
+def test_estimated_rows_floor_at_one(star_db):
+    rel = _rel(
+        "a", "dim_a", [col("a.a_id").eq(1), col("a.a_id").eq(2), col("a.a_id").eq(3)]
+    )
+    assert estimated_rows(rel, star_db) >= 1.0
+
+
+def test_order_joins_builds_on_small_side(star_db):
+    block = QueryBlock(
+        relations=[_rel("f", "facts"), _rel("b", "dim_b")],
+        join_edges=[("f.f_b", "b.b_id")],
+        extra_columns=["f.f_v", "b.b_name"],
+    )
+    plan = order_joins(block, star_db, star_db.catalog)
+
+    def find_join(node):
+        if isinstance(node, phys.HashJoin):
+            return node
+        for child in node.children():
+            found = find_join(child)
+            if found:
+                return found
+        return None
+
+    join = find_join(plan)
+    assert join is not None
+    # the 4-row dimension is the build (left) side
+    left_tables = set()
+
+    def collect_tables(node, acc):
+        if isinstance(node, phys.Scan):
+            acc.add(node.table)
+        for child in node.children():
+            collect_tables(child, acc)
+
+    collect_tables(join.left, left_tables)
+    assert left_tables == {"dim_b"}
+
+
+def test_order_joins_three_relations(star_db):
+    block = QueryBlock(
+        relations=[_rel("f", "facts"), _rel("a", "dim_a"), _rel("b", "dim_b")],
+        join_edges=[("f.f_a", "a.a_id"), ("f.f_b", "b.b_id")],
+        extra_columns=["f.f_v"],
+    )
+    plan = order_joins(block, star_db, star_db.catalog)
+    rows = execute_push(plan, star_db, star_db.catalog)
+    assert len(rows) == 200  # FK joins preserve fact cardinality
+
+
+def test_order_joins_rejects_cross_product(star_db):
+    block = QueryBlock(
+        relations=[_rel("a", "dim_a"), _rel("b", "dim_b")],
+        join_edges=[],
+    )
+    with pytest.raises(OptimizeError, match="cross product"):
+        order_joins(block, star_db, star_db.catalog)
+
+
+def test_plan_block_full_pipeline(star_db):
+    block = QueryBlock(
+        relations=[_rel("f", "facts", [col("f.f_v").ge(100.0)]), _rel("b", "dim_b")],
+        join_edges=[("f.f_b", "b.b_id")],
+        keys=[("name", col("b.b_name"))],
+        aggs=[("n", count()), ("total", sum_(col("f.f_v")))],
+        outputs=[("name", col("name")), ("n", col("n")), ("total", col("total"))],
+        order_by=[("n", False)],
+        limit=2,
+    )
+    plan = plan_block(block, star_db, star_db.catalog)
+    rows = execute_push(plan, star_db, star_db.catalog)
+    assert len(rows) == 2
+    assert rows[0][1] >= rows[1][1]
+
+
+def test_plan_block_base_override(star_db):
+    """The base hook substitutes a prebuilt join tree (subquery grafting)."""
+    block = QueryBlock(
+        relations=[_rel("f", "facts")],
+        join_edges=[],
+        keys=[],
+        aggs=[("n", count())],
+        outputs=[("n", col("n"))],
+    )
+    base = phys.Select(
+        phys.Scan("facts", rename={c.name: f"f.{c.name}" for c in star_db.catalog.table("facts").columns}),
+        col("f.f_id").lt(10),
+    )
+    plan = plan_block(block, star_db, star_db.catalog, base=base)
+    assert execute_push(plan, star_db, star_db.catalog) == [(10,)]
+
+
+def test_projection_pruning_keeps_extra_columns(star_db):
+    block = QueryBlock(
+        relations=[_rel("f", "facts"), _rel("b", "dim_b")],
+        join_edges=[("f.f_b", "b.b_id")],
+        extra_columns=["f.f_v"],
+    )
+    plan = order_joins(block, star_db, star_db.catalog)
+    assert "f.f_v" in plan.field_names(star_db.catalog)

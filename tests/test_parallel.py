@@ -1,0 +1,179 @@
+"""Tests for partition-parallel execution (Section 4.5 / Figure 11)."""
+
+import pytest
+
+from repro.compiler.parallel import (
+    ParallelError,
+    ParallelQuery,
+    PartitionTiming,
+    split_plan,
+)
+from repro.engine import execute_push
+from repro.plan import (
+    Agg,
+    HashJoin,
+    Limit,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    col,
+    count,
+    sum_,
+)
+from repro.tpch import query_plan
+from tests.conftest import TINY_SCALE, normalize
+
+FIGURE_11_QUERIES = (4, 6, 13, 14, 22)
+
+
+def test_split_plan_simple(tiny_db):
+    plan = Sort(
+        Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())]),
+        [("n", False)],
+    )
+    split = split_plan(plan)
+    assert split.driving_scan.table == "Emp"
+    assert isinstance(split.agg, Agg)
+    assert [type(t).__name__ for t in split.tail] == ["Sort"]
+
+
+def test_split_plan_follows_probe_side(tiny_db):
+    plan = Agg(
+        HashJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",)),
+        [("dname", col("dname"))],
+        [("n", count())],
+    )
+    split = split_plan(plan)
+    assert split.driving_scan.table == "Emp"  # probe side drives
+
+
+def test_split_plan_stacked_aggs_picks_lowest(tiny_db):
+    inner = Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())])
+    outer = Agg(inner, [("n", col("n"))], [("dist", count())])
+    split = split_plan(Sort(outer, [("dist", False)]))
+    assert split.agg is inner
+    assert [type(t).__name__ for t in split.tail] == ["Sort", "Agg"]
+
+
+def test_split_plan_without_agg_raises(tiny_db):
+    with pytest.raises(ParallelError, match="no aggregation"):
+        split_plan(Select(Scan("Emp"), col("eid").gt(0)))
+
+
+def test_parallel_matches_sequential_micro(tiny_db):
+    plan = Sort(
+        Agg(
+            Select(Scan("Sales"), col("amount").gt(20.0)),
+            [("sdep", col("sdep"))],
+            [("total", sum_(col("amount"))), ("n", count())],
+        ),
+        [("total", False)],
+    )
+    pq = ParallelQuery(plan, tiny_db, tiny_db.catalog)
+    ref = normalize(execute_push(plan, tiny_db, tiny_db.catalog))
+    for partitions in (1, 2, 3, 4, 7):
+        rows, timing = pq.run_simulated(partitions)
+        assert normalize(rows) == ref, f"partitions={partitions}"
+        assert len(timing.partition_seconds) >= 1
+
+
+def test_parallel_global_agg(tiny_db):
+    plan = Agg(Scan("Sales"), [], [("total", sum_(col("amount"))), ("n", count())])
+    pq = ParallelQuery(plan, tiny_db, tiny_db.catalog)
+    rows, _ = pq.run_simulated(3)
+    assert normalize(rows) == normalize(execute_push(plan, tiny_db, tiny_db.catalog))
+
+
+def test_parallel_global_agg_empty_partition(tiny_db):
+    plan = Agg(
+        Select(Scan("Sales"), col("amount").gt(1e9)),
+        [],
+        [("total", sum_(col("amount"))), ("n", count())],
+    )
+    pq = ParallelQuery(plan, tiny_db, tiny_db.catalog)
+    rows, _ = pq.run_simulated(2)
+    assert rows == [(None, 0)]
+
+
+PARALLELIZABLE = (1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 16, 18, 19, 22)
+
+
+def test_parallel_coverage_is_16_of_22(tpch_db):
+    """The driver handles every plan whose probe path ends in a plain scan
+    under an aggregation -- 16 of the 22 TPC-H queries."""
+    from repro.compiler.parallel import ParallelError
+
+    supported = []
+    for q in range(1, 23):
+        try:
+            split_plan(query_plan(q, scale=TINY_SCALE))
+            supported.append(q)
+        except ParallelError:
+            pass
+    assert tuple(supported) == PARALLELIZABLE
+
+
+@pytest.mark.parametrize("q", PARALLELIZABLE)
+def test_parallel_all_supported_queries_match(q, tpch_db):
+    plan = query_plan(q, scale=TINY_SCALE)
+    pq = ParallelQuery(plan, tpch_db, tpch_db.catalog)
+    rows, _ = pq.run_simulated(3)
+    ref = normalize(execute_push(plan, tpch_db, tpch_db.catalog))
+    assert normalize(rows) == ref
+
+
+@pytest.mark.parametrize("q", FIGURE_11_QUERIES)
+def test_parallel_tpch_matches(q, tpch_db):
+    plan = query_plan(q, scale=TINY_SCALE)
+    pq = ParallelQuery(plan, tpch_db, tpch_db.catalog)
+    ref = normalize(execute_push(plan, tpch_db, tpch_db.catalog))
+    rows, timing = pq.run_simulated(4)
+    assert normalize(rows) == ref
+    assert timing.makespan(1) >= timing.makespan(4) > 0
+
+
+@pytest.mark.parametrize("q", (6, 13))
+def test_parallel_multiprocess_matches(q, tpch_db):
+    plan = query_plan(q, scale=TINY_SCALE)
+    pq = ParallelQuery(plan, tpch_db, tpch_db.catalog)
+    ref = normalize(execute_push(plan, tpch_db, tpch_db.catalog))
+    assert normalize(pq.run_multiprocess(2)) == ref
+
+
+def test_partition_ranges_cover_table(tpch_db):
+    plan = query_plan(6, scale=TINY_SCALE)
+    pq = ParallelQuery(plan, tpch_db, tpch_db.catalog)
+    size = tpch_db.size("lineitem")
+    for k in (1, 2, 5, 16):
+        ranges = pq.partition_ranges(k)
+        assert ranges[0][0] == 0 and ranges[-1][1] == size
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c  # contiguous, non-overlapping
+
+
+def test_partition_ranges_invalid():
+    timing = PartitionTiming([1.0], 0.0, 0.0)
+    with pytest.raises(ValueError):
+        timing.makespan(0)
+
+
+def test_makespan_model():
+    timing = PartitionTiming([1.0, 1.0, 1.0, 1.0], merge_seconds=0.5, tail_seconds=0.25)
+    assert timing.makespan(1) == pytest.approx(4.75)
+    assert timing.makespan(2) == pytest.approx(2.75)
+    assert timing.makespan(4) == pytest.approx(1.75)
+    # more workers than partitions: bounded by the largest single partition
+    assert timing.makespan(8) == pytest.approx(1.75)
+
+
+def test_makespan_skewed_partitions():
+    timing = PartitionTiming([3.0, 1.0, 1.0, 1.0], 0.0, 0.0)
+    assert timing.makespan(2) == pytest.approx(4.0)  # 3+1 vs 1+1
+
+
+def test_parallel_source_is_partition_parameterized(tpch_db):
+    plan = query_plan(6, scale=TINY_SCALE)
+    pq = ParallelQuery(plan, tpch_db, tpch_db.catalog)
+    assert "def partial(db, lo, hi):" in pq.source
+    assert "range(lo, hi)" in pq.source

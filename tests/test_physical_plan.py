@@ -1,0 +1,208 @@
+"""Tests for physical plan construction, field propagation and validation."""
+
+import pytest
+
+from repro.catalog import Catalog, INT, STRING, FLOAT
+from repro.catalog.types import ColumnType
+from repro.catalog.schema import schema
+from repro.plan import (
+    Agg,
+    AntiJoin,
+    DateIndexScan,
+    Distinct,
+    HashJoin,
+    IndexJoin,
+    LeftOuterJoin,
+    Limit,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Sort,
+    avg,
+    col,
+    count,
+    lit,
+    sum_,
+)
+from repro.plan.physical import PlanError, needs_null_guard
+
+
+@pytest.fixture
+def cat():
+    return Catalog(
+        [
+            schema("t", ("a", INT), ("b", STRING), ("v", FLOAT), pk=["a"]),
+            schema("u", ("x", INT), ("y", STRING)),
+            schema("dated", ("k", INT), ("day", ColumnType.DATE)),
+        ]
+    )
+
+
+def test_scan_fields(cat):
+    assert Scan("t").field_names(cat) == ["a", "b", "v"]
+    assert Scan("t").field_types(cat)["v"] is FLOAT
+
+
+def test_scan_rename(cat):
+    s = Scan("t", rename={"a": "t2_a"})
+    assert s.field_names(cat) == ["t2_a", "b", "v"]
+    assert s.field_types(cat)["t2_a"] is INT
+
+
+def test_scan_rename_unknown_column(cat):
+    with pytest.raises(Exception):
+        Scan("t", rename={"zzz": "w"}).fields(cat)
+
+
+def test_select_preserves_fields(cat):
+    plan = Select(Scan("t"), col("a").gt(1))
+    assert plan.field_names(cat) == ["a", "b", "v"]
+
+
+def test_select_unknown_column(cat):
+    with pytest.raises(PlanError):
+        Select(Scan("t"), col("nope").gt(1)).fields(cat)
+
+
+def test_select_non_boolean_predicate(cat):
+    with pytest.raises(PlanError, match="not boolean"):
+        Select(Scan("t"), col("a") + col("a")).fields(cat)
+
+
+def test_project_fields_and_types(cat):
+    plan = Project(Scan("t"), [("twice", col("a") * lit(2)), ("b", col("b"))])
+    assert plan.fields(cat) == [("twice", INT), ("b", STRING)]
+
+
+def test_project_duplicate_names(cat):
+    with pytest.raises(PlanError, match="duplicate"):
+        Project(Scan("t"), [("x", col("a")), ("x", col("b"))]).fields(cat)
+
+
+def test_hash_join_fields_concatenate(cat):
+    plan = HashJoin(Scan("t"), Scan("u"), ("a",), ("x",))
+    assert plan.field_names(cat) == ["a", "b", "v", "x", "y"]
+
+
+def test_hash_join_arity_mismatch(cat):
+    with pytest.raises(PlanError, match="arity"):
+        HashJoin(Scan("t"), Scan("u"), ("a", "b"), ("x",)).fields(cat)
+
+
+def test_hash_join_name_clash(cat):
+    with pytest.raises(PlanError, match="clash"):
+        HashJoin(Scan("t"), Scan("t"), ("a",), ("a",)).fields(cat)
+
+
+def test_self_join_with_rename(cat):
+    plan = HashJoin(
+        Scan("t"), Scan("t", rename={"a": "a2", "b": "b2", "v": "v2"}), ("a",), ("a2",)
+    )
+    assert plan.field_names(cat) == ["a", "b", "v", "a2", "b2", "v2"]
+
+
+def test_semi_anti_join_keep_left_fields(cat):
+    semi = SemiJoin(Scan("t"), Scan("u"), ("a",), ("x",))
+    anti = AntiJoin(Scan("t"), Scan("u"), ("a",), ("x",))
+    assert semi.field_names(cat) == ["a", "b", "v"]
+    assert anti.field_names(cat) == ["a", "b", "v"]
+
+
+def test_left_outer_join_fields(cat):
+    plan = LeftOuterJoin(Scan("t"), Scan("u"), ("a",), ("x",))
+    assert plan.field_names(cat) == ["a", "b", "v", "x", "y"]
+
+
+def test_index_join_fields(cat):
+    plan = IndexJoin(Scan("u"), table="t", table_key="a", child_key="x")
+    assert plan.field_names(cat) == ["x", "y", "a", "b", "v"]
+
+
+def test_index_join_rename_and_residual(cat):
+    plan = IndexJoin(
+        Scan("u"),
+        table="t",
+        table_key="a",
+        child_key="x",
+        rename={"a": "ta"},
+        residual=col("ta").gt(0),
+    )
+    assert "ta" in plan.field_names(cat)
+
+
+def test_index_join_residual_unknown_column(cat):
+    plan = IndexJoin(
+        Scan("u"), table="t", table_key="a", child_key="x", residual=col("zz").gt(0)
+    )
+    with pytest.raises(PlanError):
+        plan.fields(cat)
+
+
+def test_agg_fields(cat):
+    plan = Agg(
+        Scan("t"),
+        keys=[("b", col("b"))],
+        aggs=[("total", sum_(col("v"))), ("n", count()), ("m", avg(col("a")))],
+    )
+    assert plan.fields(cat) == [
+        ("b", STRING),
+        ("total", FLOAT),
+        ("n", INT),
+        ("m", FLOAT),
+    ]
+
+
+def test_agg_duplicate_output_names(cat):
+    with pytest.raises(PlanError, match="duplicate"):
+        Agg(Scan("t"), keys=[("b", col("b"))], aggs=[("b", count())]).fields(cat)
+
+
+def test_global_agg_fields(cat):
+    plan = Agg(Scan("t"), keys=[], aggs=[("n", count())])
+    assert plan.fields(cat) == [("n", INT)]
+
+
+def test_sort_requires_known_fields(cat):
+    with pytest.raises(PlanError):
+        Sort(Scan("t"), [("zzz", True)]).fields(cat)
+    assert Sort(Scan("t"), [("a", False)]).field_names(cat) == ["a", "b", "v"]
+
+
+def test_limit_negative_rejected(cat):
+    with pytest.raises(PlanError):
+        Limit(Scan("t"), -1).fields(cat)
+
+
+def test_distinct_passthrough(cat):
+    assert Distinct(Scan("t")).field_names(cat) == ["a", "b", "v"]
+
+
+def test_date_index_scan_requires_date_column(cat):
+    assert DateIndexScan("dated", "day").field_names(cat) == ["k", "day"]
+    with pytest.raises(PlanError, match="not a date"):
+        DateIndexScan("dated", "k").fields(cat)
+
+
+def test_operator_count(cat):
+    plan = Sort(Select(Scan("t"), col("a").gt(0)), [("a", True)])
+    assert plan.operator_count() == 3
+
+
+def test_validate_walks_tree(cat):
+    bad = Sort(Select(Scan("t"), col("nope").gt(0)), [("a", True)])
+    with pytest.raises(PlanError):
+        bad.validate(cat)
+
+
+def test_fields_memoized(cat):
+    plan = Scan("t")
+    assert plan.fields(cat) is plan.fields(cat)
+
+
+def test_needs_null_guard(cat):
+    global_agg = Agg(Scan("t"), keys=[], aggs=[("s", sum_(col("v")))])
+    assert needs_null_guard(Project(global_agg, [("r", col("s") / lit(2.0))]))
+    grouped = Agg(Scan("t"), keys=[("b", col("b"))], aggs=[("s", sum_(col("v")))])
+    assert not needs_null_guard(Project(grouped, [("r", col("s"))]))
+    assert not needs_null_guard(Project(Scan("t"), [("a", col("a"))]))

@@ -1,0 +1,194 @@
+"""Property-based tests for storage structures and query-level invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import Catalog, INT, STRING, FLOAT
+from repro.catalog.schema import schema
+from repro.catalog.types import (
+    date_add_days,
+    date_add_months,
+    date_to_int,
+    int_to_date,
+    make_date,
+)
+from repro.compiler.driver import LB2Compiler
+from repro.engine import execute_push, execute_volcano
+from repro.compiler.template import execute_template
+from repro.plan import Agg, HashJoin, Project, Scan, Select, Sort, col, count, sum_
+from repro.storage import Database, DateIndex, HashIndex, StringDictionary
+from tests.conftest import normalize
+
+dates = st.builds(
+    make_date,
+    st.integers(1992, 1998),
+    st.integers(1, 12),
+    st.integers(1, 28),
+)
+
+
+@given(dates)
+@settings(max_examples=100, deadline=None)
+def test_date_roundtrip_property(d):
+    assert date_to_int(int_to_date(d)) == d
+
+
+@given(dates, st.integers(-500, 500))
+@settings(max_examples=100, deadline=None)
+def test_date_add_days_monotonic_and_invertible(d, delta):
+    shifted = date_add_days(d, delta)
+    assert date_add_days(shifted, -delta) == d
+    if delta > 0:
+        assert shifted > d
+    elif delta < 0:
+        assert shifted < d
+
+
+@given(dates, st.integers(0, 36))
+@settings(max_examples=100, deadline=None)
+def test_date_add_months_monotonic(d, months):
+    assert date_add_months(d, months) >= d
+
+
+@given(st.lists(st.text(min_size=0, max_size=8), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_dictionary_is_order_preserving_bijection(values):
+    d = StringDictionary(values)
+    codes = d.encode_column(values)
+    assert [d.decode(c) for c in codes] == values
+    for a, b in zip(values, values[1:]):
+        ca, cb = d.code(a), d.code(b)
+        assert (a < b) == (ca < cb)
+        assert (a == b) == (ca == cb)
+
+
+@given(
+    st.lists(st.text(min_size=0, max_size=6), min_size=1, max_size=40),
+    st.text(min_size=0, max_size=3),
+)
+@settings(max_examples=100, deadline=None)
+def test_dictionary_prefix_range_exact(values, prefix):
+    d = StringDictionary(values)
+    lo, hi = d.prefix_range(prefix)
+    matching = {s for s in d.strings if s.startswith(prefix)}
+    in_range = {d.strings[i] for i in range(lo, hi)}
+    assert in_range == matching
+
+
+@given(st.lists(st.integers(0, 20), min_size=0, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_hash_index_complete_and_disjoint(keys):
+    idx = HashIndex(keys)
+    seen = []
+    for key in set(keys):
+        rows = list(idx.get(key))
+        assert all(keys[r] == key for r in rows)
+        seen.extend(rows)
+    assert sorted(seen) == list(range(len(keys)))
+
+
+@given(st.lists(dates, min_size=0, max_size=60), dates, dates)
+@settings(max_examples=100, deadline=None)
+def test_date_index_candidates_superset_of_matches(values, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    idx = DateIndex(values)
+    candidates = set(idx.candidate_list(lo, hi))
+    matches = {i for i, d in enumerate(values) if lo <= d <= hi}
+    assert matches <= candidates
+    # candidates only come from months overlapping the range
+    for i in candidates:
+        assert lo // 100 <= values[i] // 100 <= hi // 100
+
+
+@given(st.lists(dates, min_size=0, max_size=60), dates, dates)
+@settings(max_examples=60, deadline=None)
+def test_date_index_runs_partition_candidates(values, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    idx = DateIndex(values)
+    interior, boundary = idx.runs(lo, hi)
+    assert set(interior) | set(boundary) == set(idx.candidate_list(lo, hi))
+    assert not (set(interior) & set(boundary))
+    for i in interior:
+        assert lo <= values[i] <= hi  # interior rows satisfy the range
+
+
+# -- random micro-queries, differential across all four engines ----------------
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 9),
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(-100, 100, allow_nan=False, width=32),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _db(rows):
+    t = schema("t", ("k", INT), ("g", STRING), ("v", FLOAT))
+    db = Database(Catalog())
+    db.add_rows(t, rows)
+    return db
+
+
+def _run_everywhere(plan, db):
+    cat = db.catalog
+    results = [
+        execute_volcano(plan, db, cat),
+        execute_push(plan, db, cat),
+        execute_template(plan, db, cat),
+        LB2Compiler(cat, db).compile(plan).run(db),
+    ]
+    first = normalize(results[0])
+    for other in results[1:]:
+        assert normalize(other) == first
+    return results[0]
+
+
+@given(rows_strategy, st.integers(0, 9))
+@settings(max_examples=40, deadline=None)
+def test_random_filter_groupby_agrees(rows, threshold):
+    db = _db(rows)
+    plan = Agg(
+        Select(Scan("t"), col("k").ge(threshold)),
+        [("g", col("g"))],
+        [("total", sum_(col("v"))), ("n", count())],
+    )
+    got = _run_everywhere(plan, db)
+    expected = {}
+    for k, g, v in rows:
+        if k >= threshold:
+            total, n = expected.get(g, (0.0, 0))
+            expected[g] = (total + v, n + 1)
+    assert {r[0]: r[2] for r in got} == {g: n for g, (_, n) in expected.items()}
+
+
+@given(rows_strategy, rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_random_join_agrees(left_rows, right_rows):
+    tl = schema("l", ("k", INT), ("g", STRING), ("v", FLOAT))
+    tr = schema("r", ("k2", INT), ("g2", STRING), ("v2", FLOAT))
+    db = Database(Catalog())
+    db.add_rows(tl, left_rows)
+    db.add_rows(tr, right_rows)
+    plan = HashJoin(Scan("l"), Scan("r"), ("k",), ("k2",))
+    got = _run_everywhere(plan, db)
+    expected = len(
+        [1 for lk, _, _ in left_rows for rk, _, _ in right_rows if lk == rk]
+    )
+    assert len(got) == expected
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_random_sort_is_total_and_stable_under_engines(rows):
+    db = _db(rows)
+    plan = Sort(
+        Project(Scan("t"), [("k", col("k")), ("g", col("g"))]),
+        [("k", True), ("g", False)],
+    )
+    got = _run_everywhere(plan, db)
+    assert got == sorted(got, key=lambda r: (r[0], [-ord(c) for c in r[1]]))

@@ -1,0 +1,220 @@
+"""Tests for the plan-level index rewrites (Section 4.3 delegation)."""
+
+import pytest
+
+from repro.catalog.types import date_to_int
+from repro.engine import execute_push
+from repro.plan import (
+    Agg,
+    DateIndexScan,
+    HashJoin,
+    IndexJoin,
+    Project,
+    Scan,
+    Select,
+    col,
+    count,
+    lit,
+)
+from repro.plan import physical as phys
+from repro.plan.rewrite import (
+    optimize_for_level,
+    rewrite_date_index_scans,
+    rewrite_index_joins,
+)
+from tests.conftest import normalize
+
+
+def count_nodes(plan, kind):
+    return isinstance(plan, kind) + sum(count_nodes(c, kind) for c in plan.children())
+
+
+def test_index_join_rewrite_on_pk(tiny_db_full):
+    plan = HashJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 1
+    assert rewritten.field_names(tiny_db_full.catalog) == plan.field_names(
+        tiny_db_full.catalog
+    )
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_index_join_rewrite_carries_select_as_residual(tiny_db_full):
+    plan = HashJoin(
+        Select(Scan("Dep"), col("rank").lt(10)), Scan("Emp"), ("dname",), ("edname",)
+    )
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 1
+    inner = rewritten.child if isinstance(rewritten, Project) else rewritten
+    assert isinstance(inner, IndexJoin) and inner.residual is not None
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_index_join_rewrite_right_side(tiny_db_full):
+    plan = HashJoin(Scan("Emp"), Scan("Dep"), ("edname",), ("dname",))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    # Emp.edname carries an FK index, so the left (Emp) side is eligible too;
+    # either side being rewritten must preserve results.
+    assert count_nodes(rewritten, IndexJoin) == 1
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_index_join_rewrite_skipped_without_indexes(tiny_db):
+    plan = HashJoin(Scan("Dep"), Scan("Emp"), ("dname",), ("edname",))
+    rewritten = rewrite_index_joins(plan, tiny_db, tiny_db.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 0
+
+
+def test_index_join_rewrite_skips_composite_keys(tiny_db_full):
+    left = Project(Scan("Dep"), [("dname", col("dname")), ("rank", col("rank"))])
+    plan = HashJoin(left, Scan("Emp"), ("dname", "rank"), ("edname", "eid"))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 0
+
+
+def test_index_join_rewrite_skips_computing_projects(tiny_db_full):
+    """A computing Project disqualifies its side; the other side (Emp's FK
+    index) is still eligible, and results must be preserved."""
+    left = Project(Scan("Dep"), [("dname", col("dname")), ("r2", col("rank") * lit(2))])
+    plan = HashJoin(left, Scan("Emp"), ("dname",), ("edname",))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 1
+    inner = rewritten.child
+    assert isinstance(inner, IndexJoin) and inner.table == "Emp"
+    assert isinstance(inner.child, Project)  # the computing side became the child
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_index_join_rewrite_skips_when_no_side_qualifies(tiny_db_full):
+    """Sales.sdep has no index at all, and both sides compute -> no rewrite."""
+    left = Project(Scan("Sales"), [("sdep", col("sdep")), ("a2", col("amount") * lit(2.0))])
+    right = Project(
+        Scan("Sales", rename={"sdep": "r_sdep", "sid": "r_sid", "amount": "r_amount", "sold": "r_sold"}),
+        [("r_sdep", col("r_sdep")), ("r2", col("r_amount") * lit(2.0))],
+    )
+    plan = HashJoin(left, right, ("sdep",), ("r_sdep",))
+    rewritten = rewrite_index_joins(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, IndexJoin) == 0
+
+
+def test_date_index_rewrite(tiny_db_full):
+    from repro.plan.expressions import And
+
+    lo, hi = 19940101, 19941231
+    plan = Select(Scan("Sales"), And(col("sold").ge(lo), col("sold").le(hi)))
+    rewritten = rewrite_date_index_scans(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, DateIndexScan) == 1
+    # both conjuncts are absorbed: the scan enforces the bounds itself
+    assert isinstance(rewritten, DateIndexScan) and rewritten.enforce
+    assert not rewritten.lo_strict and not rewritten.hi_strict
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_date_index_rewrite_one_sided_range(tiny_db_full):
+    plan = Select(Scan("Sales"), col("sold").lt(19950101))
+    rewritten = rewrite_date_index_scans(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, DateIndexScan) == 1
+    assert isinstance(rewritten, DateIndexScan)
+    assert rewritten.lo is None and rewritten.hi == 19950101
+    assert rewritten.hi_strict  # '<' is a strict bound
+
+
+def test_date_index_rewrite_keeps_residual_conjuncts(tiny_db_full):
+    from repro.plan.expressions import And
+
+    plan = Select(
+        Scan("Sales"),
+        And(col("sold").ge(19940101), col("amount").gt(50.0)),
+    )
+    rewritten = rewrite_date_index_scans(plan, tiny_db_full, tiny_db_full.catalog)
+    assert isinstance(rewritten, Select)  # the amount conjunct stays
+    assert isinstance(rewritten.child, DateIndexScan)
+    assert "amount" in rewritten.pred.columns()
+    assert "sold" not in rewritten.pred.columns()
+    assert normalize(execute_push(rewritten, tiny_db_full, tiny_db_full.catalog)) == (
+        normalize(execute_push(plan, tiny_db_full, tiny_db_full.catalog))
+    )
+
+
+def test_date_index_enforce_bound_check():
+    node = DateIndexScan("Sales", "sold", lo=10, hi=20, enforce=True)
+    assert node.bound_check(10) and node.bound_check(20) and not node.bound_check(9)
+    strict = DateIndexScan(
+        "Sales", "sold", lo=10, hi=20, enforce=True, lo_strict=True, hi_strict=True
+    )
+    assert not strict.bound_check(10) and not strict.bound_check(20)
+    assert strict.bound_check(15)
+
+
+def test_date_index_rewrite_skipped_without_index(tiny_db):
+    plan = Select(Scan("Sales"), col("sold").ge(19940101))
+    rewritten = rewrite_date_index_scans(plan, tiny_db, tiny_db.catalog)
+    assert count_nodes(rewritten, DateIndexScan) == 0
+
+
+def test_date_index_rewrite_skips_non_date_predicates(tiny_db_full):
+    plan = Select(Scan("Sales"), col("amount").gt(50.0))
+    rewritten = rewrite_date_index_scans(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(rewritten, DateIndexScan) == 0
+
+
+def test_optimize_for_level_respects_capabilities(tiny_db, tiny_db_full):
+    from repro.plan.expressions import And
+
+    plan = HashJoin(
+        Select(Scan("Sales"), And(col("sold").ge(19940101), col("sold").lt(19950101))),
+        Scan("Emp"),
+        ("sid",),
+        ("eid",),
+    )
+    compliant = optimize_for_level(plan, tiny_db, tiny_db.catalog)
+    assert count_nodes(compliant, IndexJoin) == 0
+    assert count_nodes(compliant, DateIndexScan) == 0
+    full = optimize_for_level(plan, tiny_db_full, tiny_db_full.catalog)
+    assert count_nodes(full, DateIndexScan) == 1
+
+
+def test_enforced_date_scan_agrees_on_all_engines(tiny_db_full):
+    from repro.compiler.driver import LB2Compiler
+    from repro.compiler.template import execute_template
+    from repro.engine import execute_volcano
+    from repro.plan.expressions import And
+
+    plan = Select(
+        Scan("Sales"), And(col("sold").ge(19940101), col("sold").lt(19950101))
+    )
+    rewritten = rewrite_date_index_scans(plan, tiny_db_full, tiny_db_full.catalog)
+    cat = tiny_db_full.catalog
+    ref = normalize(execute_push(plan, tiny_db_full, cat))
+    assert normalize(execute_volcano(rewritten, tiny_db_full, cat)) == ref
+    assert normalize(execute_push(rewritten, tiny_db_full, cat)) == ref
+    assert normalize(execute_template(rewritten, tiny_db_full, cat)) == ref
+    compiled = LB2Compiler(cat, tiny_db_full).compile(rewritten)
+    assert normalize(compiled.run(tiny_db_full)) == ref
+    # the compiled form carries the two-loop shape
+    assert "interior partitions" in compiled.source
+
+
+def test_rewrites_fire_on_tpch(tpch_db_full):
+    """Across the suite the rewrites must fire many times (Figure 9 setup)."""
+    from repro.tpch import query_plan
+
+    total_ij = total_ds = 0
+    for q in range(1, 23):
+        opt = optimize_for_level(
+            query_plan(q, scale=0.002), tpch_db_full, tpch_db_full.catalog
+        )
+        total_ij += count_nodes(opt, IndexJoin)
+        total_ds += count_nodes(opt, DateIndexScan)
+    assert total_ij >= 20
+    assert total_ds >= 10

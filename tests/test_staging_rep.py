@@ -1,0 +1,260 @@
+"""Unit tests for the staging layer: Rep values, control flow, emission."""
+
+import pytest
+
+from repro.staging import PyProgram, StagingContext, generate_python
+from repro.staging import ir
+from repro.staging.builder import StagingError
+from repro.staging.rep import RepBool, RepFloat, RepInt, RepStr
+
+
+def run1(build, *args):
+    """Build a one-function staged program and call it."""
+    ctx = StagingContext()
+    params = [f"p{i}" for i in range(len(args))]
+    with ctx.function("f", params):
+        build(ctx, *[ctx.sym(p, "long") for p in params])
+    program = PyProgram(generate_python(ctx.program()))
+    return program.fn("f")(*args)
+
+
+def test_power_trace_matches_paper():
+    """Appendix B.1: power(in, 4) emits the x0..x3 multiplication chain."""
+    ctx = StagingContext()
+    with ctx.function("power4", ["in_"]):
+        x = RepInt(ir.Sym("in_"), ctx)
+        r = ctx.int_(1)
+        for _ in range(4):
+            r = x * r
+        ctx.return_(r)
+    source = generate_python(ctx.program())
+    assert "x0 = in_ * 1" in source
+    assert "x1 = in_ * x0" in source
+    assert "x2 = in_ * x1" in source
+    assert "x3 = in_ * x2" in source
+    assert PyProgram(source).fn("power4")(3) == 81
+
+
+def test_arithmetic_ops():
+    def build(ctx, a, b):
+        ctx.return_((RepInt(a.expr, ctx) + RepInt(b.expr, ctx)) * 2 - 1)
+
+    assert run1(build, 3, 4) == 13
+
+
+def test_division_produces_float():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        ctx.return_(a / 2)
+    result = PyProgram(generate_python(ctx.program())).fn("f")(7)
+    assert result == pytest.approx(3.5)
+
+
+def test_floordiv_and_mod():
+    def build(ctx, a):
+        v = RepInt(a.expr, ctx)
+        ctx.return_(v // 10000 + v % 100)
+
+    assert run1(build, 19940105) == 1994 + 5
+
+
+def test_comparison_returns_repbool():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        cond = a < 10
+        assert isinstance(cond, RepBool)
+        ctx.return_(cond)
+    fn = PyProgram(generate_python(ctx.program())).fn("f")
+    assert fn(5) is True
+    assert fn(15) is False
+
+
+def test_bool_combinators():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        ctx.return_(((a > 0) & (a < 10)) | (a == 42))
+    fn = PyProgram(generate_python(ctx.program())).fn("f")
+    assert fn(5) and fn(42) and not fn(-3) and not fn(11)
+
+
+def test_invert():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        ctx.return_(~(a == 1))
+    fn = PyProgram(generate_python(ctx.program())).fn("f")
+    assert fn(2) and not fn(1)
+
+
+def test_staged_value_in_python_if_raises():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        with pytest.raises(TypeError, match="ctx.if_"):
+            if a < 3:  # noqa: B015 - intentionally misused
+                pass
+
+
+def test_if_else():
+    ctx = StagingContext()
+    with ctx.function("f", ["a"]):
+        a = RepInt(ir.Sym("a"), ctx)
+        out = ctx.var(ctx.int_(0))
+        with ctx.if_(a > 0):
+            out.set(1)
+        with ctx.else_():
+            out.set(-1)
+        ctx.return_(out.get())
+    fn = PyProgram(generate_python(ctx.program())).fn("f")
+    assert fn(10) == 1 and fn(-10) == -1
+
+
+def test_else_without_if_raises():
+    ctx = StagingContext()
+    with ctx.function("f", []):
+        with pytest.raises(StagingError):
+            with ctx.else_():
+                pass
+
+
+def test_loop_with_break():
+    ctx = StagingContext()
+    with ctx.function("f", ["n"]):
+        n = RepInt(ir.Sym("n"), ctx)
+        i = ctx.var(ctx.int_(0))
+        total = ctx.var(ctx.int_(0))
+        with ctx.loop():
+            ctx.break_if(i.get() >= n)
+            total.set(total.get() + i.get())
+            i.set(i.get() + 1)
+        ctx.return_(total.get())
+    assert PyProgram(generate_python(ctx.program())).fn("f")(5) == 10
+
+
+def test_for_range():
+    ctx = StagingContext()
+    with ctx.function("f", ["n"]):
+        n = RepInt(ir.Sym("n"), ctx)
+        total = ctx.var(ctx.int_(0))
+        with ctx.for_range(0, n) as i:
+            total.set(total.get() + i * i)
+        ctx.return_(total.get())
+    assert PyProgram(generate_python(ctx.program())).fn("f")(4) == 14
+
+
+def test_string_operations():
+    ctx = StagingContext()
+    with ctx.function("f", ["s"]):
+        s = RepStr(ir.Sym("s"), ctx)
+        result = ctx.var(ctx.int_(0))
+        with ctx.if_(s.startswith("PROMO")):
+            result.set(1)
+        with ctx.if_(s.endswith("STEEL")):
+            result.set(result.get() + 10)
+        with ctx.if_(s.contains("ANODIZED")):
+            result.set(result.get() + 100)
+        ctx.return_(result.get())
+    fn = PyProgram(generate_python(ctx.program())).fn("f")
+    assert fn("PROMO ANODIZED STEEL") == 111
+    assert fn("STANDARD BRUSHED TIN") == 0
+
+
+def test_string_slice_and_length():
+    ctx = StagingContext()
+    with ctx.function("f", ["s"]):
+        s = RepStr(ir.Sym("s"), ctx)
+        ctx.return_(s.substring(0, 2).length() + s.length())
+    assert PyProgram(generate_python(ctx.program())).fn("f")("hello") == 7
+
+
+def test_fresh_names_unique():
+    ctx = StagingContext()
+    names = {ctx.fresh() for _ in range(1000)}
+    assert len(names) == 1000
+
+
+def test_lift_roundtrip():
+    ctx = StagingContext()
+    with ctx.function("f", []):
+        assert isinstance(ctx.lift(3), RepInt)
+        assert isinstance(ctx.lift(3.5), RepFloat)
+        assert isinstance(ctx.lift(True), RepBool)
+        assert isinstance(ctx.lift("x"), RepStr)
+        with pytest.raises(StagingError):
+            ctx.lift(object())
+
+
+def test_lift_bool_is_not_int():
+    ctx = StagingContext()
+    with ctx.function("f", []):
+        assert isinstance(ctx.lift(True), RepBool)
+
+
+def test_emit_outside_function_raises():
+    ctx = StagingContext()
+    with pytest.raises(StagingError):
+        ctx.sym("x", "long") + 1  # binding needs an open block
+
+
+def test_constant_folding():
+    """Present-stage subcomputations fold at generation time (LMS-style)."""
+    ctx = StagingContext()
+    with ctx.function("f", []):
+        value = ctx.int_(6) * ctx.int_(7)
+        assert value.expr == ir.Const(42)
+        flag = ctx.bool_(True) & ctx.bool_(False)
+        assert flag.expr == ir.Const(False)
+        cmp_ = ctx.int_(1) < 2
+        assert cmp_.expr == ir.Const(True)
+
+
+def test_boolean_short_circuit_folding():
+    """``False & x`` folds away; ``True & x`` is just x (dead-branch
+    elimination for dictionary predicates that can never match)."""
+    ctx = StagingContext()
+    with ctx.function("f", ["p"]):
+        p = ctx.sym("p", "bool")
+        assert (ctx.bool_(False) & p).expr == ir.Const(False)
+        assert (ctx.bool_(True) & p).expr == p.expr
+        assert (ctx.bool_(True) | p).expr == ir.Const(True)
+        assert (ctx.bool_(False) | p).expr == p.expr
+
+
+def test_identity_ops_not_folded():
+    """x * 1 stays in the residual code, matching the paper's B.1 trace."""
+    ctx = StagingContext()
+    with ctx.function("f", ["x"]):
+        x = ctx.sym("x", "long")
+        result = x * 1
+        assert isinstance(result.expr, ir.Sym)  # bound to a fresh name
+    source = generate_python(ctx.program())
+    assert "x * 1" in source
+
+
+def test_nested_function_closure():
+    ctx = StagingContext()
+    with ctx.function("prepare", ["base"]):
+        base = RepInt(ir.Sym("base"), ctx)
+        doubled = base * 2
+        with ctx.nested_function("run", ["x"]):
+            x = RepInt(ir.Sym("x"), ctx)
+            ctx.return_(x + doubled)
+        ctx.emit(ir.Return(ir.Sym("run")))
+    prepare = PyProgram(generate_python(ctx.program())).fn("prepare")
+    run = prepare(10)
+    assert run(1) == 21
+    assert run(5) == 25
+
+
+def test_multiple_functions_in_one_program():
+    ctx = StagingContext()
+    with ctx.function("one", []):
+        ctx.return_(ctx.int_(1))
+    with ctx.function("two", []):
+        ctx.return_(ctx.int_(2))
+    program = PyProgram(generate_python(ctx.program()))
+    assert program.fn("one")() == 1
+    assert program.fn("two")() == 2

