@@ -1,0 +1,160 @@
+"""Lint gate: statically analyze the generated IR of every TPC-H query.
+
+Usage::
+
+    python -m repro.analysis.cli                 # full matrix, exit 1 on findings
+    python -m repro.analysis.cli --query 6 -v    # one query, show every program
+    python -m repro.analysis.cli --fast          # compliant config only (CI smoke)
+
+For each of the 22 TPC-H queries this compiles the residual program under
+every :class:`repro.compiler.lb2.Config` combination (hash map
+implementation x sort layout x allocation hoisting x dictionaries x
+instrumentation), plus the Section-4.4 ``prepare``/``run`` split form, the
+rewritten (index/date-index) plans, and the Section-4.5 parallel partials
+-- and runs the verifier, the type checker and all lint passes over each.
+Any diagnostic fails the gate: the residual program is supposed to be a
+*checked* contract, not just one that happens to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.walker import Diagnostic, analyze
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.parallel import ParallelError, ParallelQuery
+from repro.plan.rewrite import optimize_for_level
+from repro.storage.database import Database, OptimizationLevel
+from repro.tpch.dbgen import generate_database
+from repro.tpch.queries import QUERIES, query_plan
+
+
+def iter_configs(fast: bool = False) -> Iterator[Config]:
+    """Every compilation-knob combination (or just the default for --fast)."""
+    if fast:
+        yield Config()
+        return
+    for hashmap, sort_layout, hoist, use_dicts, instrument in itertools.product(
+        ("native", "open"), ("row", "column"), (True, False), (True, False),
+        (False, True),
+    ):
+        yield Config(
+            hashmap=hashmap,
+            sort_layout=sort_layout,
+            hoist=hoist,
+            use_dictionaries=use_dicts,
+            instrument=instrument,
+        )
+
+
+def config_label(config: Config, *, split: bool = False) -> str:
+    parts = [
+        config.hashmap,
+        config.sort_layout,
+        "hoist" if config.hoist else "nohoist",
+        "dict" if config.use_dictionaries else "nodict",
+    ]
+    if config.instrument:
+        parts.append("instr")
+    if split:
+        parts.append("prepare/run")
+    return "+".join(parts)
+
+
+def _analyze_program(
+    label: str,
+    functions,
+    findings: list[tuple[str, Diagnostic]],
+) -> int:
+    diags = analyze(functions)
+    for d in diags:
+        findings.append((label, d))
+    return len(diags)
+
+
+def lint_query(
+    q: int,
+    db: Database,
+    scale: float,
+    fast: bool,
+    findings: list[tuple[str, Diagnostic]],
+) -> int:
+    """Compile and analyze every program variant of one query; returns the
+    number of programs checked."""
+    checked = 0
+    plans = {"": query_plan(q, scale=scale)}
+    if not fast:
+        plans["rewritten:"] = optimize_for_level(plans[""], db, db.catalog)
+    for plan_tag, plan in plans.items():
+        for config in iter_configs(fast):
+            compiler = LB2Compiler(db.catalog, db, config)
+            label = f"Q{q} {plan_tag}{config_label(config)}"
+            compiled = compiler.compile(plan, verify=False)
+            _analyze_program(label, compiled.functions, findings)
+            checked += 1
+            if config.hoist and not config.instrument:
+                split = compiler.compile(plan, split_prepare=True, verify=False)
+                _analyze_program(
+                    f"Q{q} {plan_tag}{config_label(config, split=True)}",
+                    split.functions,
+                    findings,
+                )
+                checked += 1
+    # Section 4.5: the parallel partial is its own residual program.
+    for hoist in (True,) if fast else (True, False):
+        try:
+            pq = ParallelQuery(
+                plans[""], db, db.catalog, Config(hoist=hoist), verify=False
+            )
+        except ParallelError:
+            break  # plan shape not partitionable; same for both hoist modes
+        _analyze_program(
+            f"Q{q} parallel+{'hoist' if hoist else 'nohoist'}",
+            pq.functions,
+            findings,
+        )
+        checked += 1
+    return checked
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.analysis", description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the catalog/dictionaries")
+    parser.add_argument("--query", type=int, default=None,
+                        choices=sorted(QUERIES), help="lint a single query")
+    parser.add_argument("--fast", action="store_true",
+                        help="default config only (CI smoke mode)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every program checked")
+    args = parser.parse_args(argv)
+
+    db = generate_database(args.scale, level=OptimizationLevel.IDX_DATE_STR)
+    queries = [args.query] if args.query is not None else sorted(QUERIES)
+    findings: list[tuple[str, Diagnostic]] = []
+    programs = 0
+    for q in queries:
+        before = len(findings)
+        count = lint_query(q, db, args.scale, args.fast, findings)
+        programs += count
+        if args.verbose:
+            status = "clean" if len(findings) == before else "FINDINGS"
+            print(f"Q{q:>2}: {count} programs, {status}")
+
+    for label, diag in findings:
+        print(f"{label}: {diag.render()}")
+    summary = (
+        f"{programs} residual programs analyzed across "
+        f"{len(queries)} queries: "
+        + ("clean" if not findings else f"{len(findings)} findings")
+    )
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

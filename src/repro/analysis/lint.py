@@ -1,0 +1,270 @@
+"""Lint passes: residual-program smells that are not outright errors.
+
+Each pass is independent and composes over the shared walker:
+
+* :class:`UnreachableCode` -- statements following a ``Break``/``Continue``/
+  ``Return`` in the same block can never execute;
+* :class:`DeadStore` -- a pure, immutable binding whose name is never read
+  (the generation pass emitted work the residual program never uses);
+* :class:`InfiniteLoop` -- a ``while True`` body with no reachable ``break``
+  or ``return`` (staged loops model their condition as internal ``Break``
+  guards, so a loop without one can never terminate);
+* :class:`HoistSafety` -- effect analysis for the Section-4.4 code-motion
+  path: everything emitted *before* the ``run`` closure in a
+  ``prepare``/``run`` pair executes ahead of the hot loop, so it must be
+  restricted to pure computation, allocation, and database reads -- writes
+  to pre-existing state or result output there would reorder observable
+  effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.walker import (
+    AnalysisPass,
+    Diagnostic,
+    Severity,
+    iter_stmts,
+    used_names,
+)
+from repro.staging import ir
+
+
+def default_lint_passes() -> list[AnalysisPass]:
+    return [UnreachableCode(), DeadStore(), InfiniteLoop(), HoistSafety()]
+
+
+_TERMINATORS = (ir.Break, ir.Continue, ir.Return)
+
+
+class UnreachableCode(AnalysisPass):
+    """Flags statements after a terminator within one block."""
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            self._check_block(fn.name, fn.body, out)
+        return out
+
+    def _check_block(self, fn_name: str, block: ir.Block,
+                     out: list[Diagnostic]) -> None:
+        terminated_by: Optional[ir.Stmt] = None
+        for stmt in block:
+            if terminated_by is not None and not isinstance(stmt, ir.Comment):
+                kind = type(terminated_by).__name__.lower()
+                out.append(self.diag(
+                    "unreachable-code",
+                    f"statement is unreachable: the block already "
+                    f"terminated with a {kind}",
+                    fn_name,
+                    stmt,
+                    severity=Severity.WARNING,
+                ))
+            for sub in ir.stmt_blocks(stmt):
+                self._check_block(fn_name, sub, out)
+            if isinstance(stmt, _TERMINATORS) and terminated_by is None:
+                terminated_by = stmt
+        return None
+
+
+def _is_pure(expr: ir.Expr) -> bool:
+    """Pure = safe to delete: no helper calls, no subscripts (which may
+    fault at run time), only constants/symbols/operators/constructors."""
+    if isinstance(expr, (ir.Call, ir.Index)):
+        return False
+    return all(_is_pure(child) for child in ir.expr_children(expr))
+
+
+class DeadStore(AnalysisPass):
+    """Flags immutable bindings of pure expressions that are never read."""
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            used = used_names(fn.body)
+            for stmt in iter_stmts(fn.body):
+                if (
+                    isinstance(stmt, ir.Assign)
+                    and not stmt.mutable
+                    and stmt.name not in used
+                    and _is_pure(stmt.expr)
+                ):
+                    out.append(self.diag(
+                        "dead-store",
+                        f"{stmt.name!r} is bound to a pure expression but "
+                        "never read",
+                        fn.name,
+                        stmt,
+                        severity=Severity.WARNING,
+                    ))
+        return out
+
+
+class InfiniteLoop(AnalysisPass):
+    """Flags ``While`` bodies with no way out.
+
+    Staged loops are ``while True`` by construction (:class:`ir.While` has
+    no condition); every such loop must contain a ``break`` at its own
+    nesting level or a ``return`` somewhere in its body.  Breaks belonging
+    to *inner* loops do not count, and nested functions are opaque.
+    """
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            for stmt in iter_stmts(fn.body, into_nested=False):
+                if isinstance(stmt, ir.While) and not self._has_exit(stmt.body, 0):
+                    out.append(self.diag(
+                        "infinite-loop",
+                        "while-true body contains no reachable break or "
+                        "return; the generated loop cannot terminate",
+                        fn.name,
+                        stmt,
+                        severity=Severity.WARNING,
+                    ))
+        return out
+
+    def _has_exit(self, block: ir.Block, depth: int) -> bool:
+        for stmt in block:
+            if isinstance(stmt, ir.Break) and depth == 0:
+                return True
+            if isinstance(stmt, ir.Return):
+                return True
+            if isinstance(stmt, ir.If):
+                if self._has_exit(stmt.then, depth) or self._has_exit(stmt.els, depth):
+                    return True
+            elif isinstance(stmt, (ir.While, ir.ForRange, ir.ForEach)):
+                # inner loops swallow their own breaks; returns still exit
+                if self._has_exit(stmt.body, depth + 1):
+                    return True
+        return False
+
+
+# -- effect analysis ---------------------------------------------------------
+
+#: Effect classes of call intrinsics, for the hoisting-safety rule.
+PURE, ALLOC, READ, WRITE, IO = "pure", "alloc", "read", "write", "io"
+
+CALL_EFFECTS: dict[str, str] = {
+    # allocation: creates fresh state, trivially movable ahead of the hot path
+    "alloc": ALLOC, "list_new": ALLOC, "dict_new": ALLOC, "set_new": ALLOC,
+    "set_new1": ALLOC, "tuple1": ALLOC,
+    # database reads: idempotent snapshots of load-time state
+    "db_column": READ, "db_size": READ, "db_index": READ,
+    "db_unique_index": READ, "db_dictionary": READ, "db_date_index": READ,
+    "db_encoded": READ, "db_dict_strings": READ, "db_date_candidates": READ,
+    "db_date_runs": READ, "index_lookup": READ, "index_lookup_unique": READ,
+    # mutation of the first argument
+    "list_append": WRITE, "list_extend": WRITE, "set_add": WRITE,
+    "sort_rows": WRITE,
+    # externally observable effects
+    "out_append": IO, "map_full": IO,
+}
+
+_PURE_CALLS = {
+    "len", "to_float", "to_int", "hash_str", "hash_int", "abs", "min2",
+    "max2", "str_startswith", "str_endswith", "str_contains", "str_slice",
+    "str_concat", "str_eq", "dict_get", "dict_contains", "dict_items",
+    "dict_values", "dict_keys", "dict_len", "list_len", "list_head",
+    "set_contains", "set_len", "not_none", "is_none", "topk_rows",
+    "argsort_columns",
+}
+
+
+def call_effect(fn: str) -> Optional[str]:
+    """The effect class of an intrinsic; None when unknown (conservative)."""
+    if fn in CALL_EFFECTS:
+        return CALL_EFFECTS[fn]
+    if fn in _PURE_CALLS:
+        return PURE
+    return None
+
+
+class HoistSafety(AnalysisPass):
+    """Proves the cold path of a ``prepare``/``run`` split is safe to hoist.
+
+    For every function that defines a nested closure at the top level of
+    its body (the code-motion shape the driver emits with
+    ``split_prepare=True``), each statement *preceding* the closure was
+    moved out of the hot path by the generation pass.  The move is safe iff
+    those statements only compute, allocate, read the database, or
+    initialize state allocated within the same prelude; anything that
+    writes pre-existing state or emits output is flagged.
+    """
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            split = next(
+                (i for i, s in enumerate(fn.body) if isinstance(s, ir.NestedFunc)),
+                None,
+            )
+            if split is None:
+                continue
+            local_allocs: set[str] = set()
+            for stmt in fn.body[:split]:
+                self._check_hoisted(fn.name, stmt, local_allocs, out)
+        return out
+
+    def _check_hoisted(
+        self,
+        fn_name: str,
+        stmt: ir.Stmt,
+        local_allocs: set[str],
+        out: list[Diagnostic],
+    ) -> None:
+        def flag(message: str) -> None:
+            out.append(self.diag(
+                "hoist-unsafe",
+                message,
+                fn_name,
+                stmt,
+                severity=Severity.WARNING,
+            ))
+
+        def check_expr(expr: ir.Expr) -> None:
+            for node in ir.walk_expr(expr):
+                if isinstance(node, ir.Call):
+                    effect = call_effect(node.fn)
+                    if effect in (WRITE, IO):
+                        target = node.args[0] if node.args else None
+                        if (
+                            effect == WRITE
+                            and isinstance(target, ir.Sym)
+                            and target.name in local_allocs
+                        ):
+                            continue  # initializing freshly allocated state
+                        flag(
+                            f"hoisted statement calls {node.fn!r}, which "
+                            "has observable effects; it must stay on the "
+                            "hot path"
+                        )
+                    elif effect is None:
+                        flag(
+                            f"hoisted statement calls unknown helper "
+                            f"{node.fn!r}; cannot prove the hoist safe"
+                        )
+
+        if isinstance(stmt, ir.SetIndex):
+            if not (isinstance(stmt.arr, ir.Sym) and stmt.arr.name in local_allocs):
+                flag(
+                    "hoisted subscript-write targets state that was not "
+                    "allocated in the prelude"
+                )
+        for expr in ir.stmt_exprs(stmt):
+            check_expr(expr)
+        if isinstance(stmt, ir.Assign):
+            if isinstance(stmt.expr, ir.Call) and call_effect(stmt.expr.fn) == ALLOC:
+                local_allocs.add(stmt.name)
+        for sub in ir.stmt_blocks(stmt):
+            for inner in sub:
+                self._check_hoisted(fn_name, inner, local_allocs, out)

@@ -1,0 +1,182 @@
+"""The IR verifier: structural well-formedness of residual programs.
+
+The staged evaluator emits code in one pass with no checking stage, so any
+codegen bug becomes a runtime failure (or a silently wrong answer) in the
+residual program.  The verifier restores the guarantee that typed
+multi-pass IRs get for free, as pure analysis:
+
+* **def-before-use** -- every :class:`ir.Sym` must refer to a function
+  parameter or a name bound by an earlier statement (closures see the whole
+  enclosing scope, matching Python's late binding);
+* **single assignment** -- :class:`ir.Assign` introduces a fresh name; a
+  second static assignment (or shadowing of any visible name) is an error;
+* **mutability discipline** -- :class:`ir.Reassign` may only target names
+  introduced with ``mutable=True`` (the ``StagedVar`` contract);
+* **loop context** -- ``Break``/``Continue`` only inside a loop body, and
+  never escaping through a :class:`ir.NestedFunc` boundary;
+* **closure capture** -- every free name of a nested function (the
+  Section-4.4 ``prepare``/``run`` pair) must be bound in an enclosing
+  scope, and closure reassignments must target mutable names (these are
+  exactly the names the Python emitter declares ``nonlocal``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.walker import AnalysisPass, Diagnostic
+from repro.staging import ir
+
+
+class _Scope:
+    """A lexical scope: name -> mutable flag, chained to the enclosing one."""
+
+    def __init__(self, parent: Optional["_Scope"] = None,
+                 params: Sequence[str] = ()) -> None:
+        self.parent = parent
+        self.names: dict[str, bool] = {p: False for p in params}
+
+    def lookup(self, name: str) -> Optional[bool]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+    def is_visible(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def define(self, name: str, mutable: bool) -> None:
+        self.names[name] = mutable
+
+
+class Verifier(AnalysisPass):
+    """Checks every function of a staged program; reports all violations."""
+
+    name = "verifier"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            scope = _Scope(params=fn.params)
+            self._check_scope(fn.name, fn.body, scope, nested=False, out=out)
+        return out
+
+    # -- scope checking -------------------------------------------------------
+
+    def _check_scope(
+        self,
+        fn_name: str,
+        body: ir.Block,
+        scope: _Scope,
+        nested: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        """Walk one function scope in program order, then its closures.
+
+        Nested function bodies are deferred until the enclosing scope is
+        fully populated: a closure runs only when called, so it legally
+        references every name its enclosing scope ever defines (Python's
+        late binding).  That is precisely the hoisted ``prepare``/``run``
+        situation the Section 4.4 code-motion path produces.
+        """
+        deferred: list[ir.NestedFunc] = []
+        self._check_block(fn_name, body, scope, loop_depth=0, nested=nested,
+                          deferred=deferred, out=out)
+        for node in deferred:
+            child = _Scope(parent=scope, params=node.params)
+            self._check_scope(f"{fn_name}.{node.name}", node.body, child,
+                              nested=True, out=out)
+
+    def _check_block(
+        self,
+        fn_name: str,
+        block: ir.Block,
+        scope: _Scope,
+        loop_depth: int,
+        nested: bool,
+        deferred: list[ir.NestedFunc],
+        out: list[Diagnostic],
+    ) -> None:
+        for stmt in block:
+            # 1. every directly-read symbol must already be bound
+            for expr in ir.stmt_exprs(stmt):
+                for node in ir.walk_expr(expr):
+                    if isinstance(node, ir.Sym) and not scope.is_visible(node.name):
+                        rule = "closure-capture" if nested else "undefined-sym"
+                        what = (
+                            "free variable of closure is not bound in any "
+                            "enclosing scope"
+                            if nested
+                            else "symbol used before any definition"
+                        )
+                        out.append(self.diag(
+                            rule,
+                            f"{what}: {node.name!r}",
+                            fn_name,
+                            stmt,
+                        ))
+
+            # 2. statement-specific rules
+            if isinstance(stmt, ir.Assign):
+                self._define(fn_name, stmt, stmt.name, stmt.mutable, scope, out)
+            elif isinstance(stmt, ir.Reassign):
+                mutable = scope.lookup(stmt.name)
+                if mutable is None:
+                    out.append(self.diag(
+                        "reassign-undefined",
+                        f"reassignment of undefined name {stmt.name!r}",
+                        fn_name,
+                        stmt,
+                    ))
+                elif not mutable:
+                    out.append(self.diag(
+                        "reassign-immutable",
+                        f"reassignment of immutable name {stmt.name!r} "
+                        "(bound without mutable=True)",
+                        fn_name,
+                        stmt,
+                    ))
+            elif isinstance(stmt, (ir.Break, ir.Continue)):
+                if loop_depth == 0:
+                    kind = "break" if isinstance(stmt, ir.Break) else "continue"
+                    out.append(self.diag(
+                        f"{kind}-outside-loop",
+                        f"{kind} statement outside any loop body",
+                        fn_name,
+                        stmt,
+                    ))
+            elif isinstance(stmt, ir.NestedFunc):
+                self._define(fn_name, stmt, stmt.name, False, scope, out)
+                deferred.append(stmt)
+                continue  # body checked later, against the complete scope
+            elif isinstance(stmt, (ir.ForRange, ir.ForEach)):
+                self._define(fn_name, stmt, stmt.var, False, scope, out)
+
+            # 3. recurse into sub-blocks (loops bump the break context)
+            inner_depth = loop_depth + (
+                1 if isinstance(stmt, (ir.While, ir.ForRange, ir.ForEach)) else 0
+            )
+            for sub in ir.stmt_blocks(stmt):
+                self._check_block(fn_name, sub, scope, inner_depth, nested,
+                                  deferred, out)
+
+    def _define(
+        self,
+        fn_name: str,
+        stmt: ir.Stmt,
+        name: str,
+        mutable: bool,
+        scope: _Scope,
+        out: list[Diagnostic],
+    ) -> None:
+        if scope.is_visible(name):
+            out.append(self.diag(
+                "duplicate-def",
+                f"second static binding of name {name!r} "
+                "(fresh-name single-assignment discipline violated)",
+                fn_name,
+                stmt,
+            ))
+        scope.define(name, mutable)

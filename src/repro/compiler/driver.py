@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.analysis.verifier import Verifier
+from repro.analysis.walker import IRVerificationError
 from repro.catalog.catalog import Catalog
 from repro.plan import physical as phys
 from repro.staging import generate_c, generate_python
@@ -38,6 +40,7 @@ class CompiledQuery:
     hoisted: bool = False
     instrumented: bool = False
     last_stats: Optional[dict] = field(default=None, repr=False)
+    functions: list[ir.Function] = field(default_factory=list, repr=False)
     _prepared: Optional[Callable] = field(default=None, repr=False)
 
     def run(self, db: Database) -> list[tuple]:
@@ -90,12 +93,19 @@ class LB2Compiler:
         plan: phys.PhysicalPlan,
         name: str = "query",
         split_prepare: bool = False,
+        verify: bool = True,
     ) -> CompiledQuery:
         """Specialize the evaluator to ``plan``; returns a runnable query.
 
         ``split_prepare=True`` emits the Figure 7 two-function form:
         ``prepare(db)`` performs allocations and returns a ``run(out)``
         closure containing only the hot path.
+
+        ``verify=True`` (the default) runs the IR verifier over the staged
+        program between generation and host compilation, raising
+        :class:`repro.analysis.IRVerificationError` -- with structured
+        diagnostics and a source excerpt -- instead of letting a codegen
+        bug surface as an arbitrary runtime failure.
         """
         plan.validate(self.catalog)
         if split_prepare and self.config.instrument:
@@ -126,9 +136,15 @@ class LB2Compiler:
                 datapath = root.exec()
                 datapath(output_cb)
 
+        functions = ctx.program()
         header = f"residual program for plan rooted at {type(plan).__name__}"
-        source = generate_python(ctx.program(), header=header)
+        source = generate_python(functions, header=header)
         generation_seconds = time.perf_counter() - t0
+
+        if verify:
+            diagnostics = Verifier().run(functions)
+            if diagnostics:
+                raise IRVerificationError(diagnostics, functions)
 
         t1 = time.perf_counter()
         program = PyProgram(source)
@@ -143,8 +159,9 @@ class LB2Compiler:
             compile_seconds=compile_seconds,
             hoisted=split_prepare,
             instrumented=self.config.instrument,
+            functions=functions,
         )
-        compiled._c_source = generate_c(ctx.program(), header=header)
+        compiled._c_source = generate_c(functions, header=header)
         return compiled
 
 

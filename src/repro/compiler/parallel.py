@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.analysis.verifier import Verifier
+from repro.analysis.walker import IRVerificationError
 from repro.catalog.catalog import Catalog
 from repro.engine import push as push_engine
 from repro.engine.aggregates import eval_null_safe
@@ -230,6 +232,7 @@ class ParallelQuery:
         db: Database,
         catalog: Catalog,
         config: Optional[Config] = None,
+        verify: bool = True,
     ) -> None:
         self.plan = plan
         self.db = db
@@ -249,9 +252,9 @@ class ParallelQuery:
         )
         self.agg_field_names = self.split.agg.field_names(catalog)
         self.grouped = bool(self.split.agg.keys)
-        self.source = self._compile()
+        self.source = self._compile(verify)
 
-    def _compile(self) -> str:
+    def _compile(self, verify: bool = True) -> str:
         ctx = StagingContext()
         builder = StagedPlanBuilder(self.catalog, self.db, ctx, self.config)
         with ctx.function("partial", ["db", "lo", "hi"]):
@@ -260,8 +263,13 @@ class ParallelQuery:
             root = builder.build(self.split.agg)
             builder.set_partition(self.split.driving_scan, lo, hi)
             root.exec_partial()  # type: ignore[attr-defined]
+        self.functions = ctx.program()
+        if verify:
+            diagnostics = Verifier().run(self.functions)
+            if diagnostics:
+                raise IRVerificationError(diagnostics, self.functions)
         source = generate_python(
-            ctx.program(),
+            self.functions,
             header=f"parallel partial for {type(self.plan).__name__} plan",
         )
         self._program = PyProgram(source)

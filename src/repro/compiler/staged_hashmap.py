@@ -74,13 +74,18 @@ class _ColumnSlots(Slots):
 
 
 def hash_keys(ctx: StagingContext, keys: Sequence[Rep]) -> RepInt:
-    """Combine key hashes; strings hash via the host hash, numerics are
-    their own hash (matching the generated-C ``hash_string`` + mix)."""
+    """Combine key hashes; strings hash via the host hash, doubles truncate
+    to their integer part (equality is still checked on the stored key, so
+    any deterministic projection is a valid hash), and integers are their
+    own hash (matching the generated-C ``hash_string`` + mix)."""
     combined: RepInt | None = None
     for key in keys:
-        piece = (
-            key.hash() if key.ctype == "char*" else RepInt(key.expr, ctx)  # type: ignore[attr-defined]
-        )
+        if key.ctype == "char*":
+            piece = key.hash()  # type: ignore[attr-defined]
+        elif key.ctype == "double":
+            piece = ctx.call("to_int", [key], result="long")
+        else:
+            piece = RepInt(key.expr, ctx)
         if combined is None:
             combined = piece
         else:

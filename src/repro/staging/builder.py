@@ -71,9 +71,16 @@ class StagingContext:
         return self._block_stack[-1]
 
     def emit(self, stmt: ir.Stmt) -> None:
-        """Append a statement to the innermost open block."""
+        """Append a statement to the innermost open block.
+
+        Comments are transparent to control flow: a ``ctx.comment(...)``
+        between an ``if_`` block and its ``else_`` must not sever the pair.
+        """
         self.current_block.append(stmt)
-        self._last_if = stmt if isinstance(stmt, ir.If) else None
+        if isinstance(stmt, ir.If):
+            self._last_if = stmt
+        elif not isinstance(stmt, ir.Comment):
+            self._last_if = None
 
     def comment(self, text: str) -> None:
         self.emit(ir.Comment(text))

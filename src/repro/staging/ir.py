@@ -240,6 +240,83 @@ class Function:
 Node = Union[Expr, Stmt]
 
 
+# --------------------------------------------------------------------------
+# Walker hooks
+#
+# The analysis layer (:mod:`repro.analysis`) never rewrites the IR -- it only
+# traverses it.  These helpers are the single place that knows the child
+# structure of every node, so adding an IR node means extending exactly one
+# table here and every analysis pass picks it up.
+# --------------------------------------------------------------------------
+
+
+def expr_children(expr: Expr) -> tuple[Expr, ...]:
+    """The direct sub-expressions of ``expr`` (empty for atoms)."""
+    if isinstance(expr, Bin):
+        return (expr.lhs, expr.rhs)
+    if isinstance(expr, Un):
+        return (expr.operand,)
+    if isinstance(expr, Call):
+        return expr.args
+    if isinstance(expr, Index):
+        return (expr.arr, expr.idx)
+    if isinstance(expr, (TupleExpr, ListExpr)):
+        return expr.items
+    return ()
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    yield expr
+    for child in expr_children(expr):
+        yield from walk_expr(child)
+
+
+def stmt_exprs(stmt: Stmt) -> tuple[Expr, ...]:
+    """The expressions a statement evaluates directly (not its sub-blocks)."""
+    if isinstance(stmt, (Assign, Reassign)):
+        return (stmt.expr,)
+    if isinstance(stmt, SetIndex):
+        return (stmt.arr, stmt.idx, stmt.value)
+    if isinstance(stmt, ExprStmt):
+        return (stmt.expr,)
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    if isinstance(stmt, ForRange):
+        if stmt.step is None:
+            return (stmt.start, stmt.stop)
+        return (stmt.start, stmt.stop, stmt.step)
+    if isinstance(stmt, ForEach):
+        return (stmt.iterable,)
+    if isinstance(stmt, Return):
+        return () if stmt.expr is None else (stmt.expr,)
+    return ()
+
+
+def stmt_blocks(stmt: Stmt) -> tuple[Block, ...]:
+    """The nested statement blocks of a structured statement."""
+    if isinstance(stmt, If):
+        return (stmt.then, stmt.els)
+    if isinstance(stmt, (While, ForRange, ForEach, NestedFunc)):
+        return (stmt.body,)
+    return ()
+
+
+def stmt_binds(stmt: Stmt) -> Optional[str]:
+    """The name a statement introduces into the current scope, if any.
+
+    ``NestedFunc`` binds its *function name*; its parameters belong to the
+    nested scope and are not returned here.
+    """
+    if isinstance(stmt, Assign):
+        return stmt.name
+    if isinstance(stmt, (ForRange, ForEach)):
+        return stmt.var
+    if isinstance(stmt, NestedFunc):
+        return stmt.name
+    return None
+
+
 def is_atom(expr: Expr) -> bool:
     """Return True when ``expr`` needs no binding to a fresh name.
 

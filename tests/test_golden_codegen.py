@@ -8,6 +8,7 @@ loops, subscripts and arithmetic -- no Record/HashMap/operator abstractions
 
 import re
 
+from repro.analysis import Verifier, analyze
 from repro.catalog import Catalog, INT, STRING
 from repro.catalog.schema import schema
 from repro.compiler.driver import LB2Compiler
@@ -41,6 +42,10 @@ def test_power_python_golden():
         "    return x3\n"
     )
     assert expected in source
+
+
+def test_power_program_verifier_clean():
+    assert Verifier().run(power_program().program()) == []
 
 
 def test_power_c_golden():
@@ -81,6 +86,9 @@ def test_aggregate_walkthrough_python():
     )
     for forbidden in ("Record", "Agg", "Scan(", "exec"):
         assert forbidden not in code_only
+    # the walkthrough program is not just the right shape -- it is clean
+    # under the whole analysis pipeline (verifier, type checker, lints)
+    assert analyze(compiled.functions) == []
     assert sorted(compiled.run(db)) == [("CS", 2), ("EE", 1)]
 
 
@@ -95,6 +103,7 @@ def test_aggregate_walkthrough_open_addressing_c():
     assert "for (long" in c_source
     # open addressing probing loop present
     assert "for (;;)" in c_source
+    assert analyze(compiled.functions) == []
     # the python rendering runs and agrees
     assert sorted(compiled.run(db)) == [("CS", 2), ("EE", 1)]
 
