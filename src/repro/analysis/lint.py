@@ -166,6 +166,8 @@ CALL_EFFECTS: dict[str, str] = {
     "sort_rows": WRITE,
     # externally observable effects
     "out_append": IO, "map_full": IO,
+    # cooperative budget/fault checkpoint: may raise, must stay in the loop
+    "scan_tick": IO,
 }
 
 _PURE_CALLS = {

@@ -75,6 +75,7 @@ INTRINSIC_RESULT: dict[str, Optional[str]] = {
     "topk_rows": "void*",
     "argsort_columns": "void*",
     "map_full": "void",
+    "scan_tick": "void",
 }
 
 _COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}

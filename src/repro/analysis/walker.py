@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.staging import ir
 from repro.staging.pygen import _Writer
 
@@ -200,10 +201,13 @@ def render_excerpt(
     return "\n".join(out)
 
 
-class IRVerificationError(Exception):
+class IRVerificationError(ReproError):
     """Raised by ``LB2Compiler.compile(verify=True)`` on a bad residual
     program.  Carries the structured diagnostics plus a rendered excerpt of
     the generated source around the first offending statement."""
+
+    code = "E_VERIFY"
+    phase = "verify"
 
     def __init__(
         self,

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.catalog.types import ColumnType
 
 
@@ -24,8 +25,11 @@ class Column:
         return f"{self.name}:{self.type.value}"
 
 
-class SchemaError(Exception):
+class SchemaError(ReproError):
     """Raised on unknown columns or inconsistent schema definitions."""
+
+    code = "E_SCHEMA"
+    phase = "catalog"
 
 
 @dataclass

@@ -24,6 +24,7 @@ from repro.staging.pygen import PyProgram
 from repro.storage.database import Database
 from repro.compiler.lb2 import Config, StagedPlanBuilder
 from repro.compiler.staged_record import value_output
+from repro.resilience.faults import fault_point
 from repro.staging import ir
 
 
@@ -42,6 +43,7 @@ class CompiledQuery:
     last_stats: Optional[dict] = field(default=None, repr=False)
     functions: list[ir.Function] = field(default_factory=list, repr=False)
     _prepared: Optional[Callable] = field(default=None, repr=False)
+    _c_source: str = field(default="", repr=False)
 
     def run(self, db: Database) -> list[tuple]:
         """Execute the compiled query against ``db``; returns result rows.
@@ -71,8 +73,6 @@ class CompiledQuery:
     def c_source(self) -> str:
         """The illustrative C rendering of the same staged program."""
         return self._c_source
-
-    _c_source: str = ""
 
 
 class LB2Compiler:
@@ -110,6 +110,7 @@ class LB2Compiler:
         plan.validate(self.catalog)
         if split_prepare and self.config.instrument:
             raise ValueError("instrument mode is not supported with split_prepare")
+        fault_point("codegen")
         t0 = time.perf_counter()
         ctx = StagingContext()
         builder = StagedPlanBuilder(self.catalog, self.db, ctx, self.config)
@@ -142,10 +143,12 @@ class LB2Compiler:
         generation_seconds = time.perf_counter() - t0
 
         if verify:
+            fault_point("verify")
             diagnostics = Verifier().run(functions)
             if diagnostics:
                 raise IRVerificationError(diagnostics, functions)
 
+        fault_point("host-compile")
         t1 = time.perf_counter()
         program = PyProgram(source)
         compile_seconds = time.perf_counter() - t1

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Callable, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.catalog.catalog import Catalog
 from repro.catalog.types import ColumnType
 from repro.plan import physical as phys
@@ -43,8 +44,11 @@ from repro.compiler.staged_record import (
 )
 
 
-class CompileError(Exception):
+class CompileError(ReproError):
     """Raised when a plan cannot be compiled."""
+
+    code = "E_COMPILE"
+    phase = "codegen"
 
 
 @dataclass(frozen=True)
@@ -57,6 +61,12 @@ class Config:
     * ``hoist`` -- allocate data structures ahead of the hot path (4.4).
     * ``use_dictionaries`` -- read dictionary-compressed columns when the
       database provides them (4.3).
+    * ``budget_checks`` -- emit a periodic ``rt.scan_tick`` checkpoint into
+      scan loops so the resilience layer can enforce wall-clock/row budgets
+      and inject mid-scan faults.  Off by default: with the flag off the
+      residual source is byte-identical to an unguarded build.
+    * ``budget_check_interval`` -- rows between checkpoints in counted scan
+      loops (candidate-list scans check per row).
     """
 
     hashmap: str = "native"
@@ -65,12 +75,16 @@ class Config:
     use_dictionaries: bool = True
     instrument: bool = False
     sort_layout: str = "row"  # "row" (tuple buffer) or "column" (SoA + argsort)
+    budget_checks: bool = False
+    budget_check_interval: int = 1024
 
     def __post_init__(self) -> None:
         if self.hashmap not in ("native", "open"):
             raise CompileError(f"unknown hashmap implementation {self.hashmap!r}")
         if self.sort_layout not in ("row", "column"):
             raise CompileError(f"unknown sort layout {self.sort_layout!r}")
+        if self.budget_check_interval <= 0:
+            raise CompileError("budget_check_interval must be positive")
 
 
 @dataclass(frozen=True)
@@ -151,9 +165,11 @@ class StagedScan(StagedOp):
                 # generated partial covers rows [lo, hi).
                 lo, hi = bounds
                 with self.ctx.for_range(lo, hi, prefix="i") as i:
+                    _emit_scan_tick(self.comp, i)
                     cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
             else:
                 with self.ctx.for_range(0, state.size, prefix="i") as i:
+                    _emit_scan_tick(self.comp, i)
                     cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
 
         return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
@@ -220,11 +236,13 @@ class StagedDateIndexScan(StagedOp):
             state, rows, boundary = state_rows
             if boundary is None:
                 with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
+                    _emit_scan_tick(self.comp)
                     cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
                 return
             # Interior partitions: the range holds by construction.
             self.ctx.comment("interior partitions: no date check needed")
             with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
+                _emit_scan_tick(self.comp)
                 cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
             # Boundary partitions: re-check the exact bounds per row.
             self.ctx.comment("boundary partitions: exact bound re-check")
@@ -300,6 +318,26 @@ def _make_loader(
         return rep_for_ctype(desc.type.ctype)(sym, ctx)
 
     return load
+
+
+def _emit_scan_tick(comp: "StagedPlanBuilder", i: Optional[RepInt] = None) -> None:
+    """Emit a cooperative budget/fault checkpoint into the current loop.
+
+    With a counted induction variable ``i`` the check fires every
+    ``budget_check_interval`` rows (one modulo + compare per row, a call
+    only on the sampled rows); candidate-list loops without a counter
+    check per row.  Nothing at all is emitted unless
+    ``Config.budget_checks`` is set, keeping default codegen byte-stable.
+    """
+    if not comp.config.budget_checks:
+        return
+    interval = comp.config.budget_check_interval
+    ctx = comp.ctx
+    if i is None or interval <= 1:
+        ctx.call_stmt("scan_tick", [1])
+        return
+    with ctx.if_((i % interval) == 0):
+        ctx.call_stmt("scan_tick", [interval])
 
 
 # ---------------------------------------------------------------------------

@@ -36,8 +36,10 @@ from repro.analysis.walker import IRVerificationError
 from repro.catalog.catalog import Catalog
 from repro.engine import push as push_engine
 from repro.engine.aggregates import eval_null_safe
+from repro.errors import ReproError, error_code
 from repro.plan import physical as phys
 from repro.plan.expressions import AggSpec
+from repro.resilience.faults import fault_point
 from repro.staging import generate_python
 from repro.staging.builder import StagingContext
 from repro.staging.pygen import PyProgram
@@ -46,8 +48,36 @@ from repro.compiler.lb2 import CompileError, Config, StagedPlanBuilder
 from repro.compiler.staged_agg import StagedAgg, build_staged_aggs
 
 
-class ParallelError(Exception):
+class ParallelError(ReproError):
     """Raised when a plan shape is not supported by the parallel driver."""
+
+    code = "E_PARALLEL"
+    phase = "execute"
+
+
+class ParallelWorkerError(ParallelError):
+    """A parallel worker crashed; names the worker and the fault site.
+
+    Raised by :meth:`ParallelQuery.run_multiprocess` after the failing
+    worker's siblings have been cancelled (the pool is terminated, never
+    joined on forever).
+    """
+
+    code = "E_WORKER"
+    phase = "execute"
+
+    def __init__(
+        self,
+        worker: int,
+        site: Optional[str],
+        message: str,
+        cause_code: str = "E_RUNTIME",
+    ) -> None:
+        where = f" at fault site {site!r}" if site else ""
+        super().__init__(f"parallel worker {worker} failed{where}: {message}")
+        self.worker = worker
+        self.site = site
+        self.cause_code = cause_code
 
 
 @dataclass
@@ -245,6 +275,8 @@ class ParallelQuery:
             open_map_size=base.open_map_size,
             hoist=base.hoist,
             use_dictionaries=False,
+            budget_checks=base.budget_checks,
+            budget_check_interval=base.budget_check_interval,
         )
         self.split = split_plan(plan)
         self.staged_aggs = build_staged_aggs(
@@ -287,7 +319,9 @@ class ParallelQuery:
             (lo, min(lo + chunk, size)) for lo in range(0, size, max(chunk, 1))
         ] or [(0, 0)]
 
-    def run_partial(self, lo: int, hi: int):
+    def run_partial(self, lo: int, hi: int, worker: Optional[int] = None):
+        if worker is not None:
+            fault_point("worker-run", key=worker)
         return self._partial(self.db, lo, hi)
 
     def merged_rows(self, states: Sequence) -> list[dict]:
@@ -348,19 +382,21 @@ class ParallelQuery:
     # -- execution modes -----------------------------------------------------------
 
     def run_simulated(
-        self, partitions: int
+        self, partitions: int, inject: bool = False
     ) -> tuple[list[tuple], PartitionTiming]:
         """Run all partials sequentially; report per-phase timings.
 
         The returned :class:`PartitionTiming` computes the k-worker
         makespan -- the simulation substitute for multi-core hardware
-        documented in DESIGN.md.
+        documented in DESIGN.md.  ``inject=True`` routes each partial
+        through the ``worker-run`` fault site (keyed by partition index)
+        so degradation tests need not fork.
         """
         states = []
         per_partition = []
-        for lo, hi in self.partition_ranges(partitions):
+        for idx, (lo, hi) in enumerate(self.partition_ranges(partitions)):
             start = time.perf_counter()
-            states.append(self.run_partial(lo, hi))
+            states.append(self.run_partial(lo, hi, worker=idx if inject else None))
             per_partition.append(time.perf_counter() - start)
         start = time.perf_counter()
         rows = self.merged_rows(states)
@@ -371,24 +407,93 @@ class ParallelQuery:
         return result, PartitionTiming(per_partition, merge_seconds, tail_seconds)
 
     def run_multiprocess(self, workers: int) -> list[tuple]:
-        """Fork ``workers`` processes and run partials concurrently."""
+        """Fork ``workers`` processes and run partials concurrently.
+
+        Worker failures are cooperative, not fatal: each worker reports
+        success or a serialized failure, and the first failure terminates
+        the pool (cancelling the siblings) and raises
+        :class:`ParallelWorkerError` naming the worker and -- for injected
+        faults -- the fault site.  An armed :class:`FaultInjector` is
+        inherited by the forked workers, so ``worker-run`` faults keyed by
+        worker index fire inside the target child only.
+        """
         import multiprocessing as mp
 
         global _FORK_STATE
         ranges = self.partition_ranges(workers)
         _FORK_STATE = (self._partial, self.db)
+        states: list = [None] * len(ranges)
         try:
             with mp.get_context("fork").Pool(processes=workers) as pool:
-                states = pool.map(_fork_worker, ranges)
+                jobs = [(idx, lo, hi) for idx, (lo, hi) in enumerate(ranges)]
+                for idx, (ok, payload) in enumerate(pool.imap(_fork_worker, jobs)):
+                    if not ok:
+                        site, cause, message = payload
+                        # Exiting the ``with`` block terminates the pool:
+                        # siblings are cancelled, nothing is joined forever.
+                        raise ParallelWorkerError(
+                            worker=idx, site=site, message=message, cause_code=cause
+                        )
+                    states[idx] = payload
         finally:
             _FORK_STATE = None
         return self.run_tail(self.merged_rows(states))
+
+    def run_resilient(self, workers: int) -> tuple[list[tuple], "ParallelRunReport"]:
+        """Multiprocess execution that degrades to sequential on failure.
+
+        A crashed worker cancels its siblings and the whole query re-runs
+        sequentially (fault injection disabled -- the degraded path must
+        answer).  Budget violations re-raise: the budget bounds the query,
+        so restarting the scan sequentially would double-spend it.
+        """
+        try:
+            rows = self.run_multiprocess(workers)
+        except ParallelWorkerError as exc:
+            if exc.cause_code == "E_BUDGET":
+                raise
+            rows, _timing = self.run_simulated(workers, inject=False)
+            return rows, ParallelRunReport(
+                mode="sequential-fallback",
+                workers=workers,
+                failed_worker=exc.worker,
+                fault_site=exc.site,
+                error=str(exc),
+            )
+        return rows, ParallelRunReport(mode="multiprocess", workers=workers)
+
+
+@dataclass
+class ParallelRunReport:
+    """How a resilient parallel run ended up executing."""
+
+    mode: str  # "multiprocess" or "sequential-fallback"
+    workers: int
+    failed_worker: Optional[int] = None
+    fault_site: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.mode != "multiprocess"
 
 
 _FORK_STATE: Optional[tuple[Callable, Database]] = None
 
 
-def _fork_worker(bounds: tuple[int, int]):
+def _fork_worker(job: tuple[int, int, int]):
+    """Run one partial in a forked child; failures come back serialized.
+
+    Returns ``(True, state)`` on success or ``(False, (site, code, msg))``
+    on failure, so the parent can cancel siblings and name the culprit
+    instead of unpickling arbitrary exceptions (or hanging).
+    """
     assert _FORK_STATE is not None, "worker forked without state"
     partial, db = _FORK_STATE
-    return partial(db, bounds[0], bounds[1])
+    idx, lo, hi = job
+    try:
+        fault_point("worker-run", key=idx)
+        return True, partial(db, lo, hi)
+    except Exception as exc:  # noqa: BLE001 - serialized for the parent
+        site = getattr(exc, "site", None)
+        return False, (site, error_code(exc), str(exc) or type(exc).__name__)

@@ -147,3 +147,44 @@ def first_or_none(seq: Iterable):
     for item in seq:
         return item
     return None
+
+
+# -- cooperative budget / fault hooks ----------------------------------------
+#
+# Residual programs compiled with ``Config(budget_checks=True)`` call
+# ``rt.scan_tick(n)`` periodically from their scan loops.  The call fans out
+# to whatever hooks the resilience layer has installed (a budget guard, a
+# mid-scan fault injector); with no hooks installed it is a no-op, and with
+# budget checks disabled (the default) it is never even emitted, so the
+# residual source is byte-identical to the unguarded build.
+
+_TICK_HOOKS: list = []
+
+
+def push_tick_hook(hook) -> None:
+    """Install a ``hook(n)`` callable invoked on every ``scan_tick``."""
+    _TICK_HOOKS.append(hook)
+
+
+def pop_tick_hook(hook) -> None:
+    """Remove a previously installed tick hook (last occurrence).
+
+    Compared with ``==``, not ``is``: callers pass bound methods, and each
+    ``obj.method`` access builds a fresh bound-method object.
+    """
+    for i in range(len(_TICK_HOOKS) - 1, -1, -1):
+        if _TICK_HOOKS[i] == hook:
+            del _TICK_HOOKS[i]
+            return
+
+
+def scan_tick(n: int = 1) -> None:
+    """Cooperative checkpoint emitted into guarded scan loops.
+
+    ``n`` is the number of rows processed since the previous tick.  Hooks
+    may raise (``BudgetExceeded``, ``InjectedFault``) to abort the residual
+    program; the exception propagates out of the generated function to the
+    caller, exactly like any other runtime failure.
+    """
+    for hook in list(_TICK_HOOKS):
+        hook(n)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import functools
 from typing import Callable, Optional
 
+from repro.errors import ReproError
 from repro.catalog.catalog import Catalog
 from repro.engine.aggregates import (
     eval_null_safe,
@@ -27,8 +28,11 @@ Row = dict
 Callback = Callable[[Row], None]
 
 
-class PushError(Exception):
+class PushError(ReproError):
     """Raised when a plan node has no push-engine implementation."""
+
+    code = "E_PUSH"
+    phase = "execute"
 
 
 class Op:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import functools
 from typing import Iterator, Optional
 
+from repro.errors import ReproError
 from repro.catalog.catalog import Catalog
 from repro.engine.aggregates import (
     eval_null_safe,
@@ -26,8 +27,11 @@ from repro.storage.database import Database
 Row = dict  # runtime records are plain dicts: field name -> value
 
 
-class VolcanoError(Exception):
+class VolcanoError(ReproError):
     """Raised when a plan node has no Volcano implementation."""
+
+    code = "E_VOLCANO"
+    phase = "execute"
 
 
 class Operator:

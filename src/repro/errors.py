@@ -1,0 +1,123 @@
+"""The structured error taxonomy shared by every layer.
+
+One :class:`ReproError` hierarchy replaces the former scatter of unrelated
+exception bases (``PlanError``, ``CompileError``, ``ParallelError``,
+``PushError``, ``VolcanoError``...).  The old names remain as subclasses in
+their home modules, so existing ``except`` clauses keep working; what is
+new is that every public error now carries
+
+* ``code``  -- a stable machine-readable identifier (``E_*``),
+* ``phase`` -- the compilation/execution phase that failed
+  (``plan``, ``codegen``, ``verify``, ``host-compile``, ``execute``...),
+* ``engine_trail`` -- the engines attempted before this error surfaced,
+  filled in by the resilience layer's fallback chain.
+
+This module is a deliberate leaf: it imports nothing from the rest of the
+package so that any layer (catalog, plan, staging, engines, compiler) can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Phases an error can be attributed to, in pipeline order.
+PHASES = (
+    "catalog",
+    "plan",
+    "codegen",
+    "verify",
+    "host-compile",
+    "execute",
+)
+
+#: ``code -> class`` registry, populated by ``__init_subclass__``.
+ERROR_CODES: dict[str, type] = {}
+
+
+class ReproError(Exception):
+    """Base of every error the system raises on purpose.
+
+    Subclasses set ``code`` and ``phase`` as class attributes; the
+    resilience layer attaches ``engine_trail`` to instances as it walks
+    the fallback chain.
+    """
+
+    code: str = "E_REPRO"
+    phase: str = "execute"
+    engine_trail: tuple[str, ...] = ()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # First class to claim a code owns it; compatibility subclasses
+        # (e.g. a module-local alias) inherit without re-registering.
+        ERROR_CODES.setdefault(cls.code, cls)
+
+    def with_trail(self, trail: Sequence[str]) -> "ReproError":
+        """Attach the attempted-engine trail; returns ``self`` for re-raise."""
+        self.engine_trail = tuple(trail)
+        return self
+
+    def describe(self) -> str:
+        """One-line structured rendering: code, phase, trail, message."""
+        trail = "->".join(self.engine_trail) if self.engine_trail else "-"
+        return f"[{self.code} phase={self.phase} trail={trail}] {self}"
+
+
+class BudgetExceeded(ReproError):
+    """A query ran past its wall-clock, row, or allocation budget.
+
+    Carries the partial execution statistics gathered up to the point the
+    guard fired, so callers can report how far the query got.
+    """
+
+    code = "E_BUDGET"
+    phase = "execute"
+
+    def __init__(self, message: str, stats: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.stats: dict = dict(stats or {})
+
+
+class InjectedFault(ReproError):
+    """A deterministic failure raised by the fault-injection harness.
+
+    ``site`` names where the fault fired (one of
+    :data:`repro.resilience.faults.FAULT_SITES`); tests use it to assert
+    that every degradation path is exercised.
+    """
+
+    code = "E_FAULT"
+    phase = "execute"
+
+    _SITE_PHASES = {
+        "codegen": "codegen",
+        "verify": "verify",
+        "host-compile": "host-compile",
+        "worker-run": "execute",
+        "mid-scan": "execute",
+    }
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        super().__init__(
+            f"injected fault at site {site!r}" + (f": {detail}" if detail else "")
+        )
+        self.site = site
+        self.detail = detail
+        # phase is per-instance here: the same class models faults at
+        # several pipeline stages.
+        self.phase = self._SITE_PHASES.get(site, "execute")
+
+
+def error_code(exc: BaseException) -> str:
+    """The taxonomy code of any exception (``E_RUNTIME`` for foreign ones)."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    return "E_RUNTIME"
+
+
+def error_phase(exc: BaseException) -> str:
+    """The pipeline phase of any exception (``execute`` for foreign ones)."""
+    if isinstance(exc, ReproError):
+        return exc.phase
+    return "execute"

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.errors import ReproError
 from repro.catalog.catalog import Catalog
 from repro.catalog.types import ColumnType
 from repro.plan.expressions import AggSpec, Expr, ExprError
@@ -24,8 +25,11 @@ from repro.plan.expressions import AggSpec, Expr, ExprError
 Fields = list[tuple[str, ColumnType]]
 
 
-class PlanError(Exception):
+class PlanError(ReproError):
     """Raised on malformed plans (unknown fields, clashing names...)."""
+
+    code = "E_PLAN"
+    phase = "plan"
 
 
 class PhysicalPlan:

@@ -1,0 +1,272 @@
+"""The engine fallback chain: compiled -> push interpreter -> Volcano.
+
+The repo has three independent evaluation paths that answer every query
+identically (the differential-testing backbone); this module turns that
+redundancy into fault tolerance.  A :class:`ResilientExecutor` wraps a
+:class:`repro.session.Session` and walks the chain: if the compiled path
+fails -- codegen bug, verifier rejection, crash inside the residual
+program -- the query transparently retries on the push interpreter, then
+on Volcano, recording every attempt in an :class:`ExecutionReport`.  The
+:class:`repro.resilience.policy.FallbackPolicy` decides which errors
+degrade and which re-raise (a malformed plan fails everywhere; retrying it
+is noise, not resilience).
+
+Budgets ride along: with a :class:`repro.resilience.budget.Budget` set,
+the compiled engine is built with ``Config(budget_checks=True)`` so the
+residual scan loops tick cooperatively, and the interpreted engines tick
+once per row reaching the result collector.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.errors import ReproError, error_code, error_phase
+from repro.resilience.budget import Budget, BudgetGuard
+from repro.resilience.faults import active_injector
+from repro.resilience.policy import DEFAULT_POLICY, FallbackPolicy
+
+#: The default degradation order: fastest first, most battle-tested last.
+ENGINE_CHAIN = ("compiled", "push", "volcano")
+
+
+@dataclass
+class EngineAttempt:
+    """One engine's try at a query: outcome, timing, failure details."""
+
+    engine: str
+    seconds: float
+    error: Optional[str] = None
+    error_code: Optional[str] = None
+    phase: Optional[str] = None
+    fault_site: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.engine}: ok ({self.seconds * 1e3:.2f} ms)"
+        site = f" fault={self.fault_site}" if self.fault_site else ""
+        return (
+            f"{self.engine}: {self.error_code} in phase {self.phase}{site}"
+            f" ({self.error})"
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """What happened on the way to an answer (or to exhaustion)."""
+
+    attempts: list[EngineAttempt] = field(default_factory=list)
+    engine: Optional[str] = None  # the engine that produced the rows
+    budget: Optional[Budget] = None
+    budget_stats: Optional[dict] = None
+
+    @property
+    def engine_trail(self) -> tuple[str, ...]:
+        return tuple(a.engine for a in self.attempts)
+
+    @property
+    def degraded(self) -> bool:
+        return len(self.attempts) > 1
+
+    @property
+    def faults(self) -> tuple[str, ...]:
+        """Fault-injection sites encountered across attempts."""
+        return tuple(a.fault_site for a in self.attempts if a.fault_site)
+
+    def describe(self) -> str:
+        lines = [a.describe() for a in self.attempts]
+        head = f"engine={self.engine or 'none'} trail={'->'.join(self.engine_trail)}"
+        return "\n".join([head] + lines)
+
+
+@dataclass
+class ResilientResult:
+    """Result rows plus the execution report that explains them."""
+
+    rows: list[tuple]
+    report: ExecutionReport
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ResilientExecutor:
+    """Fault-tolerant query execution over a :class:`Session`.
+
+    ``engines`` is the ordered fallback chain (a subset/permutation of
+    :data:`ENGINE_CHAIN`); ``budget`` bounds every attempt jointly --
+    elapsed time and scanned rows accumulate across the chain, so a
+    degraded query cannot spend three budgets.
+    """
+
+    def __init__(
+        self,
+        session,
+        policy: Optional[FallbackPolicy] = None,
+        budget: Optional[Budget] = None,
+        engines: Sequence[str] = ENGINE_CHAIN,
+    ) -> None:
+        unknown = [e for e in engines if e not in ENGINE_CHAIN]
+        if unknown:
+            raise ValueError(f"unknown engines {unknown}; pick from {ENGINE_CHAIN}")
+        if not engines:
+            raise ValueError("at least one engine is required")
+        self.session = session
+        self.policy = policy or DEFAULT_POLICY
+        self.budget = budget
+        self.engines = tuple(engines)
+
+    # -- public surface -----------------------------------------------------
+
+    def query(self, sql: str) -> ResilientResult:
+        """Execute SQL with fallback; planning errors re-raise untouched
+        (a bad query is a bad query on every engine)."""
+        plan = self.session.plan(sql)
+        return self._execute(plan, sql=sql)
+
+    def execute_plan(self, plan) -> ResilientResult:
+        """Execute a hand-built physical plan with fallback."""
+        plan.validate(self.session.db.catalog)
+        return self._execute(plan, sql=None)
+
+    # -- the chain ----------------------------------------------------------
+
+    def _execute(self, plan, sql: Optional[str]) -> ResilientResult:
+        report = ExecutionReport(budget=self.budget)
+        guard = BudgetGuard(self.budget) if self._budget_active() else None
+        last_error: Optional[BaseException] = None
+        for engine in self.engines:
+            start = time.perf_counter()
+            try:
+                rows = self._run_engine(engine, plan, sql, guard)
+            except BaseException as exc:  # noqa: BLE001 - the policy decides
+                report.attempts.append(
+                    EngineAttempt(
+                        engine=engine,
+                        seconds=time.perf_counter() - start,
+                        error=str(exc) or type(exc).__name__,
+                        error_code=error_code(exc),
+                        phase=error_phase(exc),
+                        fault_site=getattr(exc, "site", None),
+                    )
+                )
+                last_error = exc
+                if sql is not None and engine == "compiled":
+                    # Auto-invalidate: never serve a cached compiled query
+                    # that just failed (stale plan, codegen bug...).
+                    self.session.forget(sql)
+                if not self.policy.should_degrade(exc):
+                    self._attach(exc, report, guard)
+                    raise
+                continue
+            report.attempts.append(
+                EngineAttempt(engine=engine, seconds=time.perf_counter() - start)
+            )
+            report.engine = engine
+            if guard is not None:
+                report.budget_stats = guard.stats()
+            return ResilientResult(rows, report)
+        assert last_error is not None
+        self._attach(last_error, report, guard)
+        raise last_error
+
+    def _attach(
+        self,
+        exc: BaseException,
+        report: ExecutionReport,
+        guard: Optional[BudgetGuard],
+    ) -> None:
+        """Decorate an outgoing error with the trail and partial stats."""
+        if guard is not None:
+            report.budget_stats = guard.stats()
+        if isinstance(exc, ReproError):
+            exc.with_trail(report.engine_trail)
+        # Always reachable for post-mortems, taxonomy member or not.
+        exc.execution_report = report  # type: ignore[attr-defined]
+
+    # -- engines ------------------------------------------------------------
+
+    def _budget_active(self) -> bool:
+        return self.budget is not None and not self.budget.unlimited
+
+    def _needs_ticks(self) -> bool:
+        """Must the compiled engine emit scan checkpoints this run?"""
+        if self._budget_active():
+            return True
+        injector = active_injector()
+        return injector is not None and any(
+            spec.site == "mid-scan" for spec in injector.specs
+        )
+
+    def _run_engine(
+        self,
+        engine: str,
+        plan,
+        sql: Optional[str],
+        guard: Optional[BudgetGuard],
+    ) -> list[tuple]:
+        if engine == "compiled":
+            return self._run_compiled(plan, sql, guard)
+        if engine == "push":
+            return self._run_push(plan, guard)
+        return self._run_volcano(plan, guard)
+
+    def _run_compiled(
+        self, plan, sql: Optional[str], guard: Optional[BudgetGuard]
+    ) -> list[tuple]:
+        from repro.compiler.driver import LB2Compiler
+        from repro.compiler.lb2 import Config
+
+        session = self.session
+        if self._needs_ticks():
+            # Guarded build: compiled fresh (never cached) with cooperative
+            # checkpoints in the scan loops.
+            base = session.config or Config()
+            config = replace(base, budget_checks=True)
+            compiled = LB2Compiler(session.db.catalog, session.db, config).compile(plan)
+        elif sql is not None:
+            compiled = session.prepare(sql)
+        else:
+            compiled = LB2Compiler(
+                session.db.catalog, session.db, session.config
+            ).compile(plan)
+        if guard is None:
+            return compiled.run(session.db)
+        with guard:
+            return compiled.run(session.db)
+
+    def _run_push(self, plan, guard: Optional[BudgetGuard]) -> list[tuple]:
+        from repro.engine.push import build_op
+
+        db = self.session.db
+        names = plan.field_names(db.catalog)
+        out: list[tuple] = []
+
+        def collect(row: dict) -> None:
+            if guard is not None:
+                guard.tick(1)
+            out.append(tuple(row[n] for n in names))
+
+        build_op(plan, db, db.catalog).exec(collect)
+        return out
+
+    def _run_volcano(self, plan, guard: Optional[BudgetGuard]) -> list[tuple]:
+        from repro.engine.volcano import iterate
+
+        db = self.session.db
+        names = plan.field_names(db.catalog)
+        out: list[tuple] = []
+        for row in iterate(plan, db, db.catalog):
+            if guard is not None:
+                guard.tick(1)
+            out.append(tuple(row[n] for n in names))
+        return out

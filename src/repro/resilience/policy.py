@@ -1,0 +1,58 @@
+"""The degradation policy: which failures fall through to the next engine.
+
+The default is the hybrid-engine argument (Kashuba & Muehleisen): *engine*
+failures degrade -- a codegen bug, a verifier rejection, a crash inside
+generated code are all properties of one evaluation strategy, and the push
+interpreter or Volcano iterator can still answer the query.  *Query*
+failures re-raise immediately -- a malformed plan or an unknown column
+fails identically everywhere, so retrying only buries the real error.
+Budget violations also re-raise: the budget bounds the query, not one
+engine, and silently restarting the work on a slower engine would be the
+opposite of what a timeout is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceeded, ReproError
+
+#: Error codes that indicate the *query* (not the engine) is at fault.
+QUERY_FAULT_CODES = frozenset({"E_PLAN", "E_SCHEMA"})
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Controls which errors degrade to the next engine vs. re-raise.
+
+    * ``enabled`` -- master switch; off means every error re-raises from
+      the first engine attempted.
+    * ``never_degrade_codes`` -- taxonomy codes that always re-raise.
+    * ``degrade_foreign_errors`` -- whether non-:class:`ReproError`
+      exceptions (e.g. a ``ZeroDivisionError`` inside generated code)
+      degrade; on by default, since an arbitrary crash in one engine is
+      exactly what the chain exists to absorb.
+    """
+
+    enabled: bool = True
+    never_degrade_codes: frozenset[str] = QUERY_FAULT_CODES
+    degrade_foreign_errors: bool = True
+
+    def should_degrade(self, error: BaseException) -> bool:
+        """True when the fallback chain may retry on the next engine."""
+        if not self.enabled:
+            return False
+        if isinstance(error, (KeyboardInterrupt, SystemExit, MemoryError)):
+            return False
+        if isinstance(error, BudgetExceeded):
+            return False
+        if isinstance(error, ReproError):
+            return error.code not in self.never_degrade_codes
+        return self.degrade_foreign_errors
+
+
+#: Degrade on engine trouble, re-raise on query trouble -- the default.
+DEFAULT_POLICY = FallbackPolicy()
+
+#: Never degrade: every error surfaces from the first engine attempted.
+STRICT_POLICY = FallbackPolicy(enabled=False)

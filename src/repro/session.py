@@ -32,7 +32,7 @@ class Session:
         self.db = db
         self.config = config
         self.use_index_rewrites = use_index_rewrites
-        self._cache: dict[str, CompiledQuery] = {}
+        self._cache: dict[tuple, CompiledQuery] = {}
 
     # -- planning ---------------------------------------------------------------
 
@@ -43,9 +43,25 @@ class Session:
             plan = optimize_for_level(plan, self.db, self.db.catalog)
         return plan
 
+    def _cache_key(self, sql: str) -> tuple:
+        """Everything a compiled query was specialized against.
+
+        Keying by statement text alone served stale plans after a config
+        change or a ``session.db`` swap -- the residual program bakes in
+        dictionary layouts, index choices and instrumentation.  ``Config``
+        is a frozen dataclass (hashable); the database contributes its
+        identity, so rebinding ``session.db`` misses cleanly.
+        """
+        return (
+            " ".join(sql.split()),  # whitespace-insensitive statement text
+            self.config,
+            id(self.db),
+            self.use_index_rewrites,
+        )
+
     def prepare(self, sql: str) -> CompiledQuery:
-        """The compiled query for ``sql``, cached by statement text."""
-        key = " ".join(sql.split())  # whitespace-insensitive cache key
+        """The compiled query for ``sql``, cached by statement + config."""
+        key = self._cache_key(sql)
         if key not in self._cache:
             compiler = LB2Compiler(self.db.catalog, self.db, self.config)
             self._cache[key] = compiler.compile(self.plan(sql))
@@ -95,3 +111,16 @@ class Session:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    def invalidate(self) -> None:
+        """Drop every cached compiled query (alias of :meth:`clear_cache`).
+
+        The resilience layer calls this (or :meth:`forget`) when a cached
+        plan misbehaves at run time, so degradation never re-serves a
+        known-bad residual program.
+        """
+        self._cache.clear()
+
+    def forget(self, sql: str) -> bool:
+        """Evict one statement's compiled query; True when it was cached."""
+        return self._cache.pop(self._cache_key(sql), None) is not None

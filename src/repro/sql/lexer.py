@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -17,8 +19,11 @@ SYMBOLS = ("<>", "<=", ">=", "!=", "||", "(", ")", ",", "+", "-", "*", "/",
            "=", "<", ">", ".", ";")
 
 
-class SqlLexError(Exception):
+class SqlLexError(ReproError):
     """Raised on unrecognizable input."""
+
+    code = "E_SQL_LEX"
+    phase = "plan"
 
 
 @dataclass(frozen=True)

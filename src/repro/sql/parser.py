@@ -17,12 +17,16 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.catalog.types import date_to_int
+from repro.errors import ReproError
 from repro.sql import ast_nodes as ast
 from repro.sql.lexer import Token, tokenize
 
 
-class SqlParseError(Exception):
+class SqlParseError(ReproError):
     """Raised on syntax errors, with token position context."""
+
+    code = "E_SQL_PARSE"
+    phase = "plan"
 
 
 _AGG_NAMES = ("count", "sum", "avg", "min", "max")

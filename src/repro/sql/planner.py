@@ -42,14 +42,18 @@ from repro.plan.expressions import (
     Or,
     Substring,
 )
+from repro.errors import ReproError
 from repro.plan.optimizer import QueryBlock, Relation, plan_block
 from repro.sql import ast_nodes as ast
 from repro.sql.parser import parse_select
 from repro.storage.database import Database
 
 
-class SqlPlanError(Exception):
+class SqlPlanError(ReproError):
     """Raised for semantic errors (unknown columns, bad aggregates...)."""
+
+    code = "E_SQL_PLAN"
+    phase = "plan"
 
 
 _CMP_MAP = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}

@@ -18,6 +18,7 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional, Sequence
 
+from repro.errors import ReproError
 from repro.staging import ir
 from repro.staging.rep import (
     Rep,
@@ -31,8 +32,11 @@ from repro.staging.rep import (
 )
 
 
-class StagingError(Exception):
+class StagingError(ReproError):
     """Raised on misuse of the staging API (e.g. ``else_`` without ``if_``)."""
+
+    code = "E_STAGING"
+    phase = "codegen"
 
 
 class StagingContext:

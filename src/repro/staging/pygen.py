@@ -21,11 +21,15 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Sequence
 
+from repro.errors import ReproError
 from repro.staging import ir
 
 
-class CodegenError(Exception):
+class CodegenError(ReproError):
     """Raised when the IR contains a node the target cannot render."""
+
+    code = "E_CODEGEN"
+    phase = "host-compile"
 
 
 def _py_const(value: object) -> str:

@@ -1,0 +1,35 @@
+"""Engine parity through the resilient executor: all 22 TPC-H queries.
+
+The fallback chain is only sound if the engines it degrades between are
+observationally equivalent.  This pins that property at the resilience
+layer's own entry point: each engine is run as a single-element chain, so
+what is compared is exactly what a degraded query would return.
+"""
+
+import pytest
+
+from repro.resilience import ENGINE_CHAIN, ResilientExecutor
+from repro.session import Session
+from repro.tpch import query_plan
+from repro.tpch.queries import QUERIES
+from tests.conftest import TINY_SCALE, normalize
+
+ALL_QUERIES = sorted(QUERIES)
+
+
+@pytest.fixture(scope="module")
+def parity_session(tpch_db):
+    return Session(tpch_db)
+
+
+@pytest.mark.parametrize("q", ALL_QUERIES)
+def test_every_engine_answers_identically(q, parity_session):
+    plan = query_plan(q, scale=TINY_SCALE)
+    results = {}
+    for engine in ENGINE_CHAIN:
+        executor = ResilientExecutor(parity_session, engines=(engine,))
+        result = executor.execute_plan(plan)
+        assert result.report.engine == engine
+        assert not result.report.degraded
+        results[engine] = normalize(result.rows)
+    assert results["compiled"] == results["push"] == results["volcano"]

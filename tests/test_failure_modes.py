@@ -210,3 +210,76 @@ def test_tiny_db_protocol_reopen(tiny_db):
         second.append(row)
     op.close()
     assert first == second and len(first) == 3
+
+
+# -- the error taxonomy ----------------------------------------------------------------
+
+
+def test_every_public_error_carries_code_and_phase():
+    """Each public exception class is a taxonomy member with a stable
+    ``E_*`` code and a recognised pipeline phase."""
+    from repro.analysis.walker import IRVerificationError
+    from repro.compiler.parallel import ParallelWorkerError
+    from repro.errors import ERROR_CODES, PHASES, BudgetExceeded, InjectedFault, ReproError
+    from repro.sql.lexer import SqlLexError
+    from repro.sql.parser import SqlParseError
+    from repro.sql.planner import SqlPlanError
+    from repro.staging.builder import StagingError
+    from repro.staging.pygen import CodegenError
+
+    public_errors = [
+        PlanError,
+        SchemaError,
+        CompileError,
+        PushError,
+        VolcanoError,
+        ParallelError,
+        ParallelWorkerError,
+        StagingError,
+        CodegenError,
+        IRVerificationError,
+        SqlLexError,
+        SqlParseError,
+        SqlPlanError,
+        BudgetExceeded,
+        InjectedFault,
+    ]
+    for cls in public_errors:
+        assert issubclass(cls, ReproError), cls
+        assert cls.code.startswith("E_"), cls
+        assert cls.phase in PHASES, cls
+        assert cls.code in ERROR_CODES, cls
+
+
+def test_error_code_registry_is_injective():
+    """One code, one owning class (compatibility aliases inherit)."""
+    from repro.errors import ERROR_CODES
+
+    assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+    for code, cls in ERROR_CODES.items():
+        assert cls.code == code
+
+
+def test_foreign_errors_map_to_runtime_code():
+    from repro.errors import error_code, error_phase
+
+    assert error_code(ValueError("x")) == "E_RUNTIME"
+    assert error_phase(ValueError("x")) == "execute"
+
+
+def test_crashed_worker_error_names_worker_and_site(tiny_db):
+    """A worker crash surfaces as ParallelError naming the culprit: which
+    worker, and (for injected faults) which fault site."""
+    from repro.resilience import FaultInjector, FaultSpec
+
+    plan = Agg(Scan("Emp"), [("edname", col("edname"))], [("n", count())])
+    pq = ParallelQuery(plan, tiny_db, tiny_db.catalog)
+    with FaultInjector(FaultSpec("worker-run", key=0)):
+        with pytest.raises(ParallelError) as info:
+            pq.run_multiprocess(2)
+    exc = info.value
+    assert exc.worker == 0
+    assert exc.site == "worker-run"
+    assert exc.cause_code == "E_FAULT"
+    assert "worker 0" in str(exc)
+    assert "worker-run" in str(exc)
