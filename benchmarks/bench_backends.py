@@ -1,0 +1,46 @@
+"""PR-4 backend comparison: scalar vs. batch-vectorized residual programs.
+
+The two lowerings below the data-structure seam produce different residual
+code for the same plan: row-at-a-time loops vs. whole-column kernel calls
+(NumPy-backed when available).  This benchmark times *execution* of both
+over the same TPC-H database -- compilation is excluded, as in Figure 13.
+
+Run: ``pytest benchmarks/bench_backends.py --benchmark-only`` or
+``python benchmarks/bench_backends.py`` (equivalently ``repro-bench``),
+which also writes the ``BENCH_PR4.json`` report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.backends import BACKENDS, main
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+
+QUERIES = tuple(range(1, 23))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backends(benchmark, ctx, backend, query):
+    db = ctx.db()
+    compiled = ctx.compiled(query, config=Config(codegen=backend))
+    benchmark.group = f"backends-Q{query}"
+    benchmark.name = backend
+    benchmark.pedantic(compiled.run, args=(db,), rounds=3, iterations=1)
+
+
+def test_backends_agree(ctx):
+    """The comparison is only meaningful if both backends answer alike."""
+    db = ctx.db()
+    for query in (1, 6):
+        rows = {
+            b: sorted(ctx.compiled(query, config=Config(codegen=b)).run(db))
+            for b in BACKENDS
+        }
+        assert rows["scalar"] == rows["vector"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

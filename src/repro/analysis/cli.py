@@ -7,11 +7,12 @@ Usage::
     python -m repro.analysis.cli --fast          # compliant config only (CI smoke)
 
 For each of the 22 TPC-H queries this compiles the residual program under
-every :class:`repro.compiler.lb2.Config` combination (hash map
-implementation x sort layout x allocation hoisting x dictionaries x
-instrumentation), plus the Section-4.4 ``prepare``/``run`` split form, the
-rewritten (index/date-index) plans, and the Section-4.5 parallel partials
--- and runs the verifier, the type checker and all lint passes over each.
+every :class:`repro.compiler.lb2.Config` combination (codegen backend x
+hash map implementation x sort layout x allocation hoisting x dictionaries
+x instrumentation), plus the Section-4.4 ``prepare``/``run`` split form,
+the rewritten (index/date-index) plans, and the Section-4.5 parallel
+partials -- and runs the verifier, the type checker and all lint passes
+over each.
 Any diagnostic fails the gate: the residual program is supposed to be a
 *checked* contract, not just one that happens to run.
 """
@@ -34,15 +35,24 @@ from repro.tpch.queries import QUERIES, query_plan
 
 
 def iter_configs(fast: bool = False) -> Iterator[Config]:
-    """Every compilation-knob combination (or just the default for --fast)."""
+    """Every compilation-knob combination (or just the two codegen
+    backends at defaults for --fast)."""
     if fast:
         yield Config()
+        yield Config(codegen="vector")
         return
-    for hashmap, sort_layout, hoist, use_dicts, instrument in itertools.product(
-        ("native", "open"), ("row", "column"), (True, False), (True, False),
-        (False, True),
+    for codegen, hashmap, sort_layout, hoist, use_dicts, instrument in (
+        itertools.product(
+            ("scalar", "vector"), ("native", "open"), ("row", "column"),
+            (True, False), (True, False), (False, True),
+        )
     ):
+        if codegen == "vector" and instrument:
+            # the vector backend disables itself under instrumentation;
+            # the program is byte-identical to the scalar one
+            continue
         yield Config(
+            codegen=codegen,
             hashmap=hashmap,
             sort_layout=sort_layout,
             hoist=hoist,
@@ -53,6 +63,7 @@ def iter_configs(fast: bool = False) -> Iterator[Config]:
 
 def config_label(config: Config, *, split: bool = False) -> str:
     parts = [
+        config.codegen,
         config.hashmap,
         config.sort_layout,
         "hoist" if config.hoist else "nohoist",

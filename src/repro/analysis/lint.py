@@ -14,7 +14,11 @@ Each pass is independent and composes over the shared walker:
   ``prepare``/``run`` pair executes ahead of the hot loop, so it must be
   restricted to pure computation, allocation, and database reads -- writes
   to pre-existing state or result output there would reorder observable
-  effects.
+  effects;
+* :class:`BulkOpInLoop` -- a whole-column vector kernel staged inside a
+  residual loop body runs once per iteration instead of once per batch,
+  turning the vector backend's O(n) into O(n^2); the batch lowering is
+  supposed to keep every ``v_*`` call at statement nesting depth zero.
 """
 
 from __future__ import annotations
@@ -32,7 +36,13 @@ from repro.staging import ir
 
 
 def default_lint_passes() -> list[AnalysisPass]:
-    return [UnreachableCode(), DeadStore(), InfiniteLoop(), HoistSafety()]
+    return [
+        UnreachableCode(),
+        DeadStore(),
+        InfiniteLoop(),
+        HoistSafety(),
+        BulkOpInLoop(),
+    ]
 
 
 _TERMINATORS = (ir.Break, ir.Continue, ir.Return)
@@ -157,7 +167,7 @@ CALL_EFFECTS: dict[str, str] = {
     "alloc": ALLOC, "list_new": ALLOC, "dict_new": ALLOC, "set_new": ALLOC,
     "set_new1": ALLOC, "tuple1": ALLOC,
     # database reads: idempotent snapshots of load-time state
-    "db_column": READ, "db_size": READ, "db_index": READ,
+    "db_column": READ, "db_column_vec": READ, "db_size": READ, "db_index": READ,
     "db_unique_index": READ, "db_dictionary": READ, "db_date_index": READ,
     "db_encoded": READ, "db_dict_strings": READ, "db_date_candidates": READ,
     "db_date_runs": READ, "index_lookup": READ, "index_lookup_unique": READ,
@@ -179,12 +189,26 @@ _PURE_CALLS = {
     "argsort_columns",
 }
 
+#: Whole-column kernels of the batch-vectorized backend.  All of them build
+#: fresh arrays from their inputs (no argument is mutated, nothing external
+#: is observed), so they are PURE for hoisting -- but each call walks an
+#: entire column, so :class:`BulkOpInLoop` rejects them inside loop bodies.
+VECTOR_KERNEL_CALLS = frozenset({
+    "v_add", "v_sub", "v_mul", "v_div", "v_floordiv", "v_mod",
+    "v_eq", "v_ne", "v_lt", "v_le", "v_gt", "v_ge",
+    "v_and", "v_or", "v_not", "v_neg",
+    "v_mask_index", "v_take", "v_len", "v_tolist",
+    "v_group", "v_group_sum", "v_group_fsum", "v_group_count",
+    "v_group_count_nn", "v_group_min", "v_group_max",
+    "v_sum", "v_fsum", "v_count_nn", "v_min", "v_max",
+})
+
 
 def call_effect(fn: str) -> Optional[str]:
     """The effect class of an intrinsic; None when unknown (conservative)."""
     if fn in CALL_EFFECTS:
         return CALL_EFFECTS[fn]
-    if fn in _PURE_CALLS:
+    if fn in _PURE_CALLS or fn in VECTOR_KERNEL_CALLS:
         return PURE
     return None
 
@@ -270,3 +294,56 @@ class HoistSafety(AnalysisPass):
         for sub in ir.stmt_blocks(stmt):
             for inner in sub:
                 self._check_hoisted(fn_name, inner, local_allocs, out)
+
+
+class BulkOpInLoop(AnalysisPass):
+    """Flags whole-column vector kernels staged inside a loop body.
+
+    The vector backend's contract is that every ``v_*`` kernel runs once
+    per *batch*: filters compose masks, aggregations factorize keys, and
+    the only residual loops left are per-group emission and devectorized
+    edges -- whose column views (``v_tolist``) are bound *before* the loop.
+    A kernel call that ends up inside a ``for``/``while`` body re-scans a
+    full column every iteration, which silently degrades the batch lowering
+    from O(n) to O(n^2).  The walk treats nested functions as part of their
+    enclosing nesting depth: a hoisted ``run`` closure at depth zero is
+    fine, but a kernel inside its scan loop is not.
+    """
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            self._check_block(fn.name, fn.body, False, out)
+        return out
+
+    def _check_block(
+        self,
+        fn_name: str,
+        block: ir.Block,
+        in_loop: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        for stmt in block:
+            if in_loop:
+                for expr in ir.stmt_exprs(stmt):
+                    for node in ir.walk_expr(expr):
+                        if (
+                            isinstance(node, ir.Call)
+                            and node.fn in VECTOR_KERNEL_CALLS
+                        ):
+                            out.append(self.diag(
+                                "bulk-op-in-loop",
+                                f"vector kernel {node.fn!r} is staged inside "
+                                "a loop body; whole-column kernels must run "
+                                "once per batch, not once per iteration",
+                                fn_name,
+                                stmt,
+                                severity=Severity.WARNING,
+                            ))
+            entered = in_loop or isinstance(
+                stmt, (ir.While, ir.ForRange, ir.ForEach)
+            )
+            for sub in ir.stmt_blocks(stmt):
+                self._check_block(fn_name, sub, entered, out)

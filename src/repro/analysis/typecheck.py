@@ -50,6 +50,7 @@ INTRINSIC_RESULT: dict[str, Optional[str]] = {
     "dict_keys": "void*",
     "dict_len": "long",
     "db_column": "void*",
+    "db_column_vec": None,  # vec_long / vec_double / ... depending on column
     "db_size": "long",
     "db_index": "void*",
     "db_unique_index": "void*",
@@ -76,6 +77,41 @@ INTRINSIC_RESULT: dict[str, Optional[str]] = {
     "argsort_columns": "void*",
     "map_full": "void",
     "scan_tick": "void",
+    # batch-vectorized backend kernels (``rt.v_*``); elementwise arithmetic
+    # kernels are polymorphic over the element type, comparisons and boolean
+    # combinators always produce mask vectors
+    "v_add": None,
+    "v_sub": None,
+    "v_mul": None,
+    "v_div": "vec_double",
+    "v_floordiv": "vec_long",
+    "v_mod": "vec_long",
+    "v_eq": "vec_bool",
+    "v_ne": "vec_bool",
+    "v_lt": "vec_bool",
+    "v_le": "vec_bool",
+    "v_gt": "vec_bool",
+    "v_ge": "vec_bool",
+    "v_and": "vec_bool",
+    "v_or": "vec_bool",
+    "v_not": "vec_bool",
+    "v_neg": None,
+    "v_mask_index": "void*",
+    "v_take": None,
+    "v_len": "long",
+    "v_tolist": "void*",
+    "v_group": "void*",
+    "v_group_sum": "void*",
+    "v_group_fsum": "void*",
+    "v_group_count": "void*",
+    "v_group_count_nn": "void*",
+    "v_group_min": "void*",
+    "v_group_max": "void*",
+    "v_sum": None,
+    "v_fsum": "double",
+    "v_count_nn": "long",
+    "v_min": None,
+    "v_max": None,
 }
 
 _COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}

@@ -1,0 +1,198 @@
+"""``repro-bench``: scalar vs. batch-vectorized codegen over TPC-H.
+
+Compiles every TPC-H query once per backend (compilation is *not* timed --
+the paper reports it separately), executes both residual programs over the
+same generated database, checks they answer identically, and reports
+per-query wall-clock plus the geometric-mean speedup over the queries the
+vector backend actually vectorized (``codegen_stats`` decides -- a query
+the eligibility pass left fully scalar tells you nothing about kernels).
+
+Results land in a JSON report (default ``BENCH_PR4.json`` in the working
+directory)::
+
+    repro-bench                    # full run at REPRO_BENCH_SF (default 0.01)
+    repro-bench --smoke            # CI mode: tiny scale, one repeat
+    repro-bench --scale 0.05 -r 5  # bigger data, more repeats
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.runtime import have_numpy
+from repro.tpch.dbgen import generate_database, generate_tables
+from repro.tpch.queries import QUERIES, query_plan
+
+BACKENDS = ("scalar", "vector")
+
+
+def _normalize(rows: list[tuple]) -> list[tuple]:
+    rounded = [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return sorted(rounded, key=repr)
+
+
+def _interleaved_medians(fns: dict, repeats: int) -> dict[str, float]:
+    """Median wall-clock per callable, repeats interleaved across them
+    (back-to-back blocks would fold machine drift into the comparison)."""
+    samples: dict[str, list[float]] = {name: [] for name in fns}
+    for _ in range(repeats):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            fn()
+            samples[name].append(time.perf_counter() - start)
+    return {name: statistics.median(s) for name, s in samples.items()}
+
+
+def bench_backends(
+    scale: float, repeats: int, queries: Sequence[int]
+) -> dict:
+    """Time every query under both backends; returns the report dict."""
+    tables = generate_tables(scale)
+    db = generate_database(tables=dict(tables))
+    report: dict = {
+        "benchmark": "scalar vs batch-vectorized codegen",
+        "scale": scale,
+        "repeats": repeats,
+        "numpy": have_numpy(),
+        "queries": {},
+    }
+    speedups_vectorized: list[float] = []
+    speedups_all: list[float] = []
+    for q in queries:
+        plan = query_plan(q, scale=scale)
+        compiled = {
+            backend: LB2Compiler(
+                db.catalog, db, Config(codegen=backend)
+            ).compile(plan)
+            for backend in BACKENDS
+        }
+        rows = {b: c.run(db) for b, c in compiled.items()}
+        if _normalize(rows["scalar"]) != _normalize(rows["vector"]):
+            raise AssertionError(f"Q{q}: backends disagree; benchmark void")
+        seconds = _interleaved_medians(
+            {b: (lambda c=c: c.run(db)) for b, c in compiled.items()},
+            repeats,
+        )
+        stats = compiled["vector"].codegen_stats
+        # Three tiers: "vectorized" means at least one whole pipeline runs
+        # as kernels end-to-end (a vector aggregation); "batched-filter"
+        # means mask kernels shrink a residual loop but the pipeline tail
+        # is row-at-a-time; anything else compiled byte-identical scalar.
+        if stats.get("vector_aggs", 0) > 0:
+            lowering = "vectorized"
+        elif stats.get("batch_scans", 0) > 0:
+            lowering = "batched-filter"
+        else:
+            lowering = "scalar"
+        speedup = seconds["scalar"] / seconds["vector"]
+        entry = {
+            "scalar_s": seconds["scalar"],
+            "vector_s": seconds["vector"],
+            "speedup": speedup,
+            "lowering": lowering,
+            "rows": len(rows["scalar"]),
+            "codegen_stats": {
+                k: v for k, v in stats.items() if k != "backend"
+            },
+        }
+        report["queries"][str(q)] = entry
+        speedups_all.append(speedup)
+        if lowering == "vectorized":
+            speedups_vectorized.append(speedup)
+    report["vectorized_queries"] = [
+        q for q, e in report["queries"].items()
+        if e["lowering"] == "vectorized"
+    ]
+    report["geomean_speedup_vectorized"] = _geomean(speedups_vectorized)
+    report["geomean_speedup_all"] = _geomean(speedups_all)
+    return report
+
+
+def _geomean(values: list[float]) -> Optional[float]:
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _print_report(report: dict) -> None:
+    print(
+        f"scale={report['scale']}  repeats={report['repeats']}  "
+        f"numpy={report['numpy']}"
+    )
+    header = f"{'query':>5}  {'scalar':>10}  {'vector':>10}  {'speedup':>8}  lowering"
+    print(header)
+    print("-" * len(header))
+    for q, e in report["queries"].items():
+        print(
+            f"Q{q:>4}  {e['scalar_s'] * 1e3:>8.2f}ms  "
+            f"{e['vector_s'] * 1e3:>8.2f}ms  {e['speedup']:>7.2f}x  "
+            f"{e['lowering']}"
+        )
+    gm = report["geomean_speedup_vectorized"]
+    print(
+        f"geomean speedup (vectorized queries "
+        f"{', '.join('Q' + q for q in report['vectorized_queries'])}): "
+        + (f"{gm:.2f}x" if gm else "n/a")
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description=__doc__
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="TPC-H scale factor (default: REPRO_BENCH_SF or 0.01)",
+    )
+    parser.add_argument(
+        "-r", "--repeats", type=int, default=3,
+        help="timing repeats per query/backend (median is reported)",
+    )
+    parser.add_argument(
+        "--query", type=int, action="append", default=None,
+        choices=sorted(QUERIES), help="benchmark a subset of queries",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR4.json",
+        help="report path (default: BENCH_PR4.json in the working dir)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny scale, one repeat, no report unless --out is set",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = args.scale if args.scale is not None else 0.002
+        repeats = 1
+    else:
+        from repro.bench.harness import bench_scale
+
+        scale = args.scale if args.scale is not None else bench_scale()
+        repeats = args.repeats
+    queries = args.query if args.query else sorted(QUERIES)
+
+    report = bench_backends(scale, repeats, queries)
+    _print_report(report)
+    write_report = not args.smoke or "--out" in (argv or sys.argv[1:])
+    if write_report:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ class CompiledQuery:
     compile_seconds: float
     hoisted: bool = False
     instrumented: bool = False
+    codegen_stats: dict = field(default_factory=dict, repr=False)
     last_stats: Optional[dict] = field(default=None, repr=False)
     functions: list[ir.Function] = field(default_factory=list, repr=False)
     _prepared: Optional[Callable] = field(default=None, repr=False)
@@ -118,8 +119,13 @@ class LB2Compiler:
         field_names = plan.field_names(self.catalog)
 
         def output_cb(rec) -> None:
-            values = [value_output(rec[n]).expr for n in field_names]
-            ctx.call_stmt("out_append", [_tuple_rep(ctx, values)])
+            # rows() devectorizes batch records at the sink; it is the
+            # identity on scalar records.
+            def per_row(r) -> None:
+                values = [value_output(r[n]).expr for n in field_names]
+                ctx.call_stmt("out_append", [_tuple_rep(ctx, values)])
+
+            rec.rows(per_row)
 
         if split_prepare:
             with ctx.function("prepare", ["db"]):
@@ -162,6 +168,7 @@ class LB2Compiler:
             compile_seconds=compile_seconds,
             hoisted=split_prepare,
             instrumented=self.config.instrument,
+            codegen_stats=builder.backend.stats(),
             functions=functions,
         )
         compiled._c_source = generate_c(functions, header=header)

@@ -11,6 +11,17 @@ The two-phase ``exec`` protocol is the paper's code-motion device (Section
 cold-path binds *now* (when hoisting is on) and returns a closure that emits
 the hot path wherever the caller stands.  With hoisting off, allocations are
 deferred into the data path -- the ablation of experiment E9.
+
+Operator code here never emits residual loops or subscripts directly: it
+talks to staged data structures (scan sources, hash maps, aggregate state,
+sort buffers -- :mod:`repro.compiler.staged_source` and friends) and to
+records (:class:`repro.compiler.staged_record.StagedRecord`'s ``guard`` /
+``derive`` / ``rows`` seam).  Those structures come from the builder's
+*backend* (:mod:`repro.compiler.backends`), selected by ``Config.codegen``:
+the scalar backend reproduces row-at-a-time loops byte-identically, the
+vector backend lowers eligible pipelines to batch-columnar kernels.  No
+operator branches on the backend; specialization happens entirely below
+this seam (the paper's Section 4 claim, made testable).
 """
 
 from __future__ import annotations
@@ -25,23 +36,26 @@ from repro.plan import physical as phys
 from repro.plan.expressions import Col
 from repro.staging import ir
 from repro.staging.builder import StagingContext
-from repro.staging.rep import Rep, RepInt, RepStr, rep_for_ctype
+from repro.staging.rep import Rep, RepInt, rep_for_ctype
 from repro.storage.database import Database
-from repro.compiler.staged_agg import StagedAgg, all_slot_ctypes, build_staged_aggs
-from repro.compiler.staged_hashmap import (
-    NativeAggMap,
-    NativeMultiMap,
-    OpenAggMap,
-    StagedSet,
+from repro.compiler.backends import make_backend
+from repro.compiler.staged_agg import (
+    GlobalAggState,
+    StagedAgg,
+    all_slot_ctypes,
+    build_staged_aggs,
 )
+from repro.compiler.staged_hashmap import NativeAggMap
 from repro.compiler.staged_record import (
     DicValue,
     FieldDesc,
     StagedRecord,
     StagedValue,
+    materialize,
     value_output,
     value_payload,
 )
+from repro.compiler.staged_source import set_stat
 
 
 class CompileError(ReproError):
@@ -67,6 +81,10 @@ class Config:
       residual source is byte-identical to an unguarded build.
     * ``budget_check_interval`` -- rows between checkpoints in counted scan
       loops (candidate-list scans check per row).
+    * ``codegen`` -- the lowering below the data-structure seam:
+      ``"scalar"`` (row-at-a-time loops, the historical output, byte-stable)
+      or ``"vector"`` (batch-columnar kernels for eligible scan/filter/
+      project/aggregate pipelines, per-operator scalar fallback elsewhere).
     """
 
     hashmap: str = "native"
@@ -77,6 +95,7 @@ class Config:
     sort_layout: str = "row"  # "row" (tuple buffer) or "column" (SoA + argsort)
     budget_checks: bool = False
     budget_check_interval: int = 1024
+    codegen: str = "scalar"  # "scalar" or "vector"
 
     def __post_init__(self) -> None:
         if self.hashmap not in ("native", "open"):
@@ -85,6 +104,8 @@ class Config:
             raise CompileError(f"unknown sort layout {self.sort_layout!r}")
         if self.budget_check_interval <= 0:
             raise CompileError("budget_check_interval must be positive")
+        if self.codegen not in ("scalar", "vector"):
+            raise CompileError(f"unknown codegen backend {self.codegen!r}")
 
 
 @dataclass(frozen=True)
@@ -142,37 +163,19 @@ class StagedOp:
 # ---------------------------------------------------------------------------
 
 
-@dataclass
-class _ScanState:
-    size: Rep
-    loaders_at: Callable[[Rep], dict[str, Callable[[], StagedValue]]]
-    descs: list[FieldDesc]
-
-
 class StagedScan(StagedOp):
     def __init__(self, comp: "StagedPlanBuilder", node: phys.Scan) -> None:
         super().__init__(comp)
         self.node = node
 
-    def _allocate(self) -> _ScanState:
-        return _bind_table(self.comp, self.node.table, self.node.rename_map)
-
     def exec(self) -> Datapath:
-        def emit(state: _ScanState, cb: RecCallback) -> None:
-            bounds = self.comp.partition_bounds_for(self.node)
-            if bounds is not None:
-                # Section 4.5: this is the partitioned (driving) scan; the
-                # generated partial covers rows [lo, hi).
-                lo, hi = bounds
-                with self.ctx.for_range(lo, hi, prefix="i") as i:
-                    _emit_scan_tick(self.comp, i)
-                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
-            else:
-                with self.ctx.for_range(0, state.size, prefix="i") as i:
-                    _emit_scan_tick(self.comp, i)
-                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(i)))
+        def allocate():
+            return self.comp.backend.scan_source(self.node)
 
-        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+        def emit(source, cb: RecCallback) -> None:
+            source.scan(cb, self.comp.partition_bounds_for(self.node))
+
+        return self._two_phase(allocate, emit)
 
 
 class StagedDateIndexScan(StagedOp):
@@ -190,35 +193,6 @@ class StagedDateIndexScan(StagedOp):
         super().__init__(comp)
         self.node = node
 
-    def _allocate(self):
-        node = self.node
-        state = _bind_table(self.comp, node.table, node.rename_map)
-        self.ctx.comment(
-            f"date-index scan of {node.table}.{node.column} "
-            f"[{node.lo}, {node.hi}] enforce={node.enforce}"
-        )
-        if node.enforce:
-            runs = self.ctx.call(
-                "db_date_runs",
-                [node.table, node.column, node.lo, node.hi],
-                result="void*",
-                prefix="runs",
-            )
-            interior = self.ctx.bind(
-                ir.Index(runs.expr, ir.Const(0)), ctype="void*", prefix="inner"
-            )
-            boundary = self.ctx.bind(
-                ir.Index(runs.expr, ir.Const(1)), ctype="void*", prefix="edge"
-            )
-            return state, Rep(interior, self.ctx, "void*"), Rep(boundary, self.ctx, "void*")
-        rows = self.ctx.call(
-            "db_date_candidates",
-            [node.table, node.column, node.lo, node.hi],
-            result="void*",
-            prefix="cand",
-        )
-        return state, rows, None
-
     def _bound_cond(self, rec: StagedRecord):
         node = self.node
         value = rec[node.column if not node.rename_map else node.rename_map.get(node.column, node.column)]
@@ -232,112 +206,13 @@ class StagedDateIndexScan(StagedOp):
         return cond
 
     def exec(self) -> Datapath:
-        def emit(state_rows, cb: RecCallback) -> None:
-            state, rows, boundary = state_rows
-            if boundary is None:
-                with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
-                    _emit_scan_tick(self.comp)
-                    cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
-                return
-            # Interior partitions: the range holds by construction.
-            self.ctx.comment("interior partitions: no date check needed")
-            with self.ctx.for_each(rows, prefix="r", ctype="long") as rowid:
-                _emit_scan_tick(self.comp)
-                cb(StagedRecord(self.ctx, state.descs, state.loaders_at(rowid)))
-            # Boundary partitions: re-check the exact bounds per row.
-            self.ctx.comment("boundary partitions: exact bound re-check")
-            with self.ctx.for_each(boundary, prefix="b", ctype="long") as rowid:
-                rec = StagedRecord(self.ctx, state.descs, state.loaders_at(rowid))
-                cond = self._bound_cond(rec)
-                if cond is None:
-                    cb(rec)
-                else:
-                    with self.ctx.if_(cond):
-                        cb(rec)
+        def allocate():
+            return self.comp.backend.date_scan_source(self.node)
 
-        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+        def emit(source, cb: RecCallback) -> None:
+            source.scan(cb, self._bound_cond)
 
-
-def _bind_table(
-    comp: "StagedPlanBuilder", table: str, rename: dict[str, str]
-) -> _ScanState:
-    """Bind a table's size, column arrays and dictionary tables (cold path).
-
-    Compressed columns bind the *encoded* integer array plus the decoded
-    string table; record loads then produce :class:`DicValue`s.
-    """
-    ctx = comp.ctx
-    ctx.comment(f"columns of table {table!r}")
-    size = ctx.call("db_size", [table], result="long", prefix="n")
-    schema = comp.catalog.table(table)
-    col_syms: dict[str, Rep] = {}
-    descs: list[FieldDesc] = []
-    for column in schema.columns:
-        name = rename.get(column.name, column.name)
-        compressed = (
-            comp.config.use_dictionaries
-            and column.type is ColumnType.STRING
-            and comp.db.has_dictionary(table, column.name)
-        )
-        if compressed:
-            col_syms[name] = ctx.call(
-                "db_encoded", [table, column.name], result="void*", prefix="enc"
-            )
-            strings = comp.strings_sym(table, column.name)
-            descs.append(
-                FieldDesc(
-                    name,
-                    column.type,
-                    dictionary=comp.db.dictionary(table, column.name),
-                    strings_sym=strings,
-                )
-            )
-        else:
-            col_syms[name] = ctx.call(
-                "db_column", [table, column.name], result="void*", prefix="col"
-            )
-            descs.append(FieldDesc(name, column.type))
-
-    def loaders_at(rowid: Rep) -> dict[str, Callable[[], StagedValue]]:
-        loaders: dict[str, Callable[[], StagedValue]] = {}
-        for desc in descs:
-            loaders[desc.name] = _make_loader(ctx, col_syms[desc.name], rowid, desc)
-        return loaders
-
-    return _ScanState(size, loaders_at, descs)
-
-
-def _make_loader(
-    ctx: StagingContext, col: Rep, rowid: Rep, desc: FieldDesc
-) -> Callable[[], StagedValue]:
-    def load() -> StagedValue:
-        sym = ctx.bind(ir.Index(col.expr, rowid.expr), ctype=desc.ctype)
-        if desc.compressed:
-            assert desc.dictionary is not None and desc.strings_sym is not None
-            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
-        return rep_for_ctype(desc.type.ctype)(sym, ctx)
-
-    return load
-
-
-def _emit_scan_tick(comp: "StagedPlanBuilder", i: Optional[RepInt] = None) -> None:
-    """Emit a cooperative budget/fault checkpoint into the current loop.
-
-    With a counted induction variable ``i`` the check fires every
-    ``budget_check_interval`` rows (one modulo + compare per row, a call
-    only on the sampled rows); candidate-list loops without a counter
-    check per row.  Nothing at all is emitted unless
-    ``Config.budget_checks`` is set, keeping default codegen byte-stable.
-    """
-    if not comp.config.budget_checks:
-        return
-    interval = comp.config.budget_check_interval
-    ctx = comp.ctx
-    if i is None or interval <= 1:
-        ctx.call_stmt("scan_tick", [1])
-        return
-    with ctx.if_((i % interval) == 0):
-        ctx.call_stmt("scan_tick", [interval])
+        return self._two_phase(allocate, emit)
 
 
 # ---------------------------------------------------------------------------
@@ -352,13 +227,11 @@ class StagedSelect(StagedOp):
         self.child = child
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
         def datapath(cb: RecCallback) -> None:
             def on_rec(rec: StagedRecord) -> None:
-                cond = self.node.pred.stage(rec)
-                with self.ctx.if_(cond):
-                    cb(rec)
+                rec.guard(self.node.pred.stage(rec), cb)
 
             child_dp(on_rec)
 
@@ -372,7 +245,7 @@ class StagedProject(StagedOp):
         self.child = child
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
         null_guard = phys.needs_null_guard(self.node)
         types = self.node.field_types(self.comp.catalog)
 
@@ -399,7 +272,7 @@ class StagedProject(StagedOp):
                         value = expr.stage(rec)
                     values[name] = value
                     descs.append(_desc_for_value(name, value, rec, expr))
-                cb(StagedRecord.from_values(self.ctx, descs, values))
+                cb(rec.derive(descs, values))
 
             child_dp(on_rec)
 
@@ -419,6 +292,10 @@ def _desc_for_value(name: str, value: StagedValue, rec: StagedRecord, expr) -> F
         "double": ColumnType.FLOAT,
         "bool": ColumnType.BOOL,
         "char*": ColumnType.STRING,
+        "vec_long": ColumnType.INT,
+        "vec_double": ColumnType.FLOAT,
+        "vec_bool": ColumnType.BOOL,
+        "vec_str": ColumnType.STRING,
     }
     return FieldDesc(name, type_map.get(value.ctype, ColumnType.INT))
 
@@ -434,51 +311,6 @@ def _join_key(value: StagedValue) -> Rep:
     return value_output(value)
 
 
-def _materialize(rec: StagedRecord) -> tuple[list[Rep], list[FieldDesc]]:
-    """Force all fields to payload Reps, keeping descriptors for rebuild."""
-    payloads: list[Rep] = []
-    descs: list[FieldDesc] = []
-    for name in rec.field_names:
-        value = rec[name]
-        payloads.append(value_payload(value))
-        descs.append(_desc_from_existing(rec.desc(name), value))
-    return payloads, descs
-
-
-def _desc_from_existing(desc: FieldDesc, value: StagedValue) -> FieldDesc:
-    if isinstance(value, DicValue):
-        return FieldDesc(
-            desc.name,
-            desc.type,
-            dictionary=value.dictionary,
-            strings_sym=value.strings_sym,
-        )
-    return FieldDesc(desc.name, desc.type)
-
-
-def _rebuild_record(
-    ctx: StagingContext, row: Rep, descs: Sequence[FieldDesc]
-) -> StagedRecord:
-    """Lazily re-load materialized fields from a row tuple."""
-    loaders: dict[str, Callable[[], StagedValue]] = {}
-    for i, desc in enumerate(descs):
-        loaders[desc.name] = _tuple_loader(ctx, row, i, desc)
-    return StagedRecord(ctx, list(descs), loaders)
-
-
-def _tuple_loader(
-    ctx: StagingContext, row: Rep, i: int, desc: FieldDesc
-) -> Callable[[], StagedValue]:
-    def load() -> StagedValue:
-        sym = ctx.bind(ir.Index(row.expr, ir.Const(i)), ctype=desc.ctype)
-        if desc.compressed:
-            assert desc.dictionary is not None and desc.strings_sym is not None
-            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
-        return rep_for_ctype(desc.type.ctype)(sym, ctx)
-
-    return load
-
-
 class StagedHashJoin(StagedOp):
     def __init__(self, comp, node: phys.HashJoin, left: StagedOp, right: StagedOp):
         super().__init__(comp)
@@ -487,34 +319,32 @@ class StagedHashJoin(StagedOp):
         self.right = right
 
     def exec(self) -> Datapath:
-        left_dp = self.left.exec()
-        right_dp = self.right.exec()
+        left_dp = self.comp.backend.edge(self.left, self.node)
+        right_dp = self.comp.backend.edge(self.right, self.node)
 
-        def allocate() -> NativeMultiMap:
-            self.ctx.comment("hash join build table")
-            return NativeMultiMap(self.ctx)
+        def allocate():
+            return self.comp.backend.multimap("hash join build table")
 
-        def emit(mm: NativeMultiMap, cb: RecCallback) -> None:
+        def emit(mm, cb: RecCallback) -> None:
             build_descs: list[FieldDesc] = []
 
             def build(rec: StagedRecord) -> None:
                 nonlocal build_descs
                 keys = [_join_key(rec[k]) for k in self.node.left_keys]
-                payloads, build_descs = _materialize(rec)
+                payloads, build_descs = materialize(rec)
                 mm.insert(keys, payloads)
 
             left_dp(build)
 
             def probe(rec: StagedRecord) -> None:
                 keys = [_join_key(rec[k]) for k in self.node.right_keys]
-                bucket = mm.lookup(keys)
-                with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
-                    left_rec = _rebuild_record(self.ctx, row, build_descs)
-                    cb(left_rec.merged(rec))
+                mm.each_match(
+                    keys, build_descs, lambda left_rec: cb(left_rec.merged(rec))
+                )
 
             right_dp(probe)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
 
 class StagedLeftOuterJoin(StagedOp):
@@ -525,15 +355,16 @@ class StagedLeftOuterJoin(StagedOp):
         self.right = right
 
     def exec(self) -> Datapath:
-        left_dp = self.left.exec()
-        right_dp = self.right.exec()
+        left_dp = self.comp.backend.edge(self.left, self.node)
+        right_dp = self.comp.backend.edge(self.right, self.node)
         right_fields = self.node.right.fields(self.comp.catalog)
 
-        def allocate() -> NativeMultiMap:
-            self.ctx.comment("left outer join build table (right side)")
-            return NativeMultiMap(self.ctx)
+        def allocate():
+            return self.comp.backend.multimap(
+                "left outer join build table (right side)"
+            )
 
-        def emit(mm: NativeMultiMap, cb: RecCallback) -> None:
+        def emit(mm, cb: RecCallback) -> None:
             build_descs: list[FieldDesc] = []
 
             def build(rec: StagedRecord) -> None:
@@ -553,9 +384,8 @@ class StagedLeftOuterJoin(StagedOp):
 
             def probe(rec: StagedRecord) -> None:
                 keys = [_join_key(rec[k]) for k in self.node.left_keys]
-                bucket = mm.lookup_or_none(keys)
-                missing = self.ctx.call("is_none", [bucket], result="bool")
-                with self.ctx.if_(missing):
+
+                def on_missing() -> None:
                     null_values = {
                         name: Rep(ir.Const(None), self.ctx, ctype="void*")
                         for name, _ in right_fields
@@ -565,14 +395,17 @@ class StagedLeftOuterJoin(StagedOp):
                         self.ctx, null_descs, null_values
                     )
                     cb(rec.merged(null_rec))
-                with self.ctx.else_():
-                    with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
-                        right_rec = _rebuild_record(self.ctx, row, build_descs)
-                        cb(rec.merged(right_rec))
+
+                mm.each_match_or_missing(
+                    keys,
+                    build_descs,
+                    lambda right_rec: cb(rec.merged(right_rec)),
+                    on_missing,
+                )
 
             left_dp(probe)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
 
 class StagedKeySetJoin(StagedOp):
@@ -586,15 +419,14 @@ class StagedKeySetJoin(StagedOp):
         self.keep = keep
 
     def exec(self) -> Datapath:
-        left_dp = self.left.exec()
-        right_dp = self.right.exec()
+        left_dp = self.comp.backend.edge(self.left, self.node)
+        right_dp = self.comp.backend.edge(self.right, self.node)
 
-        def allocate() -> StagedSet:
+        def allocate():
             kind = "semi" if self.keep else "anti"
-            self.ctx.comment(f"{kind} join key set")
-            return StagedSet(self.ctx)
+            return self.comp.backend.key_set(f"{kind} join key set")
 
-        def emit(keyset: StagedSet, cb: RecCallback) -> None:
+        def emit(keyset, cb: RecCallback) -> None:
             def build(rec: StagedRecord) -> None:
                 keyset.add([_join_key(rec[k]) for k in self.node.right_keys])
 
@@ -602,13 +434,11 @@ class StagedKeySetJoin(StagedOp):
 
             def probe(rec: StagedRecord) -> None:
                 hit = keyset.contains([_join_key(rec[k]) for k in self.node.left_keys])
-                cond = hit if self.keep else ~hit
-                with self.ctx.if_(cond):
-                    cb(rec)
+                rec.guard(hit if self.keep else ~hit, cb)
 
             left_dp(probe)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
 
 class StagedIndexJoin(StagedOp):
@@ -619,53 +449,40 @@ class StagedIndexJoin(StagedOp):
 
     def _allocate(self):
         node = self.node
-        ctx = self.ctx
-        ctx.comment(
+        comment = (
             f"index join against {node.table}.{node.table_key} "
             f"({'unique' if node.unique else 'multi'})"
         )
-        fn = "db_unique_index" if node.unique else "db_index"
-        index = ctx.call(fn, [node.table, node.table_key], result="void*", prefix="idx")
-        table_state = _bind_table(self.comp, node.table, node.rename_map)
-        return index, table_state
+        return self.comp.backend.index_source(
+            node.table, node.table_key, node.unique, node.rename_map,
+            comment, with_table=True,
+        )
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
-        def emit(state, cb: RecCallback) -> None:
-            index, table_state = state
+        def emit(source, cb: RecCallback) -> None:
             node = self.node
-            ctx = self.ctx
 
             def merge_and_emit(rec: StagedRecord, rowid: Rep) -> None:
-                table_rec = StagedRecord(
-                    ctx, table_state.descs, table_state.loaders_at(rowid)
-                )
-                merged = rec.merged(table_rec)
+                merged = rec.merged(source.record_at(rowid))
                 if node.residual is not None:
-                    with ctx.if_(node.residual.stage(merged)):
-                        cb(merged)
+                    merged.guard(node.residual.stage(merged), cb)
                 else:
                     cb(merged)
 
             def probe(rec: StagedRecord) -> None:
                 key = _join_key(rec[node.child_key])
                 if node.unique:
-                    rowid = ctx.call(
-                        "index_lookup_unique", [index, key], result="long", prefix="rid"
-                    )
-                    with ctx.if_(rowid >= 0):
-                        merge_and_emit(rec, rowid)
+                    rowid = source.lookup_unique(key, prefix="rid")
+                    rec.guard(rowid >= 0, lambda r: merge_and_emit(r, rowid))
                 else:
-                    rows = ctx.call(
-                        "index_lookup", [index, key], result="void*", prefix="rids"
-                    )
-                    with ctx.for_each(rows, prefix="rid", ctype="long") as rowid:
-                        merge_and_emit(rec, rowid)
+                    rows = source.lookup(key, prefix="rids")
+                    source.each(rows, lambda rowid: merge_and_emit(rec, rowid))
 
             child_dp(probe)
 
-        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(self._allocate, emit)
 
 
 class StagedIndexSemiJoin(StagedOp):
@@ -678,25 +495,17 @@ class StagedIndexSemiJoin(StagedOp):
 
     def _allocate(self):
         node = self.node
-        ctx = self.ctx
         kind = "anti" if node.anti else "semi"
-        ctx.comment(
-            f"index {kind} join against {node.table}.{node.table_key}"
+        comment = f"index {kind} join against {node.table}.{node.table_key}"
+        return self.comp.backend.index_source(
+            node.table, node.table_key, node.unique, node.rename_map,
+            comment, with_table=node.residual is not None,
         )
-        fn = "db_unique_index" if node.unique else "db_index"
-        index = ctx.call(fn, [node.table, node.table_key], result="void*", prefix="idx")
-        table_state = (
-            _bind_table(self.comp, node.table, node.rename_map)
-            if node.residual is not None
-            else None
-        )
-        return index, table_state
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
-        def emit(state, cb: RecCallback) -> None:
-            index, table_state = state
+        def emit(source, cb: RecCallback) -> None:
             node = self.node
             ctx = self.ctx
 
@@ -704,44 +513,32 @@ class StagedIndexSemiJoin(StagedOp):
                 key = _join_key(rec[node.child_key])
                 if node.residual is None:
                     if node.unique:
-                        rowid = ctx.call(
-                            "index_lookup_unique", [index, key], result="long"
-                        )
+                        rowid = source.lookup_unique(key)
                         hit = rowid >= 0
                     else:
-                        rows = ctx.call("index_lookup", [index, key], result="void*")
-                        count = ctx.call("list_len", [rows], result="long")
-                        hit = count > 0
+                        rows = source.lookup(key)
+                        hit = source.count(rows) > 0
                 else:
                     found = ctx.var(ctx.bool_(False), prefix="found")
 
                     def check(rowid: Rep) -> None:
-                        table_rec = StagedRecord(
-                            ctx, table_state.descs, table_state.loaders_at(rowid)
-                        )
-                        merged = rec.merged(table_rec)
+                        merged = rec.merged(source.record_at(rowid))
                         with ctx.if_(node.residual.stage(merged)):
                             found.set(True)
 
                     if node.unique:
-                        rowid = ctx.call(
-                            "index_lookup_unique", [index, key], result="long"
-                        )
+                        rowid = source.lookup_unique(key)
                         with ctx.if_(rowid >= 0):
                             check(rowid)
                     else:
-                        rows = ctx.call("index_lookup", [index, key], result="void*")
-                        with ctx.for_each(rows, prefix="rid", ctype="long") as rowid:
-                            check(rowid)
-                            ctx.break_if(found.get())
+                        rows = source.lookup(key)
+                        source.each(rows, check, break_when=found.get)
                     hit = found.get()
-                cond = ~hit if node.anti else hit
-                with ctx.if_(cond):
-                    cb(rec)
+                rec.guard(~hit if node.anti else hit, cb)
 
             child_dp(probe)
 
-        return self._two_phase(self._allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(self._allocate, emit)
 
 
 # ---------------------------------------------------------------------------
@@ -777,20 +574,12 @@ class StagedAggOp(StagedOp):
         return ctypes
 
     def _exec_grouped(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
         key_ctypes = self._key_ctypes()
         slot_ctypes = all_slot_ctypes(self.staged_aggs)
 
         def allocate():
-            self.ctx.comment(
-                f"aggregation hash map ({self.comp.config.hashmap}); "
-                f"keys: {[n for n, _ in self.node.keys]}"
-            )
-            if self.comp.config.hashmap == "open":
-                return OpenAggMap(
-                    self.ctx, key_ctypes, slot_ctypes, self.comp.config.open_map_size
-                )
-            return NativeAggMap(self.ctx, key_ctypes, slot_ctypes)
+            return self.comp.backend.agg_map(self.node, key_ctypes, slot_ctypes)
 
         def emit(hm, cb: RecCallback) -> None:
             key_descs: list[Optional[FieldDesc]] = [None] * len(self.node.keys)
@@ -820,7 +609,7 @@ class StagedAggOp(StagedOp):
 
             hm.foreach(on_group)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
     # -- partial mode (Section 4.5 thread-local state) ---------------------------
 
@@ -832,15 +621,11 @@ class StagedAggOp(StagedOp):
         merges these across partitions (the ``hm.merge`` step of the paper's
         parallel ``Agg``).
         """
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
         if not self.node.keys:
-            seen = self.ctx.var(self.ctx.int_(0), prefix="rows")
-            slots = _VarSlots(self.ctx, all_slot_ctypes(self.staged_aggs))
-            self._emit_global_accumulate(child_dp, seen, slots)
-            items = [seen.get().expr] + [
-                slots.get(i).expr for i in range(len(slots.ctypes))
-            ]
-            self.ctx.emit(ir.Return(ir.ListExpr(tuple(items))))
+            state = GlobalAggState(self.ctx, self.staged_aggs, comment=False)
+            child_dp(lambda rec: state.accumulate(rec, self.staged_aggs))
+            self.ctx.emit(ir.Return(ir.ListExpr(tuple(state.raw_items()))))
             return
         if self.comp.config.hashmap != "native":
             raise CompileError(
@@ -852,8 +637,10 @@ class StagedAggOp(StagedOp):
         self._emit_grouped_accumulate(child_dp, hm, [None] * len(self.node.keys))
         self.ctx.emit(ir.Return(hm.hm.expr))
 
-    def _emit_grouped_accumulate(self, child_dp, hm, key_descs) -> None:
-        def accumulate(rec: StagedRecord) -> None:
+    def _stage_keys(self, key_descs) -> Callable[[StagedRecord], list[Rep]]:
+        """How the map stages this Agg's group keys (and learns their descs)."""
+
+        def stage_keys(rec: StagedRecord) -> list[Rep]:
             keys: list[Rep] = []
             for i, (name, expr) in enumerate(self.node.keys):
                 value = expr.stage(rec)
@@ -869,80 +656,38 @@ class StagedAggOp(StagedOp):
                     key_descs[i] = FieldDesc(
                         name, self.node.keys[i][1].result_type(self.child_types)
                     )
-            values = [agg.row_value(rec) for agg in self.staged_aggs]
+            return keys
 
-            def on_insert() -> list[Rep]:
-                init: list[Rep] = []
-                for agg, value in zip(self.staged_aggs, values):
-                    init.extend(agg.init_values(self.ctx, value))
-                return init
+        return stage_keys
 
-            def on_update(slots) -> None:
-                for agg, value in zip(self.staged_aggs, values):
-                    agg.update(self.ctx, slots, value)
+    def _emit_grouped_accumulate(self, child_dp, hm, key_descs) -> None:
+        stage_keys = self._stage_keys(key_descs)
 
-            hm.update(keys, on_insert, on_update)
-
-        child_dp(accumulate)
-
-    def _emit_global_accumulate(self, child_dp, seen, slots) -> None:
         def accumulate(rec: StagedRecord) -> None:
-            values = [agg.row_value(rec) for agg in self.staged_aggs]
-            first = seen.get() == 0
-            with self.ctx.if_(first):
-                for agg, value in zip(self.staged_aggs, values):
-                    for offset, init in enumerate(agg.init_values(self.ctx, value)):
-                        slots.set(agg.base + offset, init)
-            with self.ctx.else_():
-                for agg, value in zip(self.staged_aggs, values):
-                    agg.update(self.ctx, slots, value)
-            seen.set(seen.get() + 1)
+            hm.accumulate(rec, stage_keys, self.staged_aggs)
 
         child_dp(accumulate)
 
     # -- global (no grouping keys) -------------------------------------------------
 
     def _exec_global(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
         def allocate():
-            self.ctx.comment("global aggregate state")
-            seen = self.ctx.var(self.ctx.int_(0), prefix="rows")
-            slots = _VarSlots(self.ctx, all_slot_ctypes(self.staged_aggs))
-            return seen, slots
+            return self.comp.backend.global_agg_state(self.node, self.staged_aggs)
 
         def emit(state, cb: RecCallback) -> None:
-            seen, slots = state
-            self._emit_global_accumulate(child_dp, seen, slots)
+            child_dp(lambda rec: state.accumulate(rec, self.staged_aggs))
 
             values: dict[str, StagedValue] = {}
             descs: list[FieldDesc] = []
-            empty = seen.get() == 0
+            empty = state.empty_cond()
             for (name, _), agg in zip(self.node.aggs, self.staged_aggs):
-                result = self.ctx.var(agg.empty_value(self.ctx), prefix="agg")
-                with self.ctx.if_(~empty):
-                    result.set(agg.finalize(self.ctx, slots))
-                values[name] = result.get()
+                values[name] = state.result(agg, empty)
                 descs.append(FieldDesc(name, dict(self.out_fields)[name]))
             cb(StagedRecord.from_values(self.ctx, descs, values))
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
-
-
-class _VarSlots:
-    """Aggregate slots held in mutable staged locals (global aggregates)."""
-
-    def __init__(self, ctx: StagingContext, ctypes: Sequence[str]) -> None:
-        self.ctx = ctx
-        none = Rep(ir.Const(None), ctx, ctype="void*")
-        self.vars = [ctx.var(none, prefix="gagg") for _ in ctypes]
-        self.ctypes = list(ctypes)
-
-    def get(self, i: int) -> Rep:
-        return rep_for_ctype(self.ctypes[i])(ir.Sym(self.vars[i].name), self.ctx)
-
-    def set(self, i: int, value: Rep) -> None:
-        self.vars[i].set(value)
+        return self._two_phase(allocate, emit)
 
 
 class StagedGroupJoin(StagedOp):
@@ -960,8 +705,8 @@ class StagedGroupJoin(StagedOp):
         self.out_types = dict(node.fields(comp.catalog))
 
     def exec(self) -> Datapath:
-        left_dp = self.left.exec()
-        right_dp = self.right.exec()
+        left_dp = self.comp.backend.edge(self.left, self.node)
+        right_dp = self.comp.backend.edge(self.right, self.node)
         node = self.node
         right_types = node.right.field_types(self.comp.catalog)
         key_ctypes = [right_types[k].ctype for k in node.right_keys]
@@ -976,21 +721,11 @@ class StagedGroupJoin(StagedOp):
         def emit(hm: NativeAggMap, cb: RecCallback) -> None:
             ctx = self.ctx
 
+            def stage_keys(rec: StagedRecord) -> list[Rep]:
+                return [_join_key(rec[k]) for k in node.right_keys]
+
             def build(rec: StagedRecord) -> None:
-                keys = [_join_key(rec[k]) for k in node.right_keys]
-                values = [agg.row_value(rec) for agg in self.staged_aggs]
-
-                def on_insert() -> list[Rep]:
-                    init: list[Rep] = []
-                    for agg, value in zip(self.staged_aggs, values):
-                        init.extend(agg.init_values(ctx, value))
-                    return init
-
-                def on_update(slots) -> None:
-                    for agg, value in zip(self.staged_aggs, values):
-                        agg.update(ctx, slots, value)
-
-                hm.update(keys, on_insert, on_update)
+                hm.accumulate(rec, stage_keys, self.staged_aggs)
 
             right_dp(build)
 
@@ -1012,7 +747,7 @@ class StagedGroupJoin(StagedOp):
 
             left_dp(probe)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
 
 # ---------------------------------------------------------------------------
@@ -1041,107 +776,16 @@ class StagedSort(StagedOp):
         return tuple((index_of[name], asc) for name, asc in self.node.keys)
 
     def exec(self) -> Datapath:
-        if self.comp.config.sort_layout == "column":
-            return self._exec_columnar()
-        return self._exec_row()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
-    # -- row layout: a FlatBuffer of tuples --------------------------------------
+        def allocate():
+            return self.comp.backend.sort_buffer(self.node, self.field_names)
 
-    def _exec_row(self) -> Datapath:
-        child_dp = self.child.exec()
+        def emit(buffer, cb: RecCallback) -> None:
+            child_dp(buffer.append)
+            buffer.drain(self._spec(), self.node.limit, cb)
 
-        def allocate() -> Rep:
-            self.ctx.comment("sort buffer (row layout)")
-            return self.ctx.call("list_new", [], result="void*", prefix="buf")
-
-        def emit(buf: Rep, cb: RecCallback) -> None:
-            descs_holder: list[FieldDesc] = []
-
-            def collect(rec: StagedRecord) -> None:
-                nonlocal descs_holder
-                payloads, descs_holder = _materialize(rec)
-                row = self.ctx.bind(
-                    ir.TupleExpr(tuple(v.expr for v in payloads)), ctype="void*"
-                )
-                self.ctx.call_stmt("list_append", [buf, Rep(row, self.ctx, ctype="void*")])
-
-            child_dp(collect)
-            # Dictionary codes are order-preserving, so sorting payloads is
-            # exactly sorting the decoded strings.
-            if self.node.limit is not None:
-                # Top-K fusion: bounded heap selection instead of a full sort.
-                buf = self.ctx.call(
-                    "topk_rows",
-                    [buf, Rep(ir.Const(self._spec()), self.ctx), self.node.limit],
-                    result="void*",
-                    prefix="top",
-                )
-            else:
-                self.ctx.call_stmt(
-                    "sort_rows", [buf, Rep(ir.Const(self._spec()), self.ctx)]
-                )
-            with self.ctx.for_each(buf, prefix="row", ctype="void*") as row:
-                cb(_rebuild_record(self.ctx, row, descs_holder))
-
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
-
-    # -- column layout: one list per field + argsort permutation ---------------------
-
-    def _exec_columnar(self) -> Datapath:
-        child_dp = self.child.exec()
-        ctx = self.ctx
-
-        def allocate() -> list[Rep]:
-            ctx.comment("sort buffer (column layout: one list per field)")
-            return [
-                ctx.call("list_new", [], result="void*", prefix="sc")
-                for _ in self.field_names
-            ]
-
-        def emit(columns: list[Rep], cb: RecCallback) -> None:
-            descs_holder: list[FieldDesc] = []
-
-            def collect(rec: StagedRecord) -> None:
-                nonlocal descs_holder
-                payloads, descs_holder = _materialize(rec)
-                for column, value in zip(columns, payloads):
-                    ctx.call_stmt("list_append", [column, value])
-
-            child_dp(collect)
-            cols_tuple = ctx.bind(
-                ir.TupleExpr(tuple(c.expr for c in columns)), ctype="void*"
-            )
-            order = ctx.call(
-                "argsort_columns",
-                [Rep(cols_tuple, ctx, "void*"), Rep(ir.Const(self._spec()), ctx)],
-                result="void*",
-                prefix="ord",
-            )
-            if self.node.limit is not None:
-                order = ctx.call(
-                    "list_head", [order, self.node.limit], result="void*", prefix="ord"
-                )
-            with ctx.for_each(order, prefix="p", ctype="long") as pos:
-                loaders = {
-                    desc.name: _column_loader(ctx, columns[i], pos, desc)
-                    for i, desc in enumerate(descs_holder)
-                }
-                cb(StagedRecord(ctx, list(descs_holder), loaders))
-
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
-
-
-def _column_loader(
-    ctx: StagingContext, column: Rep, pos: Rep, desc: FieldDesc
-) -> Callable[[], StagedValue]:
-    def load() -> StagedValue:
-        sym = ctx.bind(ir.Index(column.expr, pos.expr), ctype=desc.ctype)
-        if desc.compressed:
-            assert desc.dictionary is not None and desc.strings_sym is not None
-            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
-        return rep_for_ctype(desc.type.ctype)(sym, ctx)
-
-    return load
+        return self._two_phase(allocate, emit)
 
 
 class StagedLimit(StagedOp):
@@ -1151,15 +795,17 @@ class StagedLimit(StagedOp):
         self.child = child
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
         def datapath(cb: RecCallback) -> None:
             counter = self.ctx.var(self.ctx.int_(0), prefix="lim")
 
             def on_rec(rec: StagedRecord) -> None:
-                with self.ctx.if_(counter.get() < self.node.n):
+                def bump(r: StagedRecord) -> None:
                     counter.set(counter.get() + 1)
-                    cb(rec)
+                    cb(r)
+
+                rec.guard(counter.get() < self.node.n, bump)
 
             child_dp(on_rec)
 
@@ -1173,22 +819,19 @@ class StagedDistinct(StagedOp):
         self.child = child
 
     def exec(self) -> Datapath:
-        child_dp = self.child.exec()
+        child_dp = self.comp.backend.edge(self.child, self.node)
 
-        def allocate() -> StagedSet:
-            self.ctx.comment("distinct key set")
-            return StagedSet(self.ctx)
+        def allocate():
+            return self.comp.backend.key_set("distinct key set")
 
-        def emit(seen: StagedSet, cb: RecCallback) -> None:
+        def emit(seen, cb: RecCallback) -> None:
             def on_rec(rec: StagedRecord) -> None:
                 payloads = [value_payload(rec[n]) for n in rec.field_names]
-                fresh = seen.add_if_absent(payloads)
-                with self.ctx.if_(fresh):
-                    cb(rec)
+                rec.guard(seen.add_if_absent(payloads), cb)
 
             child_dp(on_rec)
 
-        return self._two_phase(allocate, emit)  # type: ignore[arg-type]
+        return self._two_phase(allocate, emit)
 
 
 class InstrumentedOp(StagedOp):
@@ -1218,9 +861,7 @@ class InstrumentedOp(StagedOp):
             inner_dp(counting_cb)
             stats = self.comp.stats_sym
             assert stats is not None
-            self.ctx.emit(
-                ir.SetIndex(stats.expr, ir.Const(self.label), ir.Sym(counter.name))
-            )
+            set_stat(self.ctx, stats, self.label, counter.name)
 
         return datapath
 
@@ -1249,6 +890,8 @@ class StagedPlanBuilder:
         self._partition_bounds: Optional[tuple[Rep, Rep]] = None
         self.stats_sym: Optional[Rep] = None  # set by the driver in instrument mode
         self._op_counter = 0
+        self.backend = make_backend(self)
+        self._prepared = False
 
     def _maybe_instrument(self, op: StagedOp, node: phys.PhysicalPlan) -> StagedOp:
         if not self.config.instrument:
@@ -1354,6 +997,11 @@ class StagedPlanBuilder:
     # -- construction --------------------------------------------------------------
 
     def build(self, node: phys.PhysicalPlan) -> StagedOp:
+        if not self._prepared:
+            # First build() call sees the plan root: let the backend run its
+            # whole-plan analysis (the vector backend's eligibility pass).
+            self._prepared = True
+            self.backend.prepare(node)
         return self._maybe_instrument(self._build_raw(node), node)
 
     def _build_raw(self, node: phys.PhysicalPlan) -> StagedOp:

@@ -188,3 +188,380 @@ def scan_tick(n: int = 1) -> None:
     """
     for hook in list(_TICK_HOOKS):
         hook(n)
+
+
+# -- batch (vector) kernels ---------------------------------------------------
+#
+# Residual programs compiled with ``Config(codegen="vector")`` call these
+# ``v_*`` kernels over whole column arrays instead of emitting per-row
+# loops.  With NumPy installed (the ``repro[fast]`` extra) operands are
+# ``numpy.ndarray``; without it, storage hands out plain Python lists and
+# every kernel falls back to list comprehensions -- same results, scalar
+# speed.  Either operand of a binary kernel may also be a plain Python
+# scalar (a broadcast constant).  All kernels are pure: they allocate fresh
+# outputs and never mutate their inputs.
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy tests
+    _np = None
+
+
+def have_numpy() -> bool:
+    """True when the optional ``repro[fast]`` acceleration is available."""
+    return _np is not None
+
+
+def _is_ndarray(x) -> bool:
+    return _np is not None and isinstance(x, _np.ndarray)
+
+
+def _is_batch(x) -> bool:
+    return isinstance(x, list) or _is_ndarray(x)
+
+
+def _pair(a, b):
+    """Align two elementwise operands into equal-length Python lists."""
+    if _is_batch(a) and _is_batch(b):
+        return a, b
+    if _is_batch(a):
+        return a, [b] * len(a)
+    return [a] * len(b), b
+
+
+def _ew(a, b, op):
+    """Elementwise binary kernel body: NumPy fast path or list fallback."""
+    if _is_ndarray(a) or _is_ndarray(b):
+        return op(a, b)
+    xs, ys = _pair(a, b)
+    return [op(x, y) for x, y in zip(xs, ys)]
+
+
+def v_add(a, b):
+    return _ew(a, b, lambda x, y: x + y)
+
+
+def v_sub(a, b):
+    return _ew(a, b, lambda x, y: x - y)
+
+
+def v_mul(a, b):
+    return _ew(a, b, lambda x, y: x * y)
+
+
+def v_div(a, b):
+    return _ew(a, b, lambda x, y: x / y)
+
+
+def v_floordiv(a, b):
+    return _ew(a, b, lambda x, y: x // y)
+
+
+def v_mod(a, b):
+    return _ew(a, b, lambda x, y: x % y)
+
+
+def v_eq(a, b):
+    return _ew(a, b, lambda x, y: x == y)
+
+
+def v_ne(a, b):
+    return _ew(a, b, lambda x, y: x != y)
+
+
+def v_lt(a, b):
+    return _ew(a, b, lambda x, y: x < y)
+
+
+def v_le(a, b):
+    return _ew(a, b, lambda x, y: x <= y)
+
+
+def v_gt(a, b):
+    return _ew(a, b, lambda x, y: x > y)
+
+
+def v_ge(a, b):
+    return _ew(a, b, lambda x, y: x >= y)
+
+
+def v_and(a, b):
+    if _is_ndarray(a) or _is_ndarray(b):
+        return a & b
+    xs, ys = _pair(a, b)
+    return [bool(x and y) for x, y in zip(xs, ys)]
+
+
+def v_or(a, b):
+    if _is_ndarray(a) or _is_ndarray(b):
+        return a | b
+    xs, ys = _pair(a, b)
+    return [bool(x or y) for x, y in zip(xs, ys)]
+
+
+def v_not(a):
+    if _is_ndarray(a):
+        return ~a
+    return [not x for x in a]
+
+
+def v_neg(a):
+    if _is_ndarray(a):
+        return -a
+    return [-x for x in a]
+
+
+# -- selection ----------------------------------------------------------------
+
+
+def v_mask_index(mask):
+    """Row positions where ``mask`` is true (the selection vector)."""
+    if _is_ndarray(mask):
+        return _np.nonzero(mask)[0]
+    return [i for i, m in enumerate(mask) if m]
+
+
+def v_take(a, idx):
+    """Gather ``a`` at positions ``idx``; scalars broadcast through."""
+    if not _is_batch(a):
+        return a
+    if _is_ndarray(a):
+        return a[idx]
+    return [a[int(i)] for i in idx]
+
+
+def v_len(x) -> int:
+    return len(x)
+
+
+def v_tolist(a):
+    """Materialize a batch as a list of plain Python scalars.
+
+    The vector -> scalar boundary: devectorized loops index this list, and
+    downstream scalar code (hashing, sorting, result normalization) must
+    see Python ints/floats/strs, never NumPy scalars.
+    """
+    if _is_ndarray(a):
+        return a.tolist()
+    return a
+
+
+# -- grouping -----------------------------------------------------------------
+
+
+def _as_lists(n: int, keys):
+    out = []
+    for k in keys:
+        if _is_ndarray(k):
+            out.append(k.tolist())
+        elif isinstance(k, list):
+            out.append(k)
+        else:
+            out.append([k] * n)
+    return out
+
+
+def _factorize_object(column):
+    """Dense integer codes for an object-dtype column via one hash pass."""
+    mapping: dict = {}
+    codes = _np.empty(len(column), dtype=_np.int64)
+    for i, value in enumerate(column.tolist()):
+        gid = mapping.get(value)
+        if gid is None:
+            gid = len(mapping)
+            mapping[value] = gid
+        codes[i] = gid
+    return codes, len(mapping)
+
+
+def v_group(n, *keys):
+    """Factorize rows by key columns.
+
+    Returns a flat tuple ``(codes, ngroups, keylist0, keylist1, ...)``:
+    ``codes[i]`` is the dense group id of row ``i`` and ``keylist_j[g]`` the
+    j-th key value of group ``g`` (plain Python scalars).
+    """
+    if _np is not None and keys and all(_is_ndarray(k) for k in keys):
+        # Factorize each key, then combine per-row code tuples into one
+        # dense id by mixed-radix packing.  Object (string) columns avoid
+        # sort-based ``np.unique`` -- comparison-sorting Python objects
+        # costs more than one hashing pass.
+        combined = None
+        for k in keys:
+            if k.dtype == object:
+                codes, nuniq = _factorize_object(k)
+            else:
+                uniq, codes = _np.unique(k, return_inverse=True)
+                nuniq = len(uniq)
+            combined = (
+                codes if combined is None else combined * nuniq + codes
+            )
+        groups, first_idx, final = _np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        keylists = [k[first_idx].tolist() for k in keys]
+        return (final.astype(_np.int64), len(groups), *keylists)
+    cols = _as_lists(n, keys)
+    mapping: dict = {}
+    codes = [0] * n
+    keylists: list[list] = [[] for _ in keys]
+    for i in range(n):
+        kt = tuple(c[i] for c in cols)
+        gid = mapping.get(kt)
+        if gid is None:
+            gid = len(mapping)
+            mapping[kt] = gid
+            for kl, v in zip(keylists, kt):
+                kl.append(v)
+        codes[i] = gid
+    return (codes, len(mapping), *keylists)
+
+
+def _broadcast_values(codes, values):
+    if _is_batch(values):
+        return values
+    return [values] * len(codes)
+
+
+def _plain_pair(codes, values):
+    """Force a (codes, values) pair into plain Python lists (slow path)."""
+    if _is_ndarray(codes):
+        codes = codes.tolist()
+    if _is_ndarray(values):
+        values = values.tolist()
+    return codes, values
+
+
+def v_group_sum(codes, ngroups, values):
+    """Per-group sum; integer inputs keep integer results."""
+    values = _broadcast_values(codes, values)
+    if _is_ndarray(codes) and _is_ndarray(values) and values.dtype != object:
+        out = _np.bincount(codes, weights=values, minlength=ngroups)
+        if values.dtype.kind in "iub":
+            return [int(x) for x in out]
+        return out.tolist()
+    codes, values = _plain_pair(codes, values)
+    out = [0] * ngroups
+    for c, v in zip(codes, values):
+        out[c] += v
+    return out
+
+
+def v_group_fsum(codes, ngroups, values):
+    """Per-group float sum (the double slot of ``avg``)."""
+    values = _broadcast_values(codes, values)
+    if _is_ndarray(codes) and _is_ndarray(values) and values.dtype != object:
+        return _np.bincount(codes, weights=values, minlength=ngroups).tolist()
+    codes, values = _plain_pair(codes, values)
+    out = [0.0] * ngroups
+    for c, v in zip(codes, values):
+        out[c] += v
+    return out
+
+
+def v_group_count(codes, ngroups):
+    if _is_ndarray(codes):
+        return [int(x) for x in _np.bincount(codes, minlength=ngroups)]
+    out = [0] * ngroups
+    for c in codes:
+        out[c] += 1
+    return out
+
+
+def v_group_count_nn(codes, ngroups, values):
+    """Per-group count of non-None values (``count(expr)``)."""
+    values = _broadcast_values(codes, values)
+    if _is_ndarray(values) and values.dtype != object:
+        return v_group_count(codes, ngroups)  # typed arrays hold no Nones
+    codes, values = _plain_pair(codes, values)
+    out = [0] * ngroups
+    for c, v in zip(codes, values):
+        if v is not None:
+            out[c] += 1
+    return out
+
+
+def _group_extreme(codes, ngroups, values, op, np_ufunc):
+    values = _broadcast_values(codes, values)
+    if (
+        _is_ndarray(codes)
+        and _is_ndarray(values)
+        and values.dtype != object
+        and np_ufunc is not None
+    ):
+        _, first_idx = _np.unique(codes, return_index=True)
+        out = values[first_idx].copy()
+        np_ufunc.at(out, codes, values)
+        return out.tolist()
+    codes, values = _plain_pair(codes, values)
+    out: list = [None] * ngroups
+    for c, v in zip(codes, values):
+        cur = out[c]
+        out[c] = v if cur is None else op(cur, v)
+    return out
+
+
+def v_group_min(codes, ngroups, values):
+    return _group_extreme(
+        codes, ngroups, values, min, None if _np is None else _np.minimum
+    )
+
+
+def v_group_max(codes, ngroups, values):
+    return _group_extreme(
+        codes, ngroups, values, max, None if _np is None else _np.maximum
+    )
+
+
+# -- global (ungrouped) reductions -------------------------------------------
+#
+# Each takes the row count ``n`` explicitly because ``values`` may be a
+# broadcast scalar.  All are empty-safe: the residual program computes them
+# unconditionally and gates the *use* of the result on ``n != 0``.
+
+
+def v_sum(values, n):
+    if not _is_batch(values):
+        return values * n
+    if _is_ndarray(values):
+        total = values.sum()
+        return int(total) if values.dtype.kind in "iub" else float(total)
+    return sum(values)
+
+
+def v_fsum(values, n):
+    if not _is_batch(values):
+        return float(values) * n
+    if _is_ndarray(values):
+        return float(values.sum())
+    return float(sum(values))
+
+
+def v_count_nn(values, n):
+    if not _is_batch(values):
+        return n if values is not None else 0
+    if _is_ndarray(values) and values.dtype != object:
+        return len(values)
+    return sum(1 for v in values if v is not None)
+
+
+def v_min(values, n):
+    if not _is_batch(values):
+        return values if n else None
+    if len(values) == 0:
+        return None
+    if _is_ndarray(values) and values.dtype != object:
+        out = values.min()
+        return int(out) if values.dtype.kind in "iub" else float(out)
+    return min(values)
+
+
+def v_max(values, n):
+    if not _is_batch(values):
+        return values if n else None
+    if len(values) == 0:
+        return None
+    if _is_ndarray(values) and values.dtype != object:
+        out = values.max()
+        return int(out) if values.dtype.kind in "iub" else float(out)
+    return max(values)

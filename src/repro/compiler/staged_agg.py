@@ -17,7 +17,7 @@ from repro.catalog.types import ColumnType
 from repro.plan.expressions import AggSpec
 from repro.staging import ir
 from repro.staging.builder import StagingContext
-from repro.staging.rep import Rep, RepFloat, RepInt
+from repro.staging.rep import Rep, RepFloat, RepInt, rep_for_ctype
 from repro.compiler.staged_hashmap import Slots
 from repro.compiler.staged_record import (
     StagedRecord,
@@ -154,3 +154,71 @@ def _as_float(ctx: StagingContext, value) -> Rep:
 
 
 UpdateEmitter = Callable[[Slots], None]
+
+
+class _VarSlots(Slots):
+    """Aggregate slots held in mutable staged locals (global aggregates)."""
+
+    def __init__(self, ctx: StagingContext, ctypes: Sequence[str]) -> None:
+        self.ctx = ctx
+        none = Rep(ir.Const(None), ctx, ctype="void*")
+        self.vars = [ctx.var(none, prefix="gagg") for _ in ctypes]
+        self.ctypes = list(ctypes)
+
+    def get(self, i: int) -> Rep:
+        return rep_for_ctype(self.ctypes[i])(ir.Sym(self.vars[i].name), self.ctx)
+
+    def set(self, i: int, value: Rep) -> None:
+        self.vars[i].set(value)
+
+
+class GlobalAggState:
+    """Global (ungrouped) aggregation state: a row counter plus var slots.
+
+    This is the scalar lowering of the global-aggregate data structure;
+    :class:`repro.compiler.vec.GlobalAggVec` implements the same protocol
+    (``accumulate`` / ``empty_cond`` / ``result``) with batch kernels.
+    """
+
+    def __init__(
+        self,
+        ctx: StagingContext,
+        staged_aggs: Sequence[StagedAgg],
+        comment: bool = True,
+    ) -> None:
+        self.ctx = ctx
+        if comment:
+            ctx.comment("global aggregate state")
+        self.seen = ctx.var(ctx.int_(0), prefix="rows")
+        self.slots = _VarSlots(ctx, all_slot_ctypes(staged_aggs))
+
+    def accumulate(self, rec, staged_aggs: Sequence[StagedAgg]) -> None:
+        ctx = self.ctx
+        values = [agg.row_value(rec) for agg in staged_aggs]
+        first = self.seen.get() == 0
+        with ctx.if_(first):
+            for agg, value in zip(staged_aggs, values):
+                for offset, init in enumerate(agg.init_values(ctx, value)):
+                    self.slots.set(agg.base + offset, init)
+        with ctx.else_():
+            for agg, value in zip(staged_aggs, values):
+                agg.update(ctx, self.slots, value)
+        self.seen.set(self.seen.get() + 1)
+
+    def empty_cond(self) -> Rep:
+        """Was the input empty?  Bound once, shared by every finalizer."""
+        return self.seen.get() == 0
+
+    def result(self, agg: StagedAgg, empty) -> Rep:
+        """One aggregate's SQL value: its empty value, or the finalized slots."""
+        ctx = self.ctx
+        result = ctx.var(agg.empty_value(ctx), prefix="agg")
+        with ctx.if_(~empty):
+            result.set(agg.finalize(ctx, self.slots))
+        return result.get()
+
+    def raw_items(self) -> list[ir.Expr]:
+        """``[seen, slot...]`` expressions for the partial-mode return."""
+        return [self.seen.get().expr] + [
+            self.slots.get(i).expr for i in range(len(self.slots.ctypes))
+        ]

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from repro.staging import ir
 from repro.staging.builder import StagingContext
 from repro.staging.rep import Rep, RepBool, RepInt, rep_for_ctype
+from repro.compiler.staged_record import rebuild_record
 
 
 class Slots:
@@ -107,7 +108,33 @@ UpdateFn = Callable[[Slots], None]
 ForeachFn = Callable[[list[Rep], Slots], None]
 
 
-class NativeAggMap:
+class _AggAccumulate:
+    """Shared per-record accumulate protocol for scalar aggregation maps.
+
+    The operator hands over the record plus *how* to stage its keys and
+    aggregates; the map decides what residual code one row's worth of
+    accumulation becomes.  A batch map (``repro.compiler.vec.VecAggMap``)
+    implements the same method over whole columns at once.
+    """
+
+    def accumulate(self, rec, stage_keys, staged_aggs) -> None:
+        keys = stage_keys(rec)
+        values = [agg.row_value(rec) for agg in staged_aggs]
+
+        def on_insert() -> list[Rep]:
+            init: list[Rep] = []
+            for agg, value in zip(staged_aggs, values):
+                init.extend(agg.init_values(self.ctx, value))
+            return init
+
+        def on_update(slots: Slots) -> None:
+            for agg, value in zip(staged_aggs, values):
+                agg.update(self.ctx, slots, value)
+
+        self.update(keys, on_insert, on_update)
+
+
+class NativeAggMap(_AggAccumulate):
     """Aggregation map lowering to a Python dict of slot lists."""
 
     def __init__(
@@ -168,7 +195,7 @@ class NativeAggMap:
         return _ListSlots(self.ctx, state, self.slot_ctypes)
 
 
-class OpenAggMap:
+class OpenAggMap(_AggAccumulate):
     """The Figure 14 layout: columnar arrays + open addressing.
 
     The probe loop peels its first iteration into a fast path (hit or empty
@@ -321,6 +348,22 @@ class NativeMultiMap:
         """The bucket or None (outer joins need the distinction)."""
         key = _keys_tuple(self.ctx, keys)
         return self.ctx.call("dict_get", [self.hm, key, None], result="void*", prefix="ms")
+
+    def each_match(self, keys: Sequence[Rep], descs, fn) -> None:
+        """Probe and run ``fn`` on each matching build-side record."""
+        bucket = self.lookup(keys)
+        with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
+            fn(rebuild_record(self.ctx, row, descs))
+
+    def each_match_or_missing(self, keys: Sequence[Rep], descs, fn, on_missing) -> None:
+        """Probe with an explicit no-match branch (outer join shape)."""
+        bucket = self.lookup_or_none(keys)
+        missing = self.ctx.call("is_none", [bucket], result="bool")
+        with self.ctx.if_(missing):
+            on_missing()
+        with self.ctx.else_():
+            with self.ctx.for_each(bucket, prefix="m", ctype="void*") as row:
+                fn(rebuild_record(self.ctx, row, descs))
 
 
 class StagedSet:

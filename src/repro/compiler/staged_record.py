@@ -27,7 +27,7 @@ from typing import Callable, Optional, Union
 from repro.catalog.types import ColumnType
 from repro.staging import ir
 from repro.staging.builder import StagingContext
-from repro.staging.rep import Rep, RepBool, RepInt, RepStr
+from repro.staging.rep import Rep, RepBool, RepInt, RepStr, rep_for_ctype
 from repro.storage.dictionary import StringDictionary
 
 
@@ -221,6 +221,14 @@ class StagedRecord:
     ``loaders`` maps field name to a zero-argument function that emits the
     load and returns the value; results are memoized so a field referenced
     by several expressions is loaded exactly once per record.
+
+    Records are also the *control-flow seam* between operator code and the
+    code-generation backend: operators filter through :meth:`guard`, emit
+    derived rows through :meth:`derive`, and devectorize through
+    :meth:`rows`.  A scalar record lowers these to one branch / one record /
+    the identity; a batch record (``repro.compiler.vec.VecRecord``) lowers
+    the same calls to mask kernels, column derivations, and a residual loop
+    -- without the operator changing a line.
     """
 
     def __init__(
@@ -281,9 +289,78 @@ class StagedRecord:
         rec._cache = {**self._cache, **other._cache}
         return rec
 
+    # -- the backend seam --------------------------------------------------------
+
+    def guard(self, cond, cb: Callable[["StagedRecord"], None]) -> None:
+        """Forward this record downstream only where ``cond`` holds."""
+        with self.ctx.if_(cond):
+            cb(self)
+
+    def rows(self, cb: Callable[["StagedRecord"], None]) -> None:
+        """Deliver this record row-at-a-time (identity for scalar records)."""
+        cb(self)
+
+    def derive(
+        self,
+        descs: list[FieldDesc],
+        values: dict[str, StagedValue],
+    ) -> "StagedRecord":
+        """A new record over already-staged values (projection output)."""
+        return StagedRecord.from_values(self.ctx, descs, values)
+
 
 def _raiser(name: str) -> Callable[[], StagedValue]:
     def load() -> StagedValue:
         raise KeyError(f"field {name!r} has no loader and no cached value")
+
+    return load
+
+
+# ---------------------------------------------------------------------------
+# Materialization helpers (pipeline breakers store payloads, then rebuild)
+# ---------------------------------------------------------------------------
+
+
+def materialize(rec: StagedRecord) -> tuple[list[Rep], list[FieldDesc]]:
+    """Force all fields to payload Reps, keeping descriptors for rebuild."""
+    payloads: list[Rep] = []
+    descs: list[FieldDesc] = []
+    for name in rec.field_names:
+        value = rec[name]
+        payloads.append(value_payload(value))
+        descs.append(desc_from_existing(rec.desc(name), value))
+    return payloads, descs
+
+
+def desc_from_existing(desc: FieldDesc, value: StagedValue) -> FieldDesc:
+    if isinstance(value, DicValue):
+        return FieldDesc(
+            desc.name,
+            desc.type,
+            dictionary=value.dictionary,
+            strings_sym=value.strings_sym,
+        )
+    return FieldDesc(desc.name, desc.type)
+
+
+def rebuild_record(
+    ctx: StagingContext, row: Rep, descs: list[FieldDesc]
+) -> StagedRecord:
+    """Lazily re-load materialized fields from a row tuple."""
+    loaders: dict[str, Callable[[], StagedValue]] = {}
+    for i, desc in enumerate(descs):
+        loaders[desc.name] = tuple_loader(ctx, row, i, desc)
+    return StagedRecord(ctx, list(descs), loaders)
+
+
+def tuple_loader(
+    ctx: StagingContext, row: Rep, i: int, desc: FieldDesc
+) -> Callable[[], StagedValue]:
+    def load() -> StagedValue:
+        sym = ctx.bind(ir.Index(row.expr, ir.Const(i)), ctype=desc.ctype)
+        if desc.compressed:
+            assert desc.dictionary is not None and desc.strings_sym is not None
+            return DicValue(RepInt(sym, ctx), desc.dictionary, desc.strings_sym, ctx)
+        return rep_for_ctype(desc.type.ctype)(sym, ctx)
 
     return load

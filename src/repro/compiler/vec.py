@@ -1,0 +1,678 @@
+"""The batch-vectorized code-generation backend (the second lowering).
+
+Operator code in :mod:`repro.compiler.lb2` is written once against the
+backend seam; this module re-lowers the supported shapes -- scans, filters,
+projections and aggregations -- to *batched columnar* residual programs.
+Instead of one row loop per pipeline, the generated code stages whole
+columns (``db.column_vec``), evaluates predicates and expressions with
+``rt.v_*`` batch kernels (NumPy when available, pure-Python lists
+otherwise), and only falls back to row-at-a-time code at the seams:
+
+* an operator whose shape the vector lowering does not support (joins,
+  sorts, compressed-string scans, ...) receives plain scalar rows through a
+  devectorizing adapter inserted on the operator edge, and
+* everything it allocates comes from the scalar backend unchanged.
+
+Eligibility is decided in one whole-plan pass (:meth:`VectorBackend.prepare`)
+before any operator stages code, so each operator's lowering is fixed up
+front -- the operator pass itself never branches on the backend.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Optional, Sequence
+
+from repro.catalog.types import ColumnType
+from repro.plan import physical as phys
+from repro.plan.expressions import (
+    And,
+    Arith,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    ExtractYear,
+    InList,
+    Not,
+    Or,
+)
+from repro.staging import ir
+from repro.staging.builder import StagingContext
+from repro.staging.rep import Rep, RepInt, rep_for_ctype, vec_ctype
+from repro.compiler.backends import ScalarBackend
+from repro.compiler.runtime import have_numpy
+from repro.compiler.staged_agg import StagedAgg, all_slot_ctypes
+from repro.compiler.staged_hashmap import Slots
+from repro.compiler.staged_record import FieldDesc, StagedRecord, StagedValue
+from repro.compiler.staged_source import column_loader
+
+
+def _is_vec(value: object) -> bool:
+    return getattr(value, "is_vector", False)
+
+
+# ---------------------------------------------------------------------------
+# Batch records
+# ---------------------------------------------------------------------------
+
+
+class VecRecord:
+    """A generation-time *batch* of records: name -> staged column.
+
+    Implements the same seam as :class:`StagedRecord` -- ``guard`` /
+    ``derive`` / ``rows`` plus lazy memoized field access -- but each field
+    is a whole column (``RepVec``) rather than one value, so the same
+    operator code lowers to mask kernels and column derivations.  Scalar
+    staged values may appear as fields too (lifted constants); they
+    broadcast, and selection leaves them untouched.
+    """
+
+    def __init__(
+        self,
+        ctx: StagingContext,
+        descs: list[FieldDesc],
+        loaders: dict[str, Callable[[], StagedValue]],
+        nrows_loader: Callable[[], RepInt],
+    ) -> None:
+        self.ctx = ctx
+        self.descs = descs
+        self._by_name = {d.name: d for d in descs}
+        self._loaders = loaders
+        self._cache: dict[str, StagedValue] = {}
+        self._nrows_loader = nrows_loader
+        self._nrows: Optional[RepInt] = None
+
+    @property
+    def field_names(self) -> list[str]:
+        return [d.name for d in self.descs]
+
+    def desc(self, name: str) -> FieldDesc:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"batch record has no field {name!r}; fields: {self.field_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> StagedValue:
+        if name not in self._cache:
+            self.desc(name)
+            self._cache[name] = self._loaders[name]()
+        return self._cache[name]
+
+    def nrows(self) -> RepInt:
+        """The (staged) number of rows in this batch, bound once."""
+        if self._nrows is None:
+            self._nrows = self._nrows_loader()
+        return self._nrows
+
+    # -- the backend seam --------------------------------------------------------
+
+    def guard(self, cond, cb: Callable[["VecRecord"], None]) -> None:
+        """Forward the rows where ``cond`` holds: one mask, lazy gathers."""
+        if not _is_vec(cond):
+            # A predicate that folded to a scalar (e.g. a constant): the
+            # whole batch passes or fails together.
+            with self.ctx.if_(cond):
+                cb(self)
+            return
+        ctx = self.ctx
+        sel = ctx.call("v_mask_index", [cond], result="void*", prefix="sel")
+        loaders = {
+            d.name: self._filtered_loader(d.name, sel) for d in self.descs
+        }
+
+        def nrows_loader() -> RepInt:
+            return ctx.call("v_len", [sel], result="long", prefix="v")
+
+        cb(VecRecord(ctx, list(self.descs), loaders, nrows_loader))
+
+    def _filtered_loader(
+        self, name: str, sel: Rep
+    ) -> Callable[[], StagedValue]:
+        def load() -> StagedValue:
+            value = self[name]
+            if not _is_vec(value):
+                return value  # broadcast scalars are selection-invariant
+            return value._vcall("v_take", [value, sel], type(value))
+
+        return load
+
+    def derive(
+        self,
+        descs: list[FieldDesc],
+        values: dict[str, StagedValue],
+    ) -> "VecRecord":
+        """A new batch over already-staged columns (projection output)."""
+        rec = VecRecord(self.ctx, descs, {}, self.nrows)
+        rec._cache = dict(values)
+        return rec
+
+    def rows(self, cb: Callable[[StagedRecord], None]) -> None:
+        """Devectorize: one list view per column, then a residual row loop.
+
+        Views are bound lazily but *before* the loop: the first time the
+        loop body touches a field, its gather/``v_tolist`` chain is staged
+        into a detached block and spliced ahead of the ``for`` -- so only
+        the fields the consumer actually reads pay the whole-column
+        conversion, and none of it re-runs per row.
+        """
+        ctx = self.ctx
+        n = self.nrows()
+        parent = ctx.current_block
+        mark = len(parent)
+        views: dict[str, Optional[Rep]] = {}
+
+        def bind_view(desc: FieldDesc) -> None:
+            nonlocal mark
+            prelude: list = []
+            with ctx.emit_into(prelude):
+                value = self[desc.name]
+                if _is_vec(value):
+                    views[desc.name] = ctx.call(
+                        "v_tolist", [value], result="void*", prefix="rows"
+                    )
+                else:
+                    views[desc.name] = None  # broadcast scalar
+            parent[mark:mark] = prelude
+            mark += len(prelude)
+
+        with ctx.for_range(0, n, prefix="i") as i:
+            loaders: dict[str, Callable[[], StagedValue]] = {}
+            for desc in self.descs:
+                def load(desc: FieldDesc = desc) -> StagedValue:
+                    if desc.name not in views:
+                        bind_view(desc)
+                    view = views[desc.name]
+                    if view is None:
+                        return self._cache[desc.name]
+                    return column_loader(ctx, view, i, desc)()
+
+                loaders[desc.name] = load
+            cb(StagedRecord(ctx, list(self.descs), loaders))
+
+
+# ---------------------------------------------------------------------------
+# Batch scan source
+# ---------------------------------------------------------------------------
+
+
+class VecScanSource:
+    """A bound base table delivered as one batch of typed column arrays."""
+
+    def __init__(self, comp, table: str, rename: dict[str, str]) -> None:
+        self.comp = comp
+        self.ctx = comp.ctx
+        ctx = self.ctx
+        ctx.comment(f"columnar batch scan of table {table!r}")
+        self.size = ctx.call("db_size", [table], result="long", prefix="n")
+        schema = comp.catalog.table(table)
+        self.descs: list[FieldDesc] = []
+        self._col_syms: dict[str, Rep] = {}
+        for column in schema.columns:
+            name = rename.get(column.name, column.name)
+            self._col_syms[name] = ctx.call(
+                "db_column_vec",
+                [table, column.name],
+                result=vec_ctype(column.type.ctype),
+                prefix="col",
+            )
+            self.descs.append(FieldDesc(name, column.type))
+
+    def scan(
+        self,
+        cb: Callable[[VecRecord], None],
+        bounds: Optional[tuple[Rep, Rep]] = None,
+    ) -> None:
+        from repro.compiler.lb2 import CompileError
+
+        if bounds is not None:
+            raise CompileError(
+                "the vector backend cannot partition a batch scan; "
+                "parallel execution uses scalar codegen"
+            )
+        loaders = {
+            d.name: (lambda v: lambda: v)(self._col_syms[d.name])
+            for d in self.descs
+        }
+        cb(VecRecord(self.ctx, list(self.descs), loaders, lambda: self.size))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized aggregation state
+# ---------------------------------------------------------------------------
+
+
+class _IndexedSlots(Slots):
+    """Aggregate slots read out of per-group result arrays (one group row)."""
+
+    def __init__(
+        self,
+        ctx: StagingContext,
+        arrays: Sequence[Rep],
+        ctypes: Sequence[str],
+        gi: RepInt,
+    ) -> None:
+        self.ctx = ctx
+        self.arrays = list(arrays)
+        self.ctypes = list(ctypes)
+        self.gi = gi
+
+    def get(self, i: int) -> Rep:
+        sym = self.ctx.bind(
+            ir.Index(self.arrays[i].expr, self.gi.expr), ctype=self.ctypes[i]
+        )
+        return rep_for_ctype(self.ctypes[i])(sym, self.ctx)
+
+    def set(self, i: int, value) -> None:  # pragma: no cover - defensive
+        raise NotImplementedError("vectorized group slots are read-only")
+
+
+class VecAggMap:
+    """Grouped aggregation over one batch: factorize keys, reduce by kernel.
+
+    Implements the accumulate/foreach protocol of the staged hash maps, but
+    ``accumulate`` is called once with a whole batch: it stages one
+    ``v_group`` factorization of the key columns plus one ``v_group_*``
+    reduction per aggregate slot.  ``foreach`` then loops over the group
+    index, which is exactly the scalar emit loop downstream code expects.
+    """
+
+    def __init__(
+        self,
+        ctx: StagingContext,
+        node: phys.Agg,
+        key_ctypes: Sequence[str],
+        slot_ctypes: Sequence[str],
+    ) -> None:
+        self.ctx = ctx
+        self.node = node
+        self.key_ctypes = list(key_ctypes)
+        self.slot_ctypes = list(slot_ctypes)
+        ctx.comment(
+            f"vectorized grouped aggregation; keys: {[n for n, _ in node.keys]}"
+        )
+        self._ngroups: Optional[RepInt] = None
+        self._keylists: list[Rep] = []
+        self._slot_arrays: list[Rep] = []
+
+    def accumulate(self, rec: VecRecord, stage_keys, staged_aggs) -> None:
+        ctx = self.ctx
+        keys = stage_keys(rec)
+        n = rec.nrows()
+        grouped = ctx.call(
+            "v_group", [n] + list(keys), result="void*", prefix="grp"
+        )
+        codes = rep_for_ctype("vec_long")(
+            ctx.bind(ir.Index(grouped.expr, ir.Const(0)), ctype="vec_long", prefix="v"),
+            ctx,
+        )
+        self._ngroups = RepInt(
+            ctx.bind(ir.Index(grouped.expr, ir.Const(1)), ctype="long", prefix="v"),
+            ctx,
+        )
+        self._keylists = [
+            Rep(
+                ctx.bind(
+                    ir.Index(grouped.expr, ir.Const(2 + j)),
+                    ctype="void*",
+                    prefix="v",
+                ),
+                ctx,
+                ctype="void*",
+            )
+            for j in range(len(keys))
+        ]
+        ng = self._ngroups
+        for agg in staged_aggs:
+            value = agg.row_value(rec)
+            self._slot_arrays.extend(
+                _grouped_slot_arrays(ctx, agg, codes, ng, value)
+            )
+
+    def foreach(self, on_group) -> None:
+        ctx = self.ctx
+        assert self._ngroups is not None, "foreach before accumulate"
+        with ctx.for_range(0, self._ngroups, prefix="g") as gi:
+            keys = [
+                rep_for_ctype(kt)(
+                    ctx.bind(ir.Index(kl.expr, gi.expr), ctype=kt), ctx
+                )
+                for kl, kt in zip(self._keylists, self.key_ctypes)
+            ]
+            slots = _IndexedSlots(ctx, self._slot_arrays, self.slot_ctypes, gi)
+            on_group(keys, slots)
+
+
+def _grouped_slot_arrays(
+    ctx: StagingContext,
+    agg: StagedAgg,
+    codes: Rep,
+    ngroups: RepInt,
+    value: Optional[StagedValue],
+) -> list[Rep]:
+    """The per-group result array(s) backing one aggregate's slots."""
+    kind = agg.spec.kind
+
+    def reduce(fn: str, *args) -> Rep:
+        return ctx.call(fn, [codes, ngroups, *args], result="void*", prefix="v")
+
+    if kind == "count":
+        if agg.spec.expr is None:
+            return [reduce("v_group_count")]
+        return [reduce("v_group_count_nn", value)]
+    if kind == "sum":
+        return [reduce("v_group_sum", value)]
+    if kind == "avg":
+        # Matches the scalar layout: a float total plus an all-rows counter.
+        return [reduce("v_group_fsum", value), reduce("v_group_count")]
+    if kind == "min":
+        return [reduce("v_group_min", value)]
+    if kind == "max":
+        return [reduce("v_group_max", value)]
+    raise AssertionError(f"aggregate kind {kind!r} passed vector eligibility")
+
+
+class _ValueSlots(Slots):
+    """Aggregate slots that are already-computed staged values (global agg)."""
+
+    def __init__(self, values: Sequence[Rep]) -> None:
+        self.values = list(values)
+
+    def get(self, i: int) -> Rep:
+        return self.values[i]
+
+    def set(self, i: int, value) -> None:  # pragma: no cover - defensive
+        raise NotImplementedError("vectorized global slots are read-only")
+
+
+class GlobalAggVec:
+    """Global (ungrouped) aggregation over one batch.
+
+    Same ``accumulate`` / ``empty_cond`` / ``result`` protocol as
+    :class:`repro.compiler.staged_agg.GlobalAggState`, lowered to one
+    whole-column reduction kernel per slot instead of a row loop.
+    """
+
+    def __init__(self, ctx: StagingContext, staged_aggs) -> None:
+        self.ctx = ctx
+        ctx.comment("vectorized global aggregation")
+        self._nrows: Optional[RepInt] = None
+        self.slots: Optional[_ValueSlots] = None
+
+    def accumulate(self, rec: VecRecord, staged_aggs) -> None:
+        ctx = self.ctx
+        n = rec.nrows()
+        self._nrows = n
+        values: list[Rep] = []
+        for agg in staged_aggs:
+            value = agg.row_value(rec)
+            kind = agg.spec.kind
+            if kind == "count":
+                if agg.spec.expr is None:
+                    values.append(n)
+                else:
+                    values.append(
+                        ctx.call("v_count_nn", [value, n], result="long", prefix="v")
+                    )
+            elif kind == "sum":
+                values.append(
+                    ctx.call(
+                        "v_sum", [value, n], result=agg.value_type.ctype, prefix="v"
+                    )
+                )
+            elif kind == "avg":
+                # Float total + all-rows counter, mirroring the scalar slots.
+                values.append(
+                    ctx.call("v_fsum", [value, n], result="double", prefix="v")
+                )
+                values.append(n)
+            elif kind == "min":
+                values.append(
+                    ctx.call(
+                        "v_min", [value, n], result=agg.value_type.ctype, prefix="v"
+                    )
+                )
+            elif kind == "max":
+                values.append(
+                    ctx.call(
+                        "v_max", [value, n], result=agg.value_type.ctype, prefix="v"
+                    )
+                )
+            else:  # pragma: no cover - guarded by eligibility
+                raise AssertionError(f"aggregate kind {kind!r} in vector path")
+        self.slots = _ValueSlots(values)
+
+    def empty_cond(self) -> Rep:
+        assert self._nrows is not None, "empty_cond before accumulate"
+        return self._nrows == 0
+
+    def result(self, agg: StagedAgg, empty) -> Rep:
+        """One aggregate's SQL value: its empty value, or the reductions."""
+        ctx = self.ctx
+        result = ctx.var(agg.empty_value(ctx), prefix="agg")
+        with ctx.if_(~empty):
+            result.set(agg.finalize(ctx, self.slots))
+        return result.get()
+
+
+# ---------------------------------------------------------------------------
+# Eligibility analysis
+# ---------------------------------------------------------------------------
+
+_VEC_AGG_KINDS = frozenset({"count", "sum", "avg", "min", "max"})
+_CONST_TYPES = (bool, int, float, str)
+
+
+def _expr_supported(expr: Expr) -> bool:
+    """Can ``expr`` stage against batch columns?
+
+    Exactly the expression forms whose staged operators lower to ``v_*``
+    kernels.  ``Like`` / ``Case`` / ``Substring`` stage through string
+    methods or staged branches, so they (and anything containing them)
+    run scalar.
+    """
+    if isinstance(expr, Col):
+        return True
+    if isinstance(expr, Const):
+        return isinstance(expr.value, _CONST_TYPES)
+    if isinstance(expr, (Arith, Cmp)):
+        return _expr_supported(expr.lhs) and _expr_supported(expr.rhs)
+    if isinstance(expr, (And, Or)):
+        return all(_expr_supported(t) for t in expr.terms)
+    if isinstance(expr, (Not, ExtractYear)):
+        return _expr_supported(expr.term)
+    if isinstance(expr, InList):
+        return _expr_supported(expr.term) and all(
+            isinstance(v, _CONST_TYPES) for v in expr.values
+        )
+    return False
+
+
+def _plan_children(node: phys.PhysicalPlan) -> list[phys.PhysicalPlan]:
+    out = []
+    for attr in ("child", "left", "right"):
+        sub = getattr(node, attr, None)
+        if isinstance(sub, phys.PhysicalPlan):
+            out.append(sub)
+    return out
+
+
+class VectorBackend(ScalarBackend):
+    """Batch-vectorized lowering with per-operator scalar fallback."""
+
+    name = "vector"
+
+    def __init__(self, comp) -> None:
+        super().__init__(comp)
+        self._batch: set[int] = set()  # id(node) -> emits VecRecords
+        self._vec_aggs: set[int] = set()  # id(node) -> vectorized Agg
+        self._counts = {
+            "batch_scans": 0,
+            "batch_selects": 0,
+            "batch_projects": 0,
+            "vector_aggs": 0,
+            "scalar_nodes": 0,
+            "devectorized_edges": 0,
+        }
+        if not have_numpy():
+            warnings.warn(
+                "NumPy is not installed: the vector backend will run its "
+                "batch kernels as pure-Python list loops. Install the "
+                "'fast' extra (pip install repro[fast]) for the fast path.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # -- whole-plan analysis --------------------------------------------------
+
+    def prepare(self, root: phys.PhysicalPlan) -> None:
+        """Decide, per node, which lowering it gets -- before any staging."""
+        config = self.comp.config
+        if config.instrument or config.budget_checks:
+            # Instrument counters and budget ticks are defined per *row*;
+            # both force the scalar lowering for the whole plan.
+            self._count_scalar(root)
+            return
+        self._analyze(root, consumer=None)
+        self._prune(root, kept_above=False)
+
+    def _count_scalar(self, node: phys.PhysicalPlan) -> None:
+        self._counts["scalar_nodes"] += 1
+        for sub in _plan_children(node):
+            self._count_scalar(sub)
+
+    def _analyze(
+        self,
+        node: phys.PhysicalPlan,
+        consumer: Optional[phys.PhysicalPlan],
+    ) -> None:
+        for sub in _plan_children(node):
+            self._analyze(sub, consumer=node)
+        if isinstance(node, phys.Scan) and self._scan_ok(node):
+            self._batch.add(id(node))
+            self._counts["batch_scans"] += 1
+            return
+        elif isinstance(node, phys.Select):
+            if id(node.child) in self._batch and _expr_supported(node.pred):
+                self._batch.add(id(node))
+                self._counts["batch_selects"] += 1
+                return
+        elif isinstance(node, phys.Project):
+            if (
+                id(node.child) in self._batch
+                and not phys.needs_null_guard(node)
+                and all(_expr_supported(e) for _, e in node.outputs)
+            ):
+                self._batch.add(id(node))
+                self._counts["batch_projects"] += 1
+                return
+        elif isinstance(node, phys.Agg):
+            if id(node.child) in self._batch and self._agg_ok(node):
+                self._vec_aggs.add(id(node))
+                self._counts["vector_aggs"] += 1
+                return
+        self._counts["scalar_nodes"] += 1
+
+    def _scan_ok(self, node: phys.Scan) -> bool:
+        # Dictionary-compressed columns stage DicValues, which specialize
+        # per-row against the present-stage dictionary; those scans (and
+        # everything above them) keep the scalar lowering.
+        return not any(f.compressed for f in self.comp.static_fields(node))
+
+    # -- benefit pruning ------------------------------------------------------
+    #
+    # Candidacy is about *correctness* (every expression has a kernel);
+    # whether batching pays is a separate question.  A batch chain that
+    # neither filters (a mask shrinks the devectorized residual loop) nor
+    # feeds a vector aggregation stages whole columns only to convert them
+    # straight back -- pure overhead (a Scan -> Project pair under a join,
+    # say), so such chains are stripped back to the scalar lowering.
+
+    _STRIP_COUNTERS = {
+        phys.Scan: "batch_scans",
+        phys.Select: "batch_selects",
+        phys.Project: "batch_projects",
+    }
+
+    def _prune(self, node: phys.PhysicalPlan, kept_above: bool) -> None:
+        nid = id(node)
+        if nid in self._batch and not kept_above:
+            # the top of a maximal batch chain: does it earn its keep?
+            if not self._chain_has_select(node):
+                self._strip(node)
+        keeps = nid in self._batch or nid in self._vec_aggs
+        for sub in _plan_children(node):
+            self._prune(sub, kept_above=keeps)
+
+    def _chain_has_select(self, node: phys.PhysicalPlan) -> bool:
+        if id(node) not in self._batch:
+            return False
+        if isinstance(node, phys.Select):
+            return True
+        return any(self._chain_has_select(sub) for sub in _plan_children(node))
+
+    def _strip(self, node: phys.PhysicalPlan) -> None:
+        nid = id(node)
+        if nid not in self._batch:
+            return
+        self._batch.discard(nid)
+        self._counts[self._STRIP_COUNTERS[type(node)]] -= 1
+        self._counts["scalar_nodes"] += 1
+        for sub in _plan_children(node):
+            self._strip(sub)
+
+    def _agg_ok(self, node: phys.Agg) -> bool:
+        for _, expr in node.keys:
+            if not _expr_supported(expr):
+                return False
+        for _, spec in node.aggs:
+            if spec.kind not in _VEC_AGG_KINDS:
+                return False
+            if spec.expr is not None and not _expr_supported(spec.expr):
+                return False
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "numpy": have_numpy(),
+            **self._counts,
+        }
+
+    # -- operator edges -------------------------------------------------------
+
+    def edge(self, child, consumer_node) -> Callable:
+        dp = child.exec()
+        node = getattr(child, "node", None)
+        if node is None or id(node) not in self._batch:
+            return dp
+        if self._consumes_batch(consumer_node):
+            return dp
+        self._counts["devectorized_edges"] += 1
+
+        def devectorized(cb) -> None:
+            dp(lambda rec: rec.rows(cb))
+
+        return devectorized
+
+    def _consumes_batch(self, consumer_node) -> bool:
+        return id(consumer_node) in self._batch or id(consumer_node) in self._vec_aggs
+
+    # -- staged data-structure factories --------------------------------------
+
+    def scan_source(self, node):
+        if id(node) in self._batch:
+            return VecScanSource(self.comp, node.table, node.rename_map)
+        return super().scan_source(node)
+
+    def agg_map(self, node, key_ctypes, slot_ctypes):
+        if id(node) in self._vec_aggs:
+            return VecAggMap(self.ctx, node, key_ctypes, slot_ctypes)
+        return super().agg_map(node, key_ctypes, slot_ctypes)
+
+    def global_agg_state(self, node, staged_aggs):
+        if id(node) in self._vec_aggs:
+            return GlobalAggVec(self.ctx, staged_aggs)
+        return super().global_agg_state(node, staged_aggs)

@@ -47,6 +47,7 @@ __all__ = [
     "EngineAttempt",
     "ExecutionReport",
     "FAULT_SITES",
+    "FULL_CHAIN",
     "FallbackPolicy",
     "FaultInjector",
     "FaultSpec",
@@ -64,6 +65,7 @@ __all__ = [
 
 _EXECUTOR_NAMES = {
     "ENGINE_CHAIN",
+    "FULL_CHAIN",
     "EngineAttempt",
     "ExecutionReport",
     "ResilientExecutor",

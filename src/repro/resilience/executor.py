@@ -31,6 +31,13 @@ from repro.resilience.policy import DEFAULT_POLICY, FallbackPolicy
 #: The default degradation order: fastest first, most battle-tested last.
 ENGINE_CHAIN = ("compiled", "push", "volcano")
 
+#: Every available engine, including the opt-in batch-vectorized compiled
+#: path.  "vector" is not in the default chain: it shares the compiled
+#: engine's failure modes, so degrading vector -> compiled would usually
+#: retry the same bug; chains that want it say so explicitly, e.g.
+#: ``ResilientExecutor(session, engines=FULL_CHAIN)``.
+FULL_CHAIN = ("vector",) + ENGINE_CHAIN
+
 
 @dataclass
 class EngineAttempt:
@@ -115,9 +122,9 @@ class ResilientExecutor:
         budget: Optional[Budget] = None,
         engines: Sequence[str] = ENGINE_CHAIN,
     ) -> None:
-        unknown = [e for e in engines if e not in ENGINE_CHAIN]
+        unknown = [e for e in engines if e not in FULL_CHAIN]
         if unknown:
-            raise ValueError(f"unknown engines {unknown}; pick from {ENGINE_CHAIN}")
+            raise ValueError(f"unknown engines {unknown}; pick from {FULL_CHAIN}")
         if not engines:
             raise ValueError("at least one engine is required")
         self.session = session
@@ -216,6 +223,8 @@ class ResilientExecutor:
     ) -> list[tuple]:
         if engine == "compiled":
             return self._run_compiled(plan, sql, guard)
+        if engine == "vector":
+            return self._run_vector(plan, guard)
         if engine == "push":
             return self._run_push(plan, guard)
         return self._run_volcano(plan, guard)
@@ -239,6 +248,28 @@ class ResilientExecutor:
             compiled = LB2Compiler(
                 session.db.catalog, session.db, session.config
             ).compile(plan)
+        if guard is None:
+            return compiled.run(session.db)
+        with guard:
+            return compiled.run(session.db)
+
+    def _run_vector(self, plan, guard: Optional[BudgetGuard]) -> list[tuple]:
+        """The compiled engine with the batch-vectorized codegen backend.
+
+        Always a fresh compile (the session cache is keyed by its own
+        config).  Under an active budget the vector backend itself falls
+        back to scalar code -- budget ticks are defined per row -- so the
+        guarded build is equivalent to the compiled engine's.
+        """
+        from repro.compiler.driver import LB2Compiler
+        from repro.compiler.lb2 import Config
+
+        session = self.session
+        base = session.config or Config()
+        config = replace(
+            base, codegen="vector", budget_checks=self._needs_ticks()
+        )
+        compiled = LB2Compiler(session.db.catalog, session.db, config).compile(plan)
         if guard is None:
             return compiled.run(session.db)
         with guard:

@@ -89,6 +89,22 @@ class StagingContext:
     def comment(self, text: str) -> None:
         self.emit(ir.Comment(text))
 
+    @contextlib.contextmanager
+    def emit_into(self, block: ir.Block) -> Iterator[None]:
+        """Temporarily redirect emission into ``block``.
+
+        A code-motion helper: stage a fragment into a detached block, then
+        splice it wherever it belongs (e.g. the vector backend binds column
+        views *before* a devectorizing loop the first time the loop body
+        touches the field).  The caller owns the splice; symbols referenced
+        by the fragment must already be bound at the insertion point.
+        """
+        self._block_stack.append(block)
+        try:
+            yield
+        finally:
+            self._block_stack.pop()
+
     def bind(self, expr: ir.Expr, ctype: str = "long", prefix: str = "x") -> ir.Sym:
         """Bind ``expr`` to a fresh name; return the symbol.
 

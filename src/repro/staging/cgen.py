@@ -51,6 +51,8 @@ _C_CALLS: dict[str, Callable[..., str]] = {
     "dict_contains": lambda d, k: f"hashmap_contains({d}, {k})",
     "dict_items": lambda d: f"hashmap_items({d})",
     "db_column": lambda t, c: f"load_column({t}, {c})",
+    "db_column_vec": lambda t, c: f"load_column_vec({t}, {c})",
+    "scan_tick": lambda n: f"lb2_scan_tick({n})",
     "db_size": lambda t: f"table_size({t})",
     "db_index": lambda t, c: f"load_index({t}, {c})",
     "db_unique_index": lambda t, c: f"load_unique_index({t}, {c})",

@@ -12,7 +12,7 @@ through :class:`StagedVar`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Type, Union
+from typing import TYPE_CHECKING, Sequence, Type, Union
 
 from repro.staging import ir
 
@@ -80,6 +80,7 @@ class Rep:
     """A staged (future-stage) value of unspecified type."""
 
     ctype = "long"
+    is_vector = False  # RepVec subclasses carry batches, not scalars
 
     def __init__(self, expr: ir.Expr, ctx: "StagingContext", ctype: str | None = None):
         if not ir.is_atom(expr):
@@ -96,6 +97,10 @@ class Rep:
         return lift_expr(self.ctx, other)
 
     def _bin(self, op: str, other: Liftable, result: Type["Rep"], swap: bool = False):
+        if getattr(other, "is_vector", False) and not self.is_vector:
+            # A scalar met a batch: the operation broadcasts, and the vector
+            # side owns the lowering (a kernel call instead of an inline op).
+            return other._scalar_bin(op, self, scalar_is_lhs=not swap)
         lhs, rhs = self.expr, self._coerce(other)
         if swap:
             lhs, rhs = rhs, lhs
@@ -255,6 +260,202 @@ class RepStr(Rep):
         return self.ctx.call("hash_str", [self], result="long")  # type: ignore[return-value]
 
 
+# -- vector (batch) values ---------------------------------------------------
+#
+# The vector code-generation backend (:mod:`repro.compiler.vec`) stages whole
+# columns at a time.  A ``RepVec`` is one such column: every overloaded
+# operation lowers to a named batch kernel (``rt.v_*``) over arrays rather
+# than an inline scalar expression, but sequencing works identically --
+# each kernel result is bound to a fresh name in emission order.  Scalar
+# Reps mixed into vector operations broadcast (the kernels accept plain
+# Python scalars for either operand).
+
+
+_VEC_KERNELS = {
+    "+": "v_add",
+    "-": "v_sub",
+    "*": "v_mul",
+    "/": "v_div",
+    "//": "v_floordiv",
+    "%": "v_mod",
+    "==": "v_eq",
+    "!=": "v_ne",
+    "<": "v_lt",
+    "<=": "v_le",
+    ">": "v_gt",
+    ">=": "v_ge",
+    "and": "v_and",
+    "or": "v_or",
+}
+
+_VEC_BOOL_OPS = frozenset({"==", "!=", "<", "<=", ">", ">=", "and", "or"})
+
+# scalar C type -> the vector C type of a column of it
+VEC_CTYPES = {
+    "long": "vec_long",
+    "int": "vec_long",
+    "double": "vec_double",
+    "bool": "vec_bool",
+    "char*": "vec_str",
+}
+
+
+def vec_ctype(scalar_ctype: str) -> str:
+    """The vector C type carrying a batch of ``scalar_ctype`` values."""
+    return VEC_CTYPES.get(scalar_ctype, "vec_long")
+
+
+class RepVec(Rep):
+    """A staged batch of values: one column of a batch record."""
+
+    ctype = "vec_long"
+    scalar_ctype = "long"
+    is_vector = True
+
+    def _vcall(self, fn: str, args: Sequence[Liftable], result_cls: Type["Rep"]):
+        exprs = tuple(lift_expr(self.ctx, a) for a in args)
+        sym = self.ctx.bind(ir.Call(fn, exprs), ctype=result_cls.ctype, prefix="v")
+        return result_cls(sym, self.ctx)
+
+    def _vbin(self, fn: str, other: Liftable, result_cls: Type["Rep"], swap: bool = False):
+        args = [other, self] if swap else [self, other]
+        return self._vcall(fn, args, result_cls)
+
+    def _scalar_bin(self, op: str, scalar: Liftable, scalar_is_lhs: bool):
+        """Reflected entry: ``Rep._bin`` saw a scalar meet this vector."""
+        fn = _VEC_KERNELS[op]
+        if op in _VEC_BOOL_OPS:
+            result_cls: Type[Rep] = RepVecBool
+        elif op == "/":
+            result_cls = RepVecFloat
+        elif op in ("//", "%"):
+            result_cls = RepVecInt
+        elif isinstance(self, RepVecFloat) or isinstance(scalar, (RepFloat, float)):
+            result_cls = RepVecFloat
+        else:
+            result_cls = RepVecInt
+        return self._vbin(fn, scalar, result_cls, swap=scalar_is_lhs)
+
+    def __eq__(self, other: object) -> "RepVecBool":  # type: ignore[override]
+        return self._vbin("v_eq", other, RepVecBool)
+
+    def __ne__(self, other: object) -> "RepVecBool":  # type: ignore[override]
+        return self._vbin("v_ne", other, RepVecBool)
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class _VecNumeric(RepVec):
+    """Shared arithmetic for staged int and float batches."""
+
+    def _arith_result(self, other: Liftable) -> Type["Rep"]:
+        if isinstance(self, RepVecFloat) or isinstance(
+            other, (RepVecFloat, RepFloat, float)
+        ):
+            return RepVecFloat
+        return RepVecInt
+
+    def __add__(self, other: Liftable):
+        return self._vbin("v_add", other, self._arith_result(other))
+
+    def __radd__(self, other: Liftable):
+        return self._vbin("v_add", other, self._arith_result(other), swap=True)
+
+    def __sub__(self, other: Liftable):
+        return self._vbin("v_sub", other, self._arith_result(other))
+
+    def __rsub__(self, other: Liftable):
+        return self._vbin("v_sub", other, self._arith_result(other), swap=True)
+
+    def __mul__(self, other: Liftable):
+        return self._vbin("v_mul", other, self._arith_result(other))
+
+    def __rmul__(self, other: Liftable):
+        return self._vbin("v_mul", other, self._arith_result(other), swap=True)
+
+    def __truediv__(self, other: Liftable):
+        return self._vbin("v_div", other, RepVecFloat)
+
+    def __rtruediv__(self, other: Liftable):
+        return self._vbin("v_div", other, RepVecFloat, swap=True)
+
+    def __floordiv__(self, other: Liftable):
+        return self._vbin("v_floordiv", other, RepVecInt)
+
+    def __mod__(self, other: Liftable):
+        return self._vbin("v_mod", other, RepVecInt)
+
+    def __neg__(self):
+        return self._vcall("v_neg", [self], type(self))
+
+    def __lt__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_lt", other, RepVecBool)
+
+    def __le__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_le", other, RepVecBool)
+
+    def __gt__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_gt", other, RepVecBool)
+
+    def __ge__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_ge", other, RepVecBool)
+
+
+class RepVecInt(_VecNumeric):
+    """A staged batch of integers."""
+
+    ctype = "vec_long"
+    scalar_ctype = "long"
+
+
+class RepVecFloat(_VecNumeric):
+    """A staged batch of doubles."""
+
+    ctype = "vec_double"
+    scalar_ctype = "double"
+
+
+class RepVecBool(RepVec):
+    """A staged batch of booleans (selection masks)."""
+
+    ctype = "vec_bool"
+    scalar_ctype = "bool"
+
+    def __and__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_and", other, RepVecBool)
+
+    def __rand__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_and", other, RepVecBool, swap=True)
+
+    def __or__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_or", other, RepVecBool)
+
+    def __ror__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_or", other, RepVecBool, swap=True)
+
+    def __invert__(self) -> "RepVecBool":
+        return self._vcall("v_not", [self], RepVecBool)
+
+
+class RepVecStr(RepVec):
+    """A staged batch of strings (comparisons only; no LIKE kernels)."""
+
+    ctype = "vec_str"
+    scalar_ctype = "char*"
+
+    def __lt__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_lt", other, RepVecBool)
+
+    def __le__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_le", other, RepVecBool)
+
+    def __gt__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_gt", other, RepVecBool)
+
+    def __ge__(self, other: Liftable) -> "RepVecBool":
+        return self._vbin("v_ge", other, RepVecBool)
+
+
 class StagedVar:
     """A mutable future-stage variable (generated local that is reassigned).
 
@@ -293,6 +494,10 @@ _CTYPE_TO_REP: dict[str, Type[Rep]] = {
     "bool": RepBool,
     "char*": RepStr,
     "void*": Rep,
+    "vec_long": RepVecInt,
+    "vec_double": RepVecFloat,
+    "vec_bool": RepVecBool,
+    "vec_str": RepVecStr,
 }
 
 

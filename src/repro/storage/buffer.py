@@ -12,6 +12,20 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from repro.catalog.schema import SchemaError, TableSchema
+from repro.catalog.types import ColumnType
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-numpy tests
+    _np = None
+
+_NP_DTYPES = None if _np is None else {
+    ColumnType.INT: _np.int64,
+    ColumnType.DATE: _np.int64,
+    ColumnType.FLOAT: _np.float64,
+    ColumnType.BOOL: _np.bool_,
+    ColumnType.STRING: object,
+}
 
 
 class ColumnarTable:
@@ -31,6 +45,7 @@ class ColumnarTable:
         if len(lengths) > 1:
             raise SchemaError(f"ragged columns in {schema.name!r}: {sorted(lengths)}")
         self._rows = lengths.pop() if lengths else 0
+        self._arrays: dict[str, object] = {}
 
     # -- sizing ------------------------------------------------------------
 
@@ -66,6 +81,24 @@ class ColumnarTable:
             raise SchemaError(
                 f"table {self.schema.name!r} has no column {name!r}"
             ) from None
+
+    def array(self, name: str):
+        """The column as a typed NumPy array (vector backend read path).
+
+        Built lazily on first access and cached; with NumPy absent the raw
+        Python list is returned instead, and the ``v_*`` batch kernels fall
+        back to list processing.  The cache is never invalidated on
+        ``append_row`` -- base tables are immutable once queries run, which
+        is the same assumption the hash/date indexes already make.
+        """
+        if name not in self._arrays:
+            values = self.column(name)
+            if _np is None:
+                self._arrays[name] = values
+            else:
+                dtype = _NP_DTYPES[self.schema.column_type(name)]
+                self._arrays[name] = _np.asarray(values, dtype=dtype)
+        return self._arrays[name]
 
     @classmethod
     def from_rows(

@@ -3,12 +3,16 @@
 The fallback chain is only sound if the engines it degrades between are
 observationally equivalent.  This pins that property at the resilience
 layer's own entry point: each engine is run as a single-element chain, so
-what is compared is exactly what a degraded query would return.
+what is compared is exactly what a degraded query would return.  The
+chain under test is :data:`FULL_CHAIN`, so the batch-vectorized compiled
+backend is held to the same bar as the three default engines.
 """
 
 import pytest
 
-from repro.resilience import ENGINE_CHAIN, ResilientExecutor
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.resilience import FULL_CHAIN, ResilientExecutor
 from repro.session import Session
 from repro.tpch import query_plan
 from repro.tpch.queries import QUERIES
@@ -26,10 +30,30 @@ def parity_session(tpch_db):
 def test_every_engine_answers_identically(q, parity_session):
     plan = query_plan(q, scale=TINY_SCALE)
     results = {}
-    for engine in ENGINE_CHAIN:
+    for engine in FULL_CHAIN:
         executor = ResilientExecutor(parity_session, engines=(engine,))
         result = executor.execute_plan(plan)
         assert result.report.engine == engine
         assert not result.report.degraded
         results[engine] = normalize(result.rows)
-    assert results["compiled"] == results["push"] == results["volcano"]
+    assert (
+        results["vector"]
+        == results["compiled"]
+        == results["push"]
+        == results["volcano"]
+    )
+
+
+@pytest.mark.parametrize("q", ALL_QUERIES)
+def test_codegen_settings_agree(q, parity_session):
+    """Both codegen settings of the compiled engine answer identically,
+    compared at the compiler surface (no executor in between)."""
+    db = parity_session.db
+    plan = query_plan(q, scale=TINY_SCALE)
+    rows = {}
+    for codegen in ("scalar", "vector"):
+        compiled = LB2Compiler(
+            db.catalog, db, Config(codegen=codegen)
+        ).compile(plan)
+        rows[codegen] = normalize(compiled.run(db))
+    assert rows["scalar"] == rows["vector"]

@@ -108,6 +108,21 @@ def test_aggregate_walkthrough_open_addressing_c():
     assert sorted(compiled.run(db)) == [("CS", 2), ("EE", 1)]
 
 
+def test_budget_checks_scan_tick_c_golden():
+    """Budget checkpoints render to C as a sampled support-header call."""
+    db = emp_db()
+    compiler = LB2Compiler(
+        db.catalog, db, Config(budget_checks=True, budget_check_interval=256)
+    )
+    compiled = compiler.compile(agg_plan())
+    c_source = compiled.c_source()
+    # the sampled checkpoint: one modulo bind, a guard, the tick call
+    assert "% 256;" in c_source
+    assert "lb2_scan_tick(256);" in c_source
+    # the python rendering of the same program still runs
+    assert sorted(compiled.run(db)) == [("CS", 2), ("EE", 1)]
+
+
 def test_generated_code_is_data_independent():
     """Same plan, same schema, different data -> identical source (no
     dictionaries involved), so compiled queries are reusable."""

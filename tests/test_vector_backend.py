@@ -1,0 +1,278 @@
+"""The batch-vectorized codegen backend: kernels, eligibility, degradation.
+
+Three layers under test:
+
+* the ``rt.v_*`` kernels themselves, on both the NumPy path and the
+  pure-Python fallback (``runtime._np`` monkeypatched away);
+* the backend seam -- operators never branch on ``Config.codegen``, the
+  vector backend's eligibility pass falls back per node (dictionaries,
+  instrumentation, budget checks), and its stats are surfaced through
+  ``CompiledQuery.codegen_stats``;
+* clean degradation without NumPy: a lint-able :class:`RuntimeWarning`,
+  never a crash, and identical query results.
+"""
+
+import warnings
+
+import pytest
+
+from repro.compiler import runtime as rt
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.plan import (
+    Agg,
+    Like,
+    Project,
+    Scan,
+    Select,
+    avg,
+    col,
+    count,
+    lit,
+    sum_,
+)
+from repro.storage import OptimizationLevel
+from tests.conftest import make_tiny_db, normalize
+
+PLAIN_SCALARS = (bool, int, float, str, type(None))
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def kernel_mode(request, monkeypatch):
+    """Run kernel tests under NumPy and under the pure-Python fallback."""
+    if request.param == "fallback":
+        monkeypatch.setattr(rt, "_np", None)
+    elif not rt.have_numpy():
+        pytest.skip("NumPy not available")
+    return request.param
+
+
+def _batch(values):
+    if rt.have_numpy():
+        import numpy as np
+
+        return np.asarray(values)
+    return list(values)
+
+
+# -- kernels ------------------------------------------------------------------
+
+
+def test_elementwise_kernels(kernel_mode):
+    a = _batch([1, 2, 3, 4])
+    b = _batch([10, 20, 30, 40])
+    assert rt.v_tolist(rt.v_add(a, b)) == [11, 22, 33, 44]
+    assert rt.v_tolist(rt.v_sub(b, a)) == [9, 18, 27, 36]
+    assert rt.v_tolist(rt.v_mul(a, 2)) == [2, 4, 6, 8]
+    assert rt.v_tolist(rt.v_div(a, 2)) == [0.5, 1.0, 1.5, 2.0]
+    assert rt.v_tolist(rt.v_floordiv(b, 3)) == [3, 6, 10, 13]
+    assert rt.v_tolist(rt.v_mod(b, 3)) == [1, 2, 0, 1]
+    assert rt.v_tolist(rt.v_neg(a)) == [-1, -2, -3, -4]
+
+
+def test_comparison_and_mask_kernels(kernel_mode):
+    a = _batch([5, 1, 7, 3])
+    ge = rt.v_ge(a, 3)
+    lt = rt.v_lt(a, 7)
+    assert rt.v_tolist(ge) == [True, False, True, True]
+    assert rt.v_tolist(rt.v_and(ge, lt)) == [True, False, False, True]
+    assert rt.v_tolist(rt.v_or(ge, lt)) == [True, True, True, True]
+    assert rt.v_tolist(rt.v_not(ge)) == [False, True, False, False]
+    sel = rt.v_mask_index(rt.v_and(ge, lt))
+    assert rt.v_tolist(sel) == [0, 3]
+    assert rt.v_tolist(rt.v_take(a, sel)) == [5, 3]
+    # broadcast scalars pass through v_take untouched
+    assert rt.v_take(42, sel) == 42
+    assert rt.v_len(sel) == 2
+
+
+def test_group_kernels(kernel_mode):
+    keys = _batch(["b", "a", "b", "a", "b"])
+    vals = _batch([1, 10, 2, 20, 3])
+    grouped = rt.v_group(5, keys)
+    codes, ngroups = grouped[0], grouped[1]
+    assert ngroups == 2
+    keylist = grouped[2]
+    sums = rt.v_group_sum(codes, ngroups, vals)
+    counts = rt.v_group_count(codes, ngroups)
+    by_key = {
+        keylist[g]: (sums[g], counts[g]) for g in range(ngroups)
+    }
+    assert by_key == {"a": (30, 2), "b": (6, 3)}
+    mins = rt.v_group_min(codes, ngroups, vals)
+    maxs = rt.v_group_max(codes, ngroups, vals)
+    assert {keylist[g]: (mins[g], maxs[g]) for g in range(ngroups)} == {
+        "a": (10, 20),
+        "b": (1, 3),
+    }
+
+
+def test_global_kernels_and_empty_batches(kernel_mode):
+    vals = _batch([4, 1, 3])
+    assert rt.v_sum(vals, 3) == 8
+    assert rt.v_fsum(vals, 3) == 8.0
+    assert rt.v_min(vals, 3) == 1
+    assert rt.v_max(vals, 3) == 4
+    assert rt.v_count_nn(vals, 3) == 3
+    # broadcast scalars: the batch never materialized
+    assert rt.v_sum(5, 4) == 20
+    assert rt.v_min(5, 0) is None
+    empty = _batch([])
+    assert rt.v_sum(empty, 0) == 0
+    assert rt.v_min(empty, 0) is None
+    assert rt.v_max(empty, 0) is None
+    assert rt.v_count_nn(empty, 0) == 0
+
+
+def test_kernels_return_plain_python_scalars(kernel_mode):
+    """Aggregate results must be plain ints/floats -- NumPy scalar types
+    leaking into result rows would break downstream equality/typing."""
+    vals = _batch([1, 2, 3])
+    grouped = rt.v_group(3, _batch(["x", "y", "x"]))
+    codes, ngroups = grouped[0], grouped[1]
+    for scalar in (
+        rt.v_sum(vals, 3),
+        rt.v_fsum(vals, 3),
+        rt.v_min(vals, 3),
+        rt.v_max(vals, 3),
+        rt.v_count_nn(vals, 3),
+        rt.v_group_sum(codes, ngroups, vals)[0],
+        rt.v_group_fsum(codes, ngroups, vals)[0],
+        rt.v_group_count(codes, ngroups)[0],
+    ):
+        assert type(scalar) in PLAIN_SCALARS, type(scalar)
+
+
+# -- the seam -----------------------------------------------------------------
+
+
+def agg_plan():
+    return Agg(
+        Select(Scan("Emp"), col("eid").lt(6)),
+        [("edname", col("edname"))],
+        [("cnt", count()), ("total", sum_(col("eid")))],
+    )
+
+
+def test_vector_backend_matches_scalar_on_tiny_db():
+    db = make_tiny_db()
+    plans = [
+        agg_plan(),
+        Agg(Scan("Sales"), [], [("m", avg(col("amount")))]),
+        Project(
+            Select(Scan("Sales"), col("amount").gt(lit(40.0))),
+            [("sid", col("sid")), ("twice", col("amount") * lit(2.0))],
+        ),
+    ]
+    for plan in plans:
+        got = {}
+        for codegen in ("scalar", "vector"):
+            compiled = LB2Compiler(
+                db.catalog, db, Config(codegen=codegen)
+            ).compile(plan)
+            got[codegen] = normalize(compiled.run(db))
+        assert got["scalar"] == got["vector"]
+
+
+def test_vector_stats_are_surfaced():
+    db = make_tiny_db()
+    compiled = LB2Compiler(
+        db.catalog, db, Config(codegen="vector")
+    ).compile(agg_plan())
+    stats = compiled.codegen_stats
+    assert stats["backend"] == "vector"
+    assert stats["batch_scans"] == 1
+    assert stats["batch_selects"] == 1
+    assert stats["vector_aggs"] == 1
+    assert "v_group" in compiled.source
+    scalar = LB2Compiler(db.catalog, db).compile(agg_plan())
+    assert scalar.codegen_stats["backend"] == "scalar"
+
+
+def test_operators_never_branch_on_the_backend():
+    """The acceptance bar of the seam refactor: operator classes talk to
+    the backend interface only; ``Config.codegen`` is read in exactly one
+    place (the backend selector)."""
+    import inspect
+
+    from repro.compiler import backends, lb2
+
+    assert "config.codegen" not in inspect.getsource(lb2)
+    assert "config.codegen" in inspect.getsource(backends.make_backend)
+
+
+def test_instrumentation_disables_vectorization():
+    db = make_tiny_db()
+    plain = LB2Compiler(
+        db.catalog, db, Config(instrument=True)
+    ).compile(agg_plan())
+    vec = LB2Compiler(
+        db.catalog, db, Config(codegen="vector", instrument=True)
+    ).compile(agg_plan())
+    assert vec.source == plain.source
+    assert vec.codegen_stats["batch_scans"] == 0
+
+
+def test_budget_checks_disable_vectorization():
+    db = make_tiny_db()
+    plain = LB2Compiler(
+        db.catalog, db, Config(budget_checks=True)
+    ).compile(agg_plan())
+    vec = LB2Compiler(
+        db.catalog, db, Config(codegen="vector", budget_checks=True)
+    ).compile(agg_plan())
+    assert vec.source == plain.source
+
+
+def test_dictionary_compressed_scan_falls_back_to_scalar():
+    db = make_tiny_db(OptimizationLevel.IDX_DATE_STR)
+    config = Config(codegen="vector", use_dictionaries=True)
+    compiled = LB2Compiler(db.catalog, db, config).compile(agg_plan())
+    assert compiled.codegen_stats["batch_scans"] == 0
+    assert compiled.codegen_stats["scalar_nodes"] > 0
+    assert normalize(compiled.run(db)) == normalize(
+        LB2Compiler(db.catalog, db).compile(agg_plan()).run(db)
+    )
+
+
+def test_unsupported_predicate_falls_back_per_operator():
+    """LIKE has no vector kernel: the Select stays scalar while the plan
+    still compiles and answers correctly."""
+    db = make_tiny_db()
+    plan = Agg(
+        Select(Scan("Emp"), Like(col("edname"), "C%")),
+        [],
+        [("cnt", count())],
+    )
+    compiled = LB2Compiler(
+        db.catalog, db, Config(codegen="vector")
+    ).compile(plan)
+    assert compiled.codegen_stats["batch_selects"] == 0
+    assert compiled.run(db) == [(3,)]
+
+
+# -- degradation without NumPy ------------------------------------------------
+
+
+def test_vector_backend_warns_without_numpy(monkeypatch):
+    from repro.storage import buffer
+
+    monkeypatch.setattr(rt, "_np", None)
+    monkeypatch.setattr(buffer, "_np", None)
+    db = make_tiny_db()
+    with pytest.warns(RuntimeWarning, match="NumPy is not installed"):
+        compiled = LB2Compiler(
+            db.catalog, db, Config(codegen="vector")
+        ).compile(agg_plan())
+    # degraded, not broken: the pure-Python kernels answer identically
+    assert normalize(compiled.run(db)) == normalize(
+        LB2Compiler(db.catalog, db).compile(agg_plan()).run(db)
+    )
+
+
+def test_scalar_backend_never_warns_without_numpy(monkeypatch):
+    monkeypatch.setattr(rt, "_np", None)
+    db = make_tiny_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        LB2Compiler(db.catalog, db, Config()).compile(agg_plan())
