@@ -47,10 +47,6 @@ def iter_configs(fast: bool = False) -> Iterator[Config]:
             (True, False), (True, False), (False, True),
         )
     ):
-        if codegen == "vector" and instrument:
-            # the vector backend disables itself under instrumentation;
-            # the program is byte-identical to the scalar one
-            continue
         yield Config(
             codegen=codegen,
             hashmap=hashmap,

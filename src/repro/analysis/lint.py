@@ -18,7 +18,10 @@ Each pass is independent and composes over the shared walker:
 * :class:`BulkOpInLoop` -- a whole-column vector kernel staged inside a
   residual loop body runs once per iteration instead of once per batch,
   turning the vector backend's O(n) into O(n^2); the batch lowering is
-  supposed to keep every ``v_*`` call at statement nesting depth zero.
+  supposed to keep every ``v_*`` call at statement nesting depth zero;
+* :class:`DeadInstrumentation` -- an observability intrinsic (``obs_now``)
+  staged inside a hot loop, or a timer bind that is never read: profiling
+  overhead the instrument lowering is supposed to keep off the per-row path.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ def default_lint_passes() -> list[AnalysisPass]:
         InfiniteLoop(),
         HoistSafety(),
         BulkOpInLoop(),
+        DeadInstrumentation(),
     ]
 
 
@@ -178,7 +182,16 @@ CALL_EFFECTS: dict[str, str] = {
     "out_append": IO, "map_full": IO,
     # cooperative budget/fault checkpoint: may raise, must stay in the loop
     "scan_tick": IO,
+    # observability clock read: idempotent-for-safety (moving one changes a
+    # measurement, never a result), so hoisting analysis treats it as READ
+    "obs_now": READ,
 }
+
+#: Observability intrinsics the instrument lowering stages.  Bracketing an
+#: operator costs two of these per *datapath invocation* (depth zero); one
+#: inside a residual loop body would fire per row instead -- dead
+#: instrumentation overhead on the hot path.
+OBS_CALLS = frozenset({"obs_now"})
 
 _PURE_CALLS = {
     "len", "to_float", "to_int", "hash_str", "hash_int", "abs", "min2",
@@ -338,6 +351,73 @@ class BulkOpInLoop(AnalysisPass):
                                 f"vector kernel {node.fn!r} is staged inside "
                                 "a loop body; whole-column kernels must run "
                                 "once per batch, not once per iteration",
+                                fn_name,
+                                stmt,
+                                severity=Severity.WARNING,
+                            ))
+            entered = in_loop or isinstance(
+                stmt, (ir.While, ir.ForRange, ir.ForEach)
+            )
+            for sub in ir.stmt_blocks(stmt):
+                self._check_block(fn_name, sub, entered, out)
+
+
+class DeadInstrumentation(AnalysisPass):
+    """Flags observability intrinsics that cost more than they measure.
+
+    The instrument lowering brackets each operator's datapath with a pair
+    of ``obs_now`` reads at statement depth zero (datapaths chain at the
+    top level of the generated function), so two legitimate shapes exist:
+    a depth-zero timer bind whose value feeds a stats write, and nothing
+    else.  Everything outside that is dead instrumentation:
+
+    * an ``obs_now`` staged inside a loop body fires once per *row* --
+      clock-read overhead on the hot path that no report ever aggregates;
+    * a timer bind whose name is never read -- the generation pass paid
+      for a measurement and then dropped it.
+    """
+
+    name = "lint"
+
+    def run(self, functions: Sequence[ir.Function]) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for fn in functions:
+            self._check_block(fn.name, fn.body, False, out)
+            used = used_names(fn.body)
+            for stmt in iter_stmts(fn.body):
+                if (
+                    isinstance(stmt, ir.Assign)
+                    and isinstance(stmt.expr, ir.Call)
+                    and stmt.expr.fn in OBS_CALLS
+                    and stmt.name not in used
+                ):
+                    out.append(self.diag(
+                        "dead-instrumentation",
+                        f"timer bind {stmt.name!r} ({stmt.expr.fn}) is never "
+                        "read; the measurement is taken and dropped",
+                        fn.name,
+                        stmt,
+                        severity=Severity.WARNING,
+                    ))
+        return out
+
+    def _check_block(
+        self,
+        fn_name: str,
+        block: ir.Block,
+        in_loop: bool,
+        out: list[Diagnostic],
+    ) -> None:
+        for stmt in block:
+            if in_loop:
+                for expr in ir.stmt_exprs(stmt):
+                    for node in ir.walk_expr(expr):
+                        if isinstance(node, ir.Call) and node.fn in OBS_CALLS:
+                            out.append(self.diag(
+                                "dead-instrumentation",
+                                f"observability intrinsic {node.fn!r} is "
+                                "staged inside a loop body; timers bracket "
+                                "whole datapaths, they never run per row",
                                 fn_name,
                                 stmt,
                                 severity=Severity.WARNING,

@@ -77,6 +77,8 @@ INTRINSIC_RESULT: dict[str, Optional[str]] = {
     "argsort_columns": "void*",
     "map_full": "void",
     "scan_tick": "void",
+    # observability: wall-clock read bracketed around instrumented operators
+    "obs_now": "double",
     # batch-vectorized backend kernels (``rt.v_*``); elementwise arithmetic
     # kernels are polymorphic over the element type, comparisons and boolean
     # combinators always produce mask vectors

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from repro.compiler.driver import LB2Compiler
 from repro.compiler.lb2 import Config
 from repro.compiler.runtime import have_numpy
+from repro.obs.metrics import REGISTRY
 from repro.tpch.dbgen import generate_database, generate_tables
 from repro.tpch.queries import QUERIES, query_plan
 
@@ -80,10 +81,12 @@ def bench_backends(
         rows = {b: c.run(db) for b, c in compiled.items()}
         if _normalize(rows["scalar"]) != _normalize(rows["vector"]):
             raise AssertionError(f"Q{q}: backends disagree; benchmark void")
+        REGISTRY.reset()
         seconds = _interleaved_medians(
             {b: (lambda c=c: c.run(db)) for b, c in compiled.items()},
             repeats,
         )
+        metrics = REGISTRY.snapshot()
         stats = compiled["vector"].codegen_stats
         # Three tiers: "vectorized" means at least one whole pipeline runs
         # as kernels end-to-end (a vector aggregation); "batched-filter"
@@ -105,6 +108,9 @@ def bench_backends(
             "codegen_stats": {
                 k: v for k, v in stats.items() if k != "backend"
             },
+            # Process-wide counters accumulated during this query's timed
+            # runs (registry reset per query) -- lands in the CI artifact.
+            "metrics": metrics,
         }
         report["queries"][str(q)] = entry
         speedups_all.append(speedup)

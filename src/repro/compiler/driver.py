@@ -15,14 +15,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.analysis.verifier import Verifier
-from repro.analysis.walker import IRVerificationError
+from repro.analysis.walker import IRVerificationError, iter_stmts
 from repro.catalog.catalog import Catalog
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.plan import physical as phys
 from repro.staging import generate_c, generate_python
 from repro.staging.builder import StagingContext
 from repro.staging.pygen import PyProgram
 from repro.storage.database import Database
-from repro.compiler.lb2 import Config, StagedPlanBuilder
+from repro.compiler.lb2 import CompileError, Config, StagedPlanBuilder
 from repro.compiler.staged_record import value_output
 from repro.resilience.faults import fault_point
 from repro.staging import ir
@@ -42,6 +44,8 @@ class CompiledQuery:
     instrumented: bool = False
     codegen_stats: dict = field(default_factory=dict, repr=False)
     last_stats: Optional[dict] = field(default=None, repr=False)
+    last_times: Optional[dict] = field(default=None, repr=False)
+    last_kernels: Optional[dict] = field(default=None, repr=False)
     functions: list[ir.Function] = field(default_factory=list, repr=False)
     _prepared: Optional[Callable] = field(default=None, repr=False)
     _c_source: str = field(default="", repr=False)
@@ -49,8 +53,10 @@ class CompiledQuery:
     def run(self, db: Database) -> list[tuple]:
         """Execute the compiled query against ``db``; returns result rows.
 
-        In instrument mode, per-operator row counts land in
-        :attr:`last_stats` after each run (label -> rows emitted).
+        In instrument mode, each run refreshes three per-operator views:
+        :attr:`last_stats` (label -> rows emitted), :attr:`last_times`
+        (label -> inclusive wall-clock seconds), and :attr:`last_kernels`
+        (kernel name -> ``{"calls", "rows"}``; empty under scalar codegen).
         """
         out: list[tuple] = []
         if self.hoisted:
@@ -58,9 +64,30 @@ class CompiledQuery:
             run = self.program.fn("prepare")(db)
             run(out)
         elif self.instrumented:
-            stats: dict = {}
-            self.program.fn("query")(db, out, stats)
-            self.last_stats = stats
+            # Counters and @t:-prefixed timings share the staged stats dict;
+            # split them back apart so counter consumers never see times.
+            raw: dict = {}
+            kernels: dict = {}
+
+            def observe(name: str, nrows: int) -> None:
+                entry = kernels.setdefault(name, {"calls": 0, "rows": 0})
+                entry["calls"] += 1
+                entry["rows"] += nrows
+
+            from repro.compiler import runtime
+
+            previous = runtime.set_kernel_observer(observe)
+            try:
+                self.program.fn("query")(db, out, raw)
+            finally:
+                runtime.set_kernel_observer(previous)
+            self.last_stats = {
+                k: v for k, v in raw.items() if not k.startswith("@t:")
+            }
+            self.last_times = {
+                k[3:]: v for k, v in raw.items() if k.startswith("@t:")
+            }
+            self.last_kernels = kernels
         else:
             self.program.fn("query")(db, out)
         return out
@@ -110,54 +137,72 @@ class LB2Compiler:
         """
         plan.validate(self.catalog)
         if split_prepare and self.config.instrument:
-            raise ValueError("instrument mode is not supported with split_prepare")
-        fault_point("codegen")
-        t0 = time.perf_counter()
-        ctx = StagingContext()
-        builder = StagedPlanBuilder(self.catalog, self.db, ctx, self.config)
-        root = builder.build(plan)
-        field_names = plan.field_names(self.catalog)
+            raise CompileError(
+                "instrument mode is not supported with split_prepare: the "
+                "stats dict is a run-time parameter, but the hoisted "
+                "prepare/run split closes over run-time state at prepare "
+                "time; compile with either instrument or split_prepare"
+            )
+        with span("codegen") as sp:
+            fault_point("codegen")
+            t0 = time.perf_counter()
+            ctx = StagingContext()
+            builder = StagedPlanBuilder(self.catalog, self.db, ctx, self.config)
+            root = builder.build(plan)
+            field_names = plan.field_names(self.catalog)
 
-        def output_cb(rec) -> None:
-            # rows() devectorizes batch records at the sink; it is the
-            # identity on scalar records.
-            def per_row(r) -> None:
-                values = [value_output(r[n]).expr for n in field_names]
-                ctx.call_stmt("out_append", [_tuple_rep(ctx, values)])
+            def output_cb(rec) -> None:
+                # rows() devectorizes batch records at the sink; it is the
+                # identity on scalar records.
+                def per_row(r) -> None:
+                    values = [value_output(r[n]).expr for n in field_names]
+                    ctx.call_stmt("out_append", [_tuple_rep(ctx, values)])
 
-            rec.rows(per_row)
+                rec.rows(per_row)
 
-        if split_prepare:
-            with ctx.function("prepare", ["db"]):
-                datapath = root.exec()
-                with ctx.nested_function("run", ["out"]):
-                    datapath(output_cb)
-                ctx.emit(ir.Return(ir.Sym("run")))
-        else:
-            params = ["db", "out"]
-            if self.config.instrument:
-                params.append("stats")
-            with ctx.function("query", params):
+            if split_prepare:
+                with ctx.function("prepare", ["db"]):
+                    datapath = root.exec()
+                    with ctx.nested_function("run", ["out"]):
+                        datapath(output_cb)
+                    ctx.emit(ir.Return(ir.Sym("run")))
+            else:
+                params = ["db", "out"]
                 if self.config.instrument:
-                    builder.stats_sym = ctx.sym("stats", "void*")
-                datapath = root.exec()
-                datapath(output_cb)
+                    params.append("stats")
+                with ctx.function("query", params):
+                    if self.config.instrument:
+                        builder.stats_sym = ctx.sym("stats", "void*")
+                    datapath = root.exec()
+                    datapath(output_cb)
 
-        functions = ctx.program()
-        header = f"residual program for plan rooted at {type(plan).__name__}"
-        source = generate_python(functions, header=header)
-        generation_seconds = time.perf_counter() - t0
+            functions = ctx.program()
+            header = f"residual program for plan rooted at {type(plan).__name__}"
+            source = generate_python(functions, header=header)
+            generation_seconds = time.perf_counter() - t0
+            if sp:
+                sp.meta["backend"] = builder.backend.name
+                sp.meta["residual_bytes"] = len(source)
+                sp.meta["ir_stmts"] = sum(
+                    1 for fn in functions for _ in iter_stmts(fn.body)
+                )
 
         if verify:
-            fault_point("verify")
-            diagnostics = Verifier().run(functions)
-            if diagnostics:
-                raise IRVerificationError(diagnostics, functions)
+            with span("verify"):
+                fault_point("verify")
+                diagnostics = Verifier().run(functions)
+                if diagnostics:
+                    raise IRVerificationError(diagnostics, functions)
 
-        fault_point("host-compile")
-        t1 = time.perf_counter()
-        program = PyProgram(source)
-        compile_seconds = time.perf_counter() - t1
+        with span("host-compile"):
+            fault_point("host-compile")
+            t1 = time.perf_counter()
+            program = PyProgram(source)
+            compile_seconds = time.perf_counter() - t1
+
+        REGISTRY.counter("compile.count")
+        REGISTRY.observe("compile.generation_seconds", generation_seconds)
+        REGISTRY.observe("compile.host_seconds", compile_seconds)
 
         compiled = CompiledQuery(
             plan=plan,

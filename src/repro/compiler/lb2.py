@@ -55,7 +55,7 @@ from repro.compiler.staged_record import (
     value_output,
     value_payload,
 )
-from repro.compiler.staged_source import set_stat
+from repro.compiler.staged_source import set_stat, set_time
 
 
 class CompileError(ReproError):
@@ -835,13 +835,23 @@ class StagedDistinct(StagedOp):
 
 
 class InstrumentedOp(StagedOp):
-    """Wraps any staged operator with a generated row counter.
+    """Wraps any staged operator with a generated row counter and timer.
 
     With ``Config(instrument=True)`` the residual program counts every
-    record each operator emits and stores the totals into the ``stats``
-    dict parameter -- the compiled analogue of EXPLAIN ANALYZE, produced by
-    the same single generation pass (instrumentation is just one more
-    generation-time abstraction).
+    record each operator emits, brackets the operator's datapath with a
+    pair of ``obs_now`` clock reads, and stores totals and intervals into
+    the ``stats`` dict parameter -- the compiled analogue of EXPLAIN
+    ANALYZE, produced by the same single generation pass (instrumentation
+    is just one more generation-time abstraction).  Datapath invocations
+    chain at the top level of the generated function, so both the timer
+    binds and the stats writes land at statement depth zero, never inside
+    the per-row loops; intervals are *inclusive* (a parent's bracket spans
+    its children's), matching classic EXPLAIN ANALYZE semantics.
+
+    Record callbacks may deliver scalar records or whole batches (the
+    vector lowering); batch records advance the counter by their row count
+    in one staged statement, so instrumentation no longer forces the plan
+    back to scalar codegen.
     """
 
     def __init__(self, comp: "StagedPlanBuilder", inner: StagedOp, label: str) -> None:
@@ -849,19 +859,32 @@ class InstrumentedOp(StagedOp):
         self.inner = inner
         self.label = label
 
+    @property
+    def node(self) -> phys.PhysicalPlan:
+        # the vector backend's edge analysis keys eligibility decisions on
+        # plan nodes; the wrapper must be transparent to it
+        return self.inner.node
+
     def exec(self) -> Datapath:
         inner_dp = self.inner.exec()
         counter = self.ctx.var(self.ctx.int_(0), prefix="cnt")
 
         def datapath(cb: RecCallback) -> None:
+            t0 = self.ctx.call("obs_now", [], result="double", prefix="t")
+
             def counting_cb(rec: StagedRecord) -> None:
-                counter.set(counter.get() + 1)
+                if getattr(rec, "is_batch", False):
+                    counter.set(counter.get() + rec.nrows())
+                else:
+                    counter.set(counter.get() + 1)
                 cb(rec)
 
             inner_dp(counting_cb)
             stats = self.comp.stats_sym
             assert stats is not None
             set_stat(self.ctx, stats, self.label, counter.name)
+            t1 = self.ctx.call("obs_now", [], result="double", prefix="t")
+            set_time(self.ctx, stats, self.label, t0, t1)
 
         return datapath
 

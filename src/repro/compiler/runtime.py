@@ -9,6 +9,7 @@ key) are routed through here.
 from __future__ import annotations
 
 import functools
+from time import perf_counter as _perf_counter
 from typing import Iterable, Sequence
 
 
@@ -140,6 +141,17 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def obs_now() -> float:
+    """Monotonic wall-clock read staged into instrumented programs.
+
+    ``Config(instrument=True)`` brackets each operator's datapath with a
+    pair of these calls; the residual program stores the difference under
+    an ``@t:``-prefixed stats key.  Only emitted when instrumentation is
+    on, so uninstrumented codegen stays byte-identical.
+    """
+    return _perf_counter()
 
 
 def first_or_none(seq: Iterable):
@@ -565,3 +577,48 @@ def v_max(values, n):
         out = values.max()
         return int(out) if values.dtype.kind in "iub" else float(out)
     return max(values)
+
+
+# -- kernel invocation observer -----------------------------------------------
+#
+# EXPLAIN ANALYZE on a vector program wants to know which kernels fired and
+# over what batch sizes.  Rather than staging counters into the residual
+# source (which would break the byte-identity contract between observed and
+# unobserved runs), every ``v_*`` kernel is wrapped once at import time; the
+# wrapper reports ``(name, batch_len)`` to an installable observer.  With no
+# observer installed the overhead is one ``is None`` check per kernel call --
+# and kernels run once per *batch*, not per row, so it never touches the hot
+# path.  Nested kernels (``v_group_count_nn`` delegates to ``v_group_count``
+# on the typed-array path) report both invocations.
+
+_KERNEL_OBSERVER = None
+
+
+def set_kernel_observer(observer):
+    """Install ``observer(name, batch_len)``; returns the previous one."""
+    global _KERNEL_OBSERVER
+    previous = _KERNEL_OBSERVER
+    _KERNEL_OBSERVER = observer
+    return previous
+
+
+def _observed(name, fn):
+    @functools.wraps(fn)
+    def wrapper(*args):
+        result = fn(*args)
+        if _KERNEL_OBSERVER is not None:
+            batch_len = 0
+            for arg in args:
+                if _is_batch(arg):
+                    batch_len = len(arg)
+                    break
+            _KERNEL_OBSERVER(name, batch_len)
+        return result
+
+    return wrapper
+
+
+for _name in list(globals()):
+    if _name.startswith("v_"):
+        globals()[_name] = _observed(_name, globals()[_name])
+del _name

@@ -137,6 +137,20 @@ def set_stat(ctx: StagingContext, stats: Rep, label: str, counter_name: str) -> 
     ctx.emit(ir.SetIndex(stats.expr, ir.Const(label), ir.Sym(counter_name)))
 
 
+def set_time(ctx: StagingContext, stats: Rep, label: str, t0: Rep, t1: Rep) -> None:
+    """Store one operator's wall-clock interval into the stats dict.
+
+    Times share the dict with row counters under an ``@t:`` key prefix;
+    ``CompiledQuery.run`` splits them back apart, so counter consumers
+    (``last_stats``) never see timing keys.
+    """
+    ctx.emit(
+        ir.SetIndex(
+            stats.expr, ir.Const("@t:" + label), ir.Bin("-", t1.expr, t0.expr)
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 # Scan sources
 # ---------------------------------------------------------------------------

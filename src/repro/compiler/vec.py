@@ -68,6 +68,11 @@ class VecRecord:
     broadcast, and selection leaves them untouched.
     """
 
+    #: Record callbacks receiving one of these see a whole batch; the
+    #: instrument lowering advances its row counter by ``nrows()`` instead
+    #: of one.
+    is_batch = True
+
     def __init__(
         self,
         ctx: StagingContext,
@@ -516,6 +521,8 @@ class VectorBackend(ScalarBackend):
             "scalar_nodes": 0,
             "devectorized_edges": 0,
         }
+        self._forced_scalar: Optional[str] = None
+        self._pruned_chains: list[dict] = []
         if not have_numpy():
             warnings.warn(
                 "NumPy is not installed: the vector backend will run its "
@@ -530,9 +537,13 @@ class VectorBackend(ScalarBackend):
     def prepare(self, root: phys.PhysicalPlan) -> None:
         """Decide, per node, which lowering it gets -- before any staging."""
         config = self.comp.config
-        if config.instrument or config.budget_checks:
-            # Instrument counters and budget ticks are defined per *row*;
-            # both force the scalar lowering for the whole plan.
+        if config.budget_checks:
+            # Budget ticks are defined per *row* (a per-batch checkpoint
+            # could blow the budget by a whole batch before noticing); they
+            # force the scalar lowering for the whole plan.  Instrument
+            # counters used to as well, but batch records now advance the
+            # counters by their row count, so instrumentation vectorizes.
+            self._forced_scalar = "budget_checks"
             self._count_scalar(root)
             return
         self._analyze(root, consumer=None)
@@ -601,7 +612,12 @@ class VectorBackend(ScalarBackend):
         if nid in self._batch and not kept_above:
             # the top of a maximal batch chain: does it earn its keep?
             if not self._chain_has_select(node):
-                self._strip(node)
+                stripped = self._strip(node)
+                self._pruned_chains.append({
+                    "root": type(node).__name__,
+                    "reason": "no-select-in-chain",
+                    "nodes": stripped,
+                })
         keeps = nid in self._batch or nid in self._vec_aggs
         for sub in _plan_children(node):
             self._prune(sub, kept_above=keeps)
@@ -613,15 +629,15 @@ class VectorBackend(ScalarBackend):
             return True
         return any(self._chain_has_select(sub) for sub in _plan_children(node))
 
-    def _strip(self, node: phys.PhysicalPlan) -> None:
+    def _strip(self, node: phys.PhysicalPlan) -> int:
+        """Demote a batch chain to scalar; returns how many nodes it held."""
         nid = id(node)
         if nid not in self._batch:
-            return
+            return 0
         self._batch.discard(nid)
         self._counts[self._STRIP_COUNTERS[type(node)]] -= 1
         self._counts["scalar_nodes"] += 1
-        for sub in _plan_children(node):
-            self._strip(sub)
+        return 1 + sum(self._strip(sub) for sub in _plan_children(node))
 
     def _agg_ok(self, node: phys.Agg) -> bool:
         for _, expr in node.keys:
@@ -635,11 +651,16 @@ class VectorBackend(ScalarBackend):
         return True
 
     def stats(self) -> dict:
-        return {
+        out = {
             "backend": self.name,
             "numpy": have_numpy(),
             **self._counts,
         }
+        if self._forced_scalar is not None:
+            out["forced_scalar"] = self._forced_scalar
+        if self._pruned_chains:
+            out["pruned_chains"] = [dict(c) for c in self._pruned_chains]
+        return out
 
     # -- operator edges -------------------------------------------------------
 

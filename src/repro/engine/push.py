@@ -441,8 +441,32 @@ class Distinct(Op):
         self.child.exec(on_row)
 
 
+# Observability seam: EXPLAIN ANALYZE wraps interpreter operators the same
+# way the compiler wraps staged operators.  ``build_op`` applies the hook to
+# every constructed operator post-order (children before parents, left
+# before right -- the recursion order below), so counting wrappers line up
+# with the compiled instrumentation's ``Op#n`` numbering exactly.
+
+_WRAP_HOOK = None
+
+
+def set_wrap_hook(hook):
+    """Install ``hook(op, node) -> op`` around build_op; returns the previous."""
+    global _WRAP_HOOK
+    previous = _WRAP_HOOK
+    _WRAP_HOOK = hook
+    return previous
+
+
 def build_op(node: phys.PhysicalPlan, db: Database, catalog: Catalog) -> Op:
     """Translate a physical plan into the callback operator tree."""
+    op = _build_op_raw(node, db, catalog)
+    if _WRAP_HOOK is not None:
+        op = _WRAP_HOOK(op, node)
+    return op
+
+
+def _build_op_raw(node: phys.PhysicalPlan, db: Database, catalog: Catalog) -> Op:
     if isinstance(node, phys.Scan):
         return Scan(db, node)
     if isinstance(node, phys.DateIndexScan):

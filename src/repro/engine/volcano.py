@@ -557,8 +557,33 @@ class DistinctOp(Operator):
         self.child.close()
 
 
+# Observability seam: mirrors ``repro.engine.push.set_wrap_hook``.  The
+# recursion below constructs children before parents (left before right), so
+# a counting hook sees operators in the compiled instrumentation's numbering
+# order.
+
+_WRAP_HOOK = None
+
+
+def set_wrap_hook(hook):
+    """Install ``hook(op, node) -> op`` around build_operator; returns the previous."""
+    global _WRAP_HOOK
+    previous = _WRAP_HOOK
+    _WRAP_HOOK = hook
+    return previous
+
+
 def build_operator(node: phys.PhysicalPlan, db: Database, catalog: Catalog) -> Operator:
     """Recursively translate a physical plan into a Volcano operator tree."""
+    op = _build_operator_raw(node, db, catalog)
+    if _WRAP_HOOK is not None:
+        op = _WRAP_HOOK(op, node)
+    return op
+
+
+def _build_operator_raw(
+    node: phys.PhysicalPlan, db: Database, catalog: Catalog
+) -> Operator:
     if isinstance(node, phys.Scan):
         return ScanOp(db, node)
     if isinstance(node, phys.DateIndexScan):

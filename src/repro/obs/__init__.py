@@ -1,0 +1,18 @@
+"""Observability: compile-pipeline tracing, metrics, EXPLAIN ANALYZE.
+
+Only the stdlib-leaf submodules are re-exported here;
+:mod:`repro.obs.explain` imports the compiler and the interpreters, so
+its consumers import it directly to keep this package cycle-free.
+"""
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.trace import Span, Trace, active_trace, span
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "active_trace",
+    "span",
+]

@@ -1,0 +1,98 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+This module is a *leaf*: it imports nothing from :mod:`repro`, so any
+layer (resilience, session, compiler driver, bench) can feed it without
+creating an import cycle.  The registry is deliberately tiny -- the
+point is not to reimplement Prometheus but to give the repo one shared
+place where cache hits, fault firings, budget trips, and engine
+selections accumulate, with a ``snapshot()``/``reset()`` API the bench
+harness and the ``repro-obs`` CLI can attach to their JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Counters (monotonic), gauges (last value), histograms (summary).
+
+    All operations are thread-safe; parallel workers run in separate
+    processes, so cross-process aggregation is out of scope by design.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    def counter(self, name: str, delta: int = 1) -> int:
+        """Increment counter ``name`` by ``delta``; returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + delta
+            self._counters[name] = value
+            return value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (count/total/min/max)."""
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                self._histograms[name] = {
+                    "count": 1,
+                    "total": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                h["count"] += 1
+                h["total"] += value
+                if value < h["min"]:
+                    h["min"] = value
+                if value > h["max"]:
+                    h["max"] = value
+
+    def get_counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of everything recorded so far.
+
+        Histograms gain a derived ``mean``; the returned structure is
+        detached from the registry (mutating it cannot corrupt state).
+        """
+        with self._lock:
+            histograms = {}
+            for name, h in self._histograms.items():
+                entry = dict(h)
+                entry["mean"] = h["total"] / h["count"] if h["count"] else 0.0
+                histograms[name] = entry
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": histograms,
+            }
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Drop all recorded values (or only names under ``prefix``)."""
+        with self._lock:
+            if prefix is None:
+                self._counters.clear()
+                self._gauges.clear()
+                self._histograms.clear()
+                return
+            for store in (self._counters, self._gauges, self._histograms):
+                for name in [n for n in store if n.startswith(prefix)]:
+                    del store[name]
+
+
+#: The process-wide registry every layer feeds.
+REGISTRY = MetricsRegistry()

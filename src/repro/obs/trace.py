@@ -1,0 +1,155 @@
+"""Compile-pipeline tracing: nested spans over the query lifecycle.
+
+A :class:`Trace` context manager installs an active trace; inside it,
+``span("stage")`` context managers record wall-clock intervals into a
+tree (parse -> compile -> codegen/verify/host-compile -> execute ...).
+When no trace is active, ``span`` yields a falsy no-op object, so the
+instrumented code paths cost one truthiness check and nothing else --
+the same "observability off means off" contract the staged codegen
+keeps via golden-source byte identity.
+
+Like :mod:`repro.obs.metrics`, this module is a stdlib-only leaf so the
+session, the compiler driver, and the resilience layer can all import
+it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed stage; ``meta`` holds stage-specific annotations
+    (residual-program bytes, IR statement counts, engine names ...)."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    meta: dict = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def seconds(self) -> float:
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "seconds": self.seconds,
+            "meta": dict(self.meta),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        meta = ""
+        if self.meta:
+            meta = "  " + " ".join(f"{k}={v}" for k, v in self.meta.items())
+        lines = [
+            f"{'  ' * indent}{self.name:<24} {self.seconds * 1e3:8.3f}ms{meta}"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """What ``span()`` yields when no trace is active: falsy, inert."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    @property
+    def meta(self) -> dict:  # writes vanish; guard real work with `if sp:`
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+# Module-level trace state: one active trace per process (queries are
+# traced one at a time from the session; parallel workers are separate
+# processes with their own module state).
+_ACTIVE: Optional["Trace"] = None
+_STACK: List[Span] = []
+
+
+def active_trace() -> Optional["Trace"]:
+    return _ACTIVE
+
+
+@contextmanager
+def span(name: str, **meta) -> Iterator[object]:
+    """Record a child span under the innermost open span.
+
+    Yields the :class:`Span` when a trace is active, else a falsy
+    no-op -- guard any expensive annotation work with ``if sp:``.
+    """
+    if _ACTIVE is None:
+        yield _NULL_SPAN
+        return
+    sp = Span(name=name, start=time.perf_counter(), meta=dict(meta))
+    parent = _STACK[-1]
+    parent.children.append(sp)
+    _STACK.append(sp)
+    try:
+        yield sp
+    finally:
+        sp.end = time.perf_counter()
+        _STACK.pop()
+
+
+class Trace:
+    """Installs itself as the active trace; the root span brackets the
+    whole ``with`` block.
+
+    ::
+
+        with Trace("q6") as trace:
+            session.run(sql)
+        print(trace.render())
+        json.dumps(trace.to_dict())
+    """
+
+    def __init__(self, name: str = "trace", **meta) -> None:
+        self.root = Span(name=name, start=0.0, meta=dict(meta))
+        self._previous: Optional[Trace] = None
+
+    def __enter__(self) -> "Trace":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        self.root.start = time.perf_counter()
+        _ACTIVE = self
+        _STACK.append(self.root)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        self.root.end = time.perf_counter()
+        # Pop back to (and including) our root: a span leaked open by an
+        # exception inside the block must not outlive the trace.
+        while _STACK:
+            top = _STACK.pop()
+            if top is self.root:
+                break
+        _ACTIVE = self._previous
+        self._previous = None
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def render(self) -> str:
+        return self.root.render()

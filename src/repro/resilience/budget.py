@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import BudgetExceeded
+from repro.obs.metrics import REGISTRY
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,7 @@ class BudgetGuard:
         self.checks += 1
         budget = self.budget
         if budget.max_rows is not None and self.rows_seen > budget.max_rows:
+            REGISTRY.counter("budget.trips")
             raise BudgetExceeded(
                 f"row budget exceeded: scanned >= {self.rows_seen} rows "
                 f"(max_rows={budget.max_rows})",
@@ -107,6 +109,7 @@ class BudgetGuard:
             budget.wall_clock_seconds is not None
             and self.elapsed > budget.wall_clock_seconds
         ):
+            REGISTRY.counter("budget.trips")
             raise BudgetExceeded(
                 f"wall-clock budget exceeded: {self.elapsed:.4f}s elapsed "
                 f"(limit={budget.wall_clock_seconds}s)",

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.errors import ReproError, error_code, error_phase
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.resilience.budget import Budget, BudgetGuard
 from repro.resilience.faults import active_injector
 from repro.resilience.policy import DEFAULT_POLICY, FallbackPolicy
@@ -153,38 +155,58 @@ class ResilientExecutor:
         last_error: Optional[BaseException] = None
         for engine in self.engines:
             start = time.perf_counter()
-            try:
-                rows = self._run_engine(engine, plan, sql, guard)
-            except BaseException as exc:  # noqa: BLE001 - the policy decides
-                report.attempts.append(
-                    EngineAttempt(
-                        engine=engine,
-                        seconds=time.perf_counter() - start,
-                        error=str(exc) or type(exc).__name__,
-                        error_code=error_code(exc),
-                        phase=error_phase(exc),
-                        fault_site=getattr(exc, "site", None),
+            ok = False
+            with span("attempt", engine=engine) as sp:
+                try:
+                    rows = self._run_engine(engine, plan, sql, guard)
+                    ok = True
+                except BaseException as exc:  # noqa: BLE001 - the policy decides
+                    report.attempts.append(
+                        EngineAttempt(
+                            engine=engine,
+                            seconds=time.perf_counter() - start,
+                            error=str(exc) or type(exc).__name__,
+                            error_code=error_code(exc),
+                            phase=error_phase(exc),
+                            fault_site=getattr(exc, "site", None),
+                        )
                     )
-                )
-                last_error = exc
-                if sql is not None and engine == "compiled":
-                    # Auto-invalidate: never serve a cached compiled query
-                    # that just failed (stale plan, codegen bug...).
-                    self.session.forget(sql)
-                if not self.policy.should_degrade(exc):
-                    self._attach(exc, report, guard)
-                    raise
+                    last_error = exc
+                    REGISTRY.counter(f"engine.failed.{engine}")
+                    if sp:
+                        sp.meta["error"] = error_code(exc) or type(exc).__name__
+                    if sql is not None and engine == "compiled":
+                        # Auto-invalidate: never serve a cached compiled query
+                        # that just failed (stale plan, codegen bug...).
+                        self.session.forget(sql)
+                    if not self.policy.should_degrade(exc):
+                        self._attach(exc, report, guard)
+                        raise
+            if not ok:
                 continue
             report.attempts.append(
                 EngineAttempt(engine=engine, seconds=time.perf_counter() - start)
             )
             report.engine = engine
+            REGISTRY.counter(f"engine.selected.{engine}")
+            if report.degraded:
+                REGISTRY.counter("engine.degraded")
             if guard is not None:
                 report.budget_stats = guard.stats()
+            self._merge_trail(report)
             return ResilientResult(rows, report)
         assert last_error is not None
         self._attach(last_error, report, guard)
         raise last_error
+
+    @staticmethod
+    def _merge_trail(report: ExecutionReport) -> None:
+        """Merge the fallback trail into the active trace, if any."""
+        with span("report") as sp:
+            if sp:
+                sp.meta["engine_trail"] = "->".join(report.engine_trail)
+                sp.meta["engine"] = report.engine
+                sp.meta["degraded"] = report.degraded
 
     def _attach(
         self,

@@ -16,9 +16,10 @@ Sites:
 * ``mid-scan``     -- from ``rt.scan_tick`` inside a running residual scan
   loop (requires ``Config(budget_checks=True)``)
 
-This module deliberately imports only :mod:`repro.errors` and the runtime
-hook API, so any layer can call :func:`fault_point` without import cycles.
-With no injector armed, a fault point is one global read and a truth test.
+This module deliberately imports only :mod:`repro.errors`, the stdlib-leaf
+metrics registry, and the runtime hook API, so any layer can call
+:func:`fault_point` without import cycles.  With no injector armed, a
+fault point is one global read and a truth test.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import InjectedFault
+from repro.obs.metrics import REGISTRY
 
 FAULT_SITES = ("codegen", "verify", "host-compile", "worker-run", "mid-scan")
 
@@ -93,6 +95,8 @@ class FaultInjector:
             if spec.times is not None:
                 spec.times -= 1
             self.fired.append((site, ordinal))
+            REGISTRY.counter("faults.injected")
+            REGISTRY.counter(f"faults.injected.{site}")
             return InjectedFault(site, detail=f"ordinal={ordinal} key={key!r}")
         return None
 

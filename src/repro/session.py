@@ -5,14 +5,21 @@ through the optimizer, compiles with LB2, and caches compiled queries by
 SQL text so repeated statements skip planning and code generation (the
 paper: "compilation times ... can often be amortized if queries are
 precompiled and used multiple times").
+
+The cache is a bounded LRU (``max_cache_size`` statements); hits, misses
+and evictions feed :data:`repro.obs.metrics.REGISTRY` and are inspectable
+via :meth:`Session.cache_info`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from repro.compiler.driver import CompiledQuery, LB2Compiler
 from repro.compiler.lb2 import Config
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.plan.explain import explain
 from repro.plan.physical import PhysicalPlan
 from repro.plan.rewrite import optimize_for_level
@@ -28,19 +35,27 @@ class Session:
         db: Database,
         config: Optional[Config] = None,
         use_index_rewrites: bool = True,
+        max_cache_size: int = 128,
     ) -> None:
+        if max_cache_size <= 0:
+            raise ValueError("max_cache_size must be positive")
         self.db = db
         self.config = config
         self.use_index_rewrites = use_index_rewrites
-        self._cache: dict[tuple, CompiledQuery] = {}
+        self.max_cache_size = max_cache_size
+        self._cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     # -- planning ---------------------------------------------------------------
 
     def plan(self, sql: str) -> PhysicalPlan:
         """Parse + optimize one SQL statement into a physical plan."""
-        plan = sql_to_plan(sql, self.db)
-        if self.use_index_rewrites:
-            plan = optimize_for_level(plan, self.db, self.db.catalog)
+        with span("plan"):
+            plan = sql_to_plan(sql, self.db)
+            if self.use_index_rewrites:
+                plan = optimize_for_level(plan, self.db, self.db.catalog)
         return plan
 
     def _cache_key(self, sql: str) -> tuple:
@@ -60,18 +75,37 @@ class Session:
         )
 
     def prepare(self, sql: str) -> CompiledQuery:
-        """The compiled query for ``sql``, cached by statement + config."""
+        """The compiled query for ``sql``, cached by statement + config.
+
+        LRU semantics: a hit refreshes the statement's recency; inserting
+        past ``max_cache_size`` evicts the least recently used entry.
+        """
         key = self._cache_key(sql)
-        if key not in self._cache:
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+            REGISTRY.counter("session.cache.hits")
+            return cached
+        self._misses += 1
+        REGISTRY.counter("session.cache.misses")
+        with span("compile", statement=" ".join(sql.split())):
             compiler = LB2Compiler(self.db.catalog, self.db, self.config)
-            self._cache[key] = compiler.compile(self.plan(sql))
-        return self._cache[key]
+            compiled = compiler.compile(self.plan(sql))
+        self._cache[key] = compiled
+        while len(self._cache) > self.max_cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+            REGISTRY.counter("session.cache.evictions")
+        return compiled
 
     # -- execution -----------------------------------------------------------------
 
     def query(self, sql: str) -> list[tuple]:
         """Execute SQL (compiled); returns result rows."""
-        return self.prepare(sql).run(self.db)
+        compiled = self.prepare(sql)
+        with span("execute", engine="compiled"):
+            return compiled.run(self.db)
 
     def execute_plan(self, plan: PhysicalPlan) -> list[tuple]:
         """Execute a hand-built physical plan (compiled, uncached)."""
@@ -84,6 +118,8 @@ class Session:
         Returns ``(rows, stats)`` where stats maps operator labels to the
         number of records each emitted.  Compiles a fresh instrumented
         query (not cached -- counters cost a little on the hot path).
+        For the full annotated tree -- wall-time, selectivity, kernel
+        counts, any engine -- use :meth:`explain_analyze`.
         """
         from dataclasses import replace
 
@@ -94,6 +130,21 @@ class Session:
         compiled = compiler.compile(self.plan(sql))
         rows = compiled.run(self.db)
         return rows, dict(compiled.last_stats or {})
+
+    def explain_analyze(self, sql: str, engine: str = "compiled"):
+        """The annotated operator tree: rows, wall-time, selectivity.
+
+        ``engine`` is ``"compiled"`` (scalar codegen), ``"vector"``,
+        ``"push"`` or ``"volcano"``; all four label operators identically,
+        so their numbers are directly comparable.  Returns an
+        :class:`repro.obs.explain.ExplainAnalyze`.
+        """
+        from repro.obs.explain import explain_analyze_plan
+
+        with span("explain_analyze", engine=engine):
+            return explain_analyze_plan(
+                self.db, self.plan(sql), engine=engine, config=self.config
+            )
 
     # -- introspection -----------------------------------------------------------------
 
@@ -108,6 +159,17 @@ class Session:
     @property
     def cached_statements(self) -> int:
         return len(self._cache)
+
+    def cache_info(self) -> dict:
+        """Size, bound, keys (LRU -> MRU order) and hit/miss/evict counts."""
+        return {
+            "size": len(self._cache),
+            "max_size": self.max_cache_size,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "statements": [key[0] for key in self._cache],
+        }
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -79,6 +79,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"run {run_seconds * 1000:.1f}ms",
         file=sys.stderr,
     )
+    if args.analyze:
+        from repro.obs.explain import explain_analyze_plan
+
+        ea = explain_analyze_plan(db, plan)
+        print(ea.render(), file=sys.stderr)
     return 0
 
 
@@ -108,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.01)
     run.add_argument("--query", type=int, required=True, choices=range(1, 23))
     run.add_argument("--level", type=_level, default=OptimizationLevel.COMPLIANT)
+    run.add_argument("--analyze", action="store_true",
+                     help="also print the EXPLAIN ANALYZE operator tree")
     run.set_defaults(fn=cmd_run)
 
     show = sub.add_parser("show", help="print plan and generated code")

@@ -8,6 +8,12 @@ immediately before the seam was introduced; every configuration axis that
 changes emission (hoisting, hash-map flavor, sort layout, instrumentation,
 budget checkpoints, the prepare/run split, and the dictionary/index
 specializations of a fully built database) is pinned separately.
+
+The ``vector`` hashes pin the batch-vectorized backend's output with
+observability *off*: staged profiling (``instrument=True``) must leave the
+uninstrumented residual program byte-identical, for both backends.  The
+``instrument`` hashes were re-captured when per-operator wall-clock timing
+joined the row counters in the instrumented datapath.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ CONFIGS = {
     "colsort": Config(sort_layout="column"),
     "instrument": Config(instrument=True),
     "budget": Config(budget_checks=True),
+    "vector": Config(codegen="vector"),
 }
 
 

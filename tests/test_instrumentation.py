@@ -67,9 +67,21 @@ def test_counts_reset_between_runs(tiny_db):
 
 
 def test_instrument_with_split_prepare_rejected(tiny_db):
+    from repro.compiler.lb2 import CompileError
+
     compiler = LB2Compiler(tiny_db.catalog, tiny_db, Config(instrument=True))
-    with pytest.raises(ValueError, match="split_prepare"):
+    with pytest.raises(CompileError, match="split_prepare"):
         compiler.compile(Scan("Dep"), split_prepare=True)
+
+
+def test_times_and_counts_are_split(tiny_db):
+    plan = Select(Scan("Dep"), col("rank").lt(10))
+    compiled = compile_instrumented(plan, tiny_db)
+    compiled.run(tiny_db)
+    # timing keys never leak into last_stats; every counter has a time
+    assert set(compiled.last_times) == set(compiled.last_stats)
+    assert all(t >= 0.0 for t in compiled.last_times.values())
+    assert not any(k.startswith("@t:") for k in compiled.last_stats)
 
 
 def test_session_analyze(tiny_db):

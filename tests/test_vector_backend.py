@@ -201,7 +201,9 @@ def test_operators_never_branch_on_the_backend():
     assert "config.codegen" in inspect.getsource(backends.make_backend)
 
 
-def test_instrumentation_disables_vectorization():
+def test_instrumentation_stays_vectorized():
+    """Batch records advance the staged counters by their row count, so
+    EXPLAIN ANALYZE observes the vector lowering instead of disabling it."""
     db = make_tiny_db()
     plain = LB2Compiler(
         db.catalog, db, Config(instrument=True)
@@ -209,8 +211,14 @@ def test_instrumentation_disables_vectorization():
     vec = LB2Compiler(
         db.catalog, db, Config(codegen="vector", instrument=True)
     ).compile(agg_plan())
-    assert vec.source == plain.source
-    assert vec.codegen_stats["batch_scans"] == 0
+    assert vec.codegen_stats["batch_scans"] == 1
+    assert vec.codegen_stats["vector_aggs"] == 1
+    assert normalize(vec.run(db)) == normalize(plain.run(db))
+    # identical per-operator row counts from both lowerings
+    assert vec.last_stats == plain.last_stats
+    # the kernel observer saw the batch kernels fire during the run
+    assert vec.last_kernels and "v_group" in vec.last_kernels
+    assert plain.last_kernels == {}
 
 
 def test_budget_checks_disable_vectorization():
