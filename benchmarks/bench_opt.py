@@ -1,0 +1,48 @@
+"""PR-6 optimizer comparison: what classic dataflow passes buy (or don't).
+
+The same residual program is compiled at ``opt_level`` 0 (the paper's
+single-pass output, byte-identical to every golden), 1 (copy/constant
+propagation, If-simplification, dead code) and 2 (adds CSE and
+loop-invariant hoisting), and *execution* is timed per level --
+compilation is excluded, as in Figure 13.  The statement-count reduction
+per query is the static half of the answer; the runtime delta is the
+dynamic half.
+
+Run: ``pytest benchmarks/bench_opt.py --benchmark-only`` or
+``python benchmarks/bench_opt.py`` (equivalently ``repro-bench-opt``),
+which also writes the ``BENCH_PR6.json`` report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.opt import LEVELS, main
+from repro.compiler.lb2 import Config
+
+QUERIES = tuple(range(1, 23))
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("level", LEVELS)
+def test_opt_levels(benchmark, ctx, level, query):
+    db = ctx.db()
+    compiled = ctx.compiled(query, config=Config(opt_level=level))
+    benchmark.group = f"opt-Q{query}"
+    benchmark.name = f"O{level}"
+    benchmark.pedantic(compiled.run, args=(db,), rounds=3, iterations=1)
+
+
+def test_opt_levels_agree(ctx):
+    """The comparison is only meaningful if every level answers alike."""
+    db = ctx.db()
+    for query in (1, 6):
+        rows = {
+            lv: sorted(ctx.compiled(query, config=Config(opt_level=lv)).run(db))
+            for lv in LEVELS
+        }
+        assert rows[0] == rows[1] == rows[2]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

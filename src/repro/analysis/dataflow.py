@@ -1,0 +1,625 @@
+"""Dataflow analysis over staged residual programs.
+
+The single generation pass emits structured IR (:mod:`repro.staging.ir`)
+with two strong invariants the verifier enforces: every ``Assign`` binds a
+*fresh* name (no shadowing anywhere in a function, including closures) and
+only ``mutable=True`` bindings are ever reassigned.  Those invariants make
+classic dataflow over the residual program both simple and precise -- and
+this module builds it as pure analysis, the same contract as the rest of
+:mod:`repro.analysis`: facts in, no IR mutation.
+
+What it provides, per :class:`repro.staging.ir.Function`:
+
+* :func:`build_cfg` -- basic blocks over the structured statement tree
+  (``If``/``While``/``ForRange``/``ForEach``/``Break``/``Continue``/
+  ``Return`` become edges; ``Comment`` statements are fully transparent:
+  they never split a block and carry no facts);
+* :func:`def_use` -- definition sites and use sites for every name
+  (closures count as uses of their free variables);
+* :class:`ReachingDefinitions` -- which definitions reach each block
+  (forward, may);
+* :class:`Liveness` -- which names are live into/out of each block
+  (backward, may; closure-captured names are pinned live at exit, since a
+  returned ``run`` closure observes them after the function body ends);
+* effect classification -- :func:`expr_effect` / :func:`stmt_effect` over
+  the same intrinsic effect table the hoisting lint uses
+  (:data:`repro.analysis.lint.CALL_EFFECTS`), extended with an
+  ``UNKNOWN`` top element and fault/volatility predicates the optimizer
+  needs (:func:`may_fault`, :data:`VOLATILE_CALLS`).
+
+The optimizer (:mod:`repro.analysis.opt`) is the first consumer; the
+cost-driven lowering work (ROADMAP item 3) is the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import (
+    ALLOC,
+    CALL_EFFECTS,
+    IO,
+    PURE,
+    READ,
+    WRITE,
+    call_effect,
+)
+from repro.staging import ir
+
+#: Effect lattice top: a call the effect table does not know.  Conservative
+#: consumers must treat it as "anything may happen".
+UNKNOWN = "unknown"
+
+#: Severity order of the effect lattice, weakest to strongest.
+EFFECT_ORDER: tuple[str, ...] = (PURE, ALLOC, READ, WRITE, IO, UNKNOWN)
+_EFFECT_RANK = {e: i for i, e in enumerate(EFFECT_ORDER)}
+
+#: Calls whose *value* depends on when they run, even though their effect
+#: class is benign for hoisting (moving one changes a measurement, not a
+#: result).  They must never be deduplicated or deleted as "redundant":
+#: two clock reads are two different values by design.
+VOLATILE_CALLS = frozenset({"obs_now", "scan_tick"})
+
+
+def effect_join(a: str, b: str) -> str:
+    """The stronger of two effect classes."""
+    return a if _EFFECT_RANK[a] >= _EFFECT_RANK[b] else b
+
+
+def expr_effect(expr: ir.Expr) -> str:
+    """The strongest effect evaluating ``expr`` can have.
+
+    Subscript reads rank as ``READ``: they observe mutable state and may
+    fault, but never change anything.  Unknown helpers rank ``UNKNOWN``.
+    """
+    worst = PURE
+    for node in ir.walk_expr(expr):
+        if isinstance(node, ir.Call):
+            eff = call_effect(node.fn)
+            worst = effect_join(worst, UNKNOWN if eff is None else eff)
+        elif isinstance(node, ir.Index):
+            worst = effect_join(worst, READ)
+        elif isinstance(node, ir.ListExpr):
+            # a fresh mutable list is an allocation, not a pure value
+            worst = effect_join(worst, ALLOC)
+    return worst
+
+
+def stmt_effect(stmt: ir.Stmt) -> str:
+    """The strongest effect of one statement's direct expressions.
+
+    ``SetIndex`` is a write by construction; sub-blocks are *not* folded
+    in (callers walking a region join block effects themselves).
+    """
+    worst = PURE
+    if isinstance(stmt, ir.SetIndex):
+        worst = WRITE
+    for expr in ir.stmt_exprs(stmt):
+        worst = effect_join(worst, expr_effect(expr))
+    return worst
+
+
+def has_volatile(expr: ir.Expr) -> bool:
+    """True when ``expr`` contains a call whose value is time-dependent."""
+    return any(
+        isinstance(node, ir.Call) and node.fn in VOLATILE_CALLS
+        for node in ir.walk_expr(expr)
+    )
+
+
+def may_fault(expr: ir.Expr) -> bool:
+    """Whether evaluating ``expr`` could raise at run time.
+
+    Conservative per node: subscripts can be out of bounds, division-family
+    operators can divide by zero (unless the divisor is a non-zero
+    constant), and unknown calls can do anything.  Known intrinsics are
+    taken at their effect-table word: the ones classed ``PURE``/``READ``
+    are total over the values codegen feeds them.
+    """
+    for node in ir.walk_expr(expr):
+        if isinstance(node, ir.Index):
+            return True
+        if isinstance(node, ir.Bin) and node.op in ("/", "//", "%"):
+            rhs = node.rhs
+            if not (isinstance(rhs, ir.Const) and rhs.value not in (0, 0.0)):
+                return True
+        if isinstance(node, ir.Call) and call_effect(node.fn) is None:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Statement facts (Comment-transparent by construction)
+# ---------------------------------------------------------------------------
+
+
+def real_stmts(block: ir.Block) -> Iterator[ir.Stmt]:
+    """The statements of ``block`` with transparent nodes skipped."""
+    for stmt in block:
+        if not ir.is_transparent(stmt):
+            yield stmt
+
+
+def stmt_defs(stmt: ir.Stmt) -> tuple[str, ...]:
+    """Names ``stmt`` writes: fresh binds, loop variables, reassignments."""
+    if isinstance(stmt, ir.Reassign):
+        return (stmt.name,)
+    bound = ir.stmt_binds(stmt)
+    return () if bound is None else (bound,)
+
+
+def nested_free_names(node: ir.NestedFunc) -> set[str]:
+    """The free variables of a closure: names its body reads or reassigns
+    without binding them itself (including transitively nested closures)."""
+    bound: set[str] = set(node.params)
+    used: set[str] = set()
+
+    def walk(block: ir.Block) -> None:
+        for stmt in block:
+            for expr in ir.stmt_exprs(stmt):
+                for sub in ir.walk_expr(expr):
+                    if isinstance(sub, ir.Sym):
+                        used.add(sub.name)
+            if isinstance(stmt, ir.Reassign):
+                used.add(stmt.name)
+            name = ir.stmt_binds(stmt)
+            if name is not None:
+                bound.add(name)
+            if isinstance(stmt, ir.NestedFunc):
+                bound.update(stmt.params)
+            for sub_block in ir.stmt_blocks(stmt):
+                walk(sub_block)
+
+    walk(node.body)
+    return used - bound
+
+
+def stmt_uses(stmt: ir.Stmt) -> set[str]:
+    """Names ``stmt`` reads directly (not through its sub-blocks).
+
+    A :class:`ir.NestedFunc` *uses* every free variable of its body: the
+    closure observes those bindings when it runs, so any analysis that
+    would reorder or delete their definitions must see the dependency.
+    """
+    if isinstance(stmt, ir.NestedFunc):
+        return nested_free_names(stmt)
+    out: set[str] = set()
+    for expr in ir.stmt_exprs(stmt):
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.Sym):
+                out.add(node.name)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Basic blocks / CFG
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line statement run plus its control terminator.
+
+    ``stmts`` holds the simple statements (assignments, writes, expression
+    statements, nested function definitions -- and comments, which are kept
+    for attribution but contribute no facts).  ``terminator`` is the
+    structured statement that ends the block, when one does: an ``If`` (its
+    condition is evaluated here), a ``ForRange``/``ForEach`` header (its
+    bounds/iterable are evaluated and its variable defined here, once per
+    entry and per back edge), a ``Break``/``Continue``/``Return``.  Plain
+    ``While`` headers and join points have no terminator.
+    """
+
+    bid: int
+    label: str = ""
+    stmts: List[ir.Stmt] = field(default_factory=list)
+    terminator: Optional[ir.Stmt] = None
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def real(self) -> Iterator[ir.Stmt]:
+        """Simple statements of the block, comments skipped."""
+        yield from real_stmts(self.stmts)
+
+    def facts_stmts(self) -> Iterator[ir.Stmt]:
+        """Every statement contributing defs/uses, terminator included."""
+        yield from self.real()
+        if self.terminator is not None:
+            yield self.terminator
+
+
+class CFG:
+    """The control-flow graph of one function scope.
+
+    Nested functions are opaque simple statements in the enclosing graph
+    (a closure is *defined* here, it runs elsewhere); build a separate CFG
+    for each via :func:`build_cfg` on a synthetic function if needed.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: Dict[int, BasicBlock] = {}
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def rpo(self) -> list[int]:
+        """Block ids in reverse post-order from the entry (good iteration
+        order for forward problems; unreachable blocks appended last)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(bid: int) -> None:
+            seen.add(bid)
+            for succ in self.blocks[bid].succs:
+                if succ not in seen:
+                    visit(succ)
+            order.append(bid)
+
+        visit(self.entry)
+        post = list(reversed(order))
+        post.extend(bid for bid in self.blocks if bid not in seen)
+        return post
+
+    def render(self) -> str:  # pragma: no cover - debugging aid
+        lines = []
+        for bid in sorted(self.blocks):
+            b = self.blocks[bid]
+            term = type(b.terminator).__name__ if b.terminator else "-"
+            lines.append(
+                f"b{bid} [{b.label}] stmts={len(list(b.real()))} "
+                f"term={term} -> {sorted(b.succs)}"
+            )
+        return "\n".join(lines)
+
+
+_SIMPLE = (ir.Assign, ir.Reassign, ir.SetIndex, ir.ExprStmt, ir.NestedFunc)
+
+
+class _CfgBuilder:
+    def __init__(self, name: str) -> None:
+        self.cfg = CFG(name)
+        self._next = 0
+        self.cfg.entry = self._new("entry").bid
+        self._exit = self._new("exit")
+        self.cfg.exit = self._exit.bid
+        self.current = self.cfg.block(self.cfg.entry)
+
+    def _new(self, label: str) -> BasicBlock:
+        block = BasicBlock(bid=self._next, label=label)
+        self._next += 1
+        self.cfg.blocks[block.bid] = block
+        return block
+
+    def _edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst.bid not in src.succs:
+            src.succs.append(dst.bid)
+            dst.preds.append(src.bid)
+
+    def _seal(self, stmt: ir.Stmt, target: BasicBlock, label: str) -> None:
+        """Terminate the current block with a jump; open a fresh (dead)
+        block so statically-unreachable trailing statements still land
+        somewhere the lint layer can point at."""
+        self.current.terminator = stmt
+        self._edge(self.current, target)
+        self.current = self._new(label)
+
+    def build(self, body: ir.Block) -> CFG:
+        self.walk(body, loops=[])
+        self._edge(self.current, self._exit)
+        return self.cfg
+
+    def walk(self, block: ir.Block, loops: list[tuple[BasicBlock, BasicBlock]]) -> None:
+        for stmt in block:
+            if ir.is_transparent(stmt) or isinstance(stmt, _SIMPLE):
+                # Comments ride along without splitting the block.
+                self.current.stmts.append(stmt)
+            elif isinstance(stmt, ir.If):
+                cond_block = self.current
+                cond_block.terminator = stmt
+                join = self._new("join")
+                then_entry = self._new("then")
+                self._edge(cond_block, then_entry)
+                self.current = then_entry
+                self.walk(stmt.then, loops)
+                self._edge(self.current, join)
+                if stmt.els:
+                    els_entry = self._new("else")
+                    self._edge(cond_block, els_entry)
+                    self.current = els_entry
+                    self.walk(stmt.els, loops)
+                    self._edge(self.current, join)
+                else:
+                    self._edge(cond_block, join)
+                self.current = join
+            elif isinstance(stmt, ir.While):
+                header = self._new("loop-header")
+                self._edge(self.current, header)
+                exit_block = self._new("loop-exit")
+                body_entry = self._new("loop-body")
+                self._edge(header, body_entry)
+                self.current = body_entry
+                self.walk(stmt.body, loops + [(header, exit_block)])
+                self._edge(self.current, header)  # back edge
+                # ``while True`` only leaves through breaks/returns: no
+                # header->exit edge exists unless a break created one.
+                self.current = exit_block
+            elif isinstance(stmt, (ir.ForRange, ir.ForEach)):
+                header = self._new("for-header")
+                header.terminator = stmt  # evaluates bounds, defines var
+                self._edge(self.current, header)
+                exit_block = self._new("for-exit")
+                self._edge(header, exit_block)  # zero-iteration path
+                body_entry = self._new("for-body")
+                self._edge(header, body_entry)
+                self.current = body_entry
+                self.walk(stmt.body, loops + [(header, exit_block)])
+                self._edge(self.current, header)  # back edge
+                self.current = exit_block
+            elif isinstance(stmt, ir.Break):
+                if loops:
+                    self._seal(stmt, loops[-1][1], "post-break")
+                else:  # malformed program; verifier reports it
+                    self._seal(stmt, self._exit, "post-break")
+            elif isinstance(stmt, ir.Continue):
+                if loops:
+                    self._seal(stmt, loops[-1][0], "post-continue")
+                else:
+                    self._seal(stmt, self._exit, "post-continue")
+            elif isinstance(stmt, ir.Return):
+                self._seal(stmt, self._exit, "post-return")
+            else:  # pragma: no cover - new node kinds must be taught here
+                raise TypeError(f"unhandled statement kind: {stmt!r}")
+
+
+def build_cfg(fn: ir.Function) -> CFG:
+    """Basic blocks + edges for one function's body (closures opaque)."""
+    return _CfgBuilder(fn.name).build(fn.body)
+
+
+# ---------------------------------------------------------------------------
+# Def-use chains
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DefUse:
+    """Definition and use sites for every name in one function.
+
+    Names are function-unique (the verifier bans shadowing), so a flat
+    name -> sites mapping *is* the chain: ``defs`` holds the binding
+    statements in program order (one for immutables, 1+N for a mutable
+    with N reassigns), ``uses`` the reading statement per occurrence (a
+    statement reading a name twice appears twice).  ``mutable`` is
+    the set of names that may change after their first binding;
+    ``closure_used`` the names some closure captures.
+    """
+
+    params: tuple[str, ...]
+    defs: Dict[str, List[ir.Stmt]] = field(default_factory=dict)
+    uses: Dict[str, List[ir.Stmt]] = field(default_factory=dict)
+    mutable: Set[str] = field(default_factory=set)
+    closure_used: Set[str] = field(default_factory=set)
+
+    def use_count(self, name: str) -> int:
+        return len(self.uses.get(name, ()))
+
+    def is_dead(self, name: str) -> bool:
+        """A binding nothing ever reads (reassignments are writes, not
+        reads; closure captures count as reads)."""
+        return self.use_count(name) == 0
+
+
+def def_use(fn: ir.Function) -> DefUse:
+    """Compute def/use sites over the whole function, closures included.
+
+    The traversal crosses :class:`ir.NestedFunc` boundaries -- legal
+    because names are unique across the whole function scope -- and
+    additionally records each closure's free variables in
+    ``closure_used`` (their definitions must survive as long as the
+    closure might run).
+    """
+    du = DefUse(params=fn.params)
+
+    def record_use(name: str, stmt: ir.Stmt) -> None:
+        du.uses.setdefault(name, []).append(stmt)
+
+    def walk(block: ir.Block) -> None:
+        for stmt in block:
+            if ir.is_transparent(stmt):
+                continue
+            if isinstance(stmt, ir.NestedFunc):
+                du.defs.setdefault(stmt.name, []).append(stmt)
+                du.closure_used.update(nested_free_names(stmt))
+                walk(stmt.body)
+                continue
+            for expr in ir.stmt_exprs(stmt):
+                for node in ir.walk_expr(expr):
+                    if isinstance(node, ir.Sym):
+                        record_use(node.name, stmt)
+            for name in stmt_defs(stmt):
+                du.defs.setdefault(name, []).append(stmt)
+            if isinstance(stmt, ir.Reassign):
+                du.mutable.add(stmt.name)
+            elif isinstance(stmt, ir.Assign) and stmt.mutable:
+                du.mutable.add(stmt.name)
+            for sub in ir.stmt_blocks(stmt):
+                walk(sub)
+
+    walk(fn.body)
+    return du
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions (forward, may)
+# ---------------------------------------------------------------------------
+
+
+class ReachingDefinitions:
+    """Which definition sites may reach the start/end of each block.
+
+    A definition site is ``id(stmt)`` of the defining statement (plus the
+    synthetic ``("param", name)`` sites for parameters, which reach the
+    entry).  ``reach_in``/``reach_out`` map block id -> frozenset of sites;
+    ``site_name`` maps a site back to the name it defines.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.site_name: Dict[object, str] = {}
+        self.site_stmt: Dict[object, Optional[ir.Stmt]] = {}
+        gen: Dict[int, Dict[str, object]] = {}
+        defs_of: Dict[str, Set[object]] = {}
+
+        for block in cfg:
+            last: Dict[str, object] = {}
+            for stmt in block.facts_stmts():
+                for name in stmt_defs(stmt):
+                    site = id(stmt)
+                    self.site_name[site] = name
+                    self.site_stmt[site] = stmt
+                    defs_of.setdefault(name, set()).add(site)
+                    last[name] = site
+            gen[block.bid] = last
+
+        entry_sites: Set[object] = set()
+        # parameters reach the entry as synthetic sites
+        param_names = getattr(cfg, "params", ())
+        for name in param_names:
+            site = ("param", name)
+            self.site_name[site] = name
+            self.site_stmt[site] = None
+            defs_of.setdefault(name, set()).add(site)
+            entry_sites.add(site)
+
+        self.reach_in: Dict[int, frozenset] = {}
+        self.reach_out: Dict[int, frozenset] = {}
+        in_sets: Dict[int, Set[object]] = {b.bid: set() for b in cfg}
+        out_sets: Dict[int, Set[object]] = {b.bid: set() for b in cfg}
+        in_sets[cfg.entry] = set(entry_sites)
+
+        order = cfg.rpo()
+        changed = True
+        while changed:
+            changed = False
+            for bid in order:
+                block = cfg.block(bid)
+                new_in: Set[object] = set(entry_sites) if bid == cfg.entry else set()
+                for pred in block.preds:
+                    new_in |= out_sets[pred]
+                killed_names = set(gen[bid])
+                new_out = {
+                    s for s in new_in if self.site_name[s] not in killed_names
+                }
+                new_out.update(gen[bid].values())
+                if new_in != in_sets[bid] or new_out != out_sets[bid]:
+                    in_sets[bid] = new_in
+                    out_sets[bid] = new_out
+                    changed = True
+        for bid in in_sets:
+            self.reach_in[bid] = frozenset(in_sets[bid])
+            self.reach_out[bid] = frozenset(out_sets[bid])
+
+    def reaching_names(self, bid: int) -> set[str]:
+        """The names with at least one definition reaching block entry."""
+        return {self.site_name[s] for s in self.reach_in[bid]}
+
+
+def reaching_definitions(fn: ir.Function) -> ReachingDefinitions:
+    cfg = build_cfg(fn)
+    cfg.params = fn.params  # type: ignore[attr-defined]
+    return ReachingDefinitions(cfg)
+
+
+# ---------------------------------------------------------------------------
+# Liveness (backward, may)
+# ---------------------------------------------------------------------------
+
+
+class Liveness:
+    """Live-variable analysis over a CFG.
+
+    ``live_in[b]``/``live_out[b]`` are the names live at block entry/exit.
+    ``exit_live`` names are pinned live at the function exit -- callers
+    pass the closure-captured set, because a returned closure reads its
+    captures after the body finishes (the Section 4.4 ``prepare``/``run``
+    shape makes this the common case, not a corner).
+    """
+
+    def __init__(self, cfg: CFG, exit_live: Set[str] = frozenset()) -> None:
+        self.cfg = cfg
+        self.exit_live = set(exit_live)
+        use: Dict[int, Set[str]] = {}
+        defs: Dict[int, Set[str]] = {}
+        for block in cfg:
+            upward: Set[str] = set()
+            defined: Set[str] = set()
+            for stmt in block.facts_stmts():
+                for name in stmt_uses(stmt):
+                    if name not in defined:
+                        upward.add(name)
+                for name in stmt_defs(stmt):
+                    defined.add(name)
+            use[block.bid] = upward
+            defs[block.bid] = defined
+
+        self.live_in: Dict[int, Set[str]] = {b.bid: set() for b in cfg}
+        self.live_out: Dict[int, Set[str]] = {b.bid: set() for b in cfg}
+        order = list(reversed(cfg.rpo()))
+        changed = True
+        while changed:
+            changed = False
+            for bid in order:
+                block = cfg.block(bid)
+                out: Set[str] = set(self.exit_live) if bid == cfg.exit else set()
+                for succ in block.succs:
+                    out |= self.live_in[succ]
+                new_in = use[bid] | (out - defs[bid])
+                if out != self.live_out[bid] or new_in != self.live_in[bid]:
+                    self.live_out[bid] = out
+                    self.live_in[bid] = new_in
+                    changed = True
+
+
+def liveness(fn: ir.Function) -> Liveness:
+    du = def_use(fn)
+    return Liveness(build_cfg(fn), exit_live=du.closure_used)
+
+
+# ---------------------------------------------------------------------------
+# Convenience bundle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDataflow:
+    """Every fact for one function, computed once and shared."""
+
+    fn: ir.Function
+    cfg: CFG
+    defuse: DefUse
+    reaching: ReachingDefinitions
+    live: Liveness
+
+
+def analyze_function(fn: ir.Function) -> FunctionDataflow:
+    """Compute CFG + def-use + reaching definitions + liveness for ``fn``."""
+    cfg = build_cfg(fn)
+    cfg.params = fn.params  # type: ignore[attr-defined]
+    du = def_use(fn)
+    reaching = ReachingDefinitions(cfg)
+    live = Liveness(cfg, exit_live=du.closure_used)
+    return FunctionDataflow(fn=fn, cfg=cfg, defuse=du, reaching=reaching, live=live)
+
+
+def analyze_program(functions: Sequence[ir.Function]) -> list[FunctionDataflow]:
+    return [analyze_function(fn) for fn in functions]

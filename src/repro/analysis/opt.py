@@ -1,0 +1,932 @@
+"""A translation-validated IR optimizer over residual programs.
+
+The paper's thesis is that the single generation pass leaves (almost)
+nothing on the table -- LegoBase's counter-claim is that analysis-driven
+IR transformation is where the wins are.  This module exists to measure
+that disagreement instead of asserting it: a small pipeline of classic
+dataflow optimizations over the staged IR, consuming the facts of
+:mod:`repro.analysis.dataflow`, with every transform checked.
+
+Passes (``Config(opt_level=1)`` runs the first four, ``opt_level=2`` all):
+
+* :class:`CopyPropagation` -- ``x = y`` forwards ``y`` into every use of
+  ``x`` (sound unguarded because bindings are fresh names and only
+  ``mutable=True`` names are ever reassigned);
+* :class:`ConstPropagation` -- ``x = <const>`` forwards the constant and
+  folds constant operator trees (Python evaluation semantics, including
+  ``and``/``or`` short-circuit on a constant left operand);
+* :class:`SimplifyIfs` -- splices branches of constant conditions and
+  drops effect-free empty conditionals;
+* :class:`DeadCodeElim` -- removes statically-unreachable statements,
+  never-read pure/alloc/read bindings (a global property, closures
+  included), and -- via block liveness -- dead reassignments of mutable
+  staged variables;
+* :class:`CommonSubexprElim` -- reuses the first binding of a repeated
+  pure expression; availability is scoped by the statement tree and
+  *killed* across writes and loop back edges for state-reading entries
+  (subscripts, container reads);
+* :class:`LoopInvariantHoist` -- moves loop-invariant field loads and
+  pure computations out of scan-loop bodies, one nesting level per
+  pipeline round.
+
+Translation validation: the pipeline re-runs the structural
+:class:`~repro.analysis.verifier.Verifier` and the
+:class:`~repro.analysis.typecheck.TypeChecker` after every pass that
+changed the program and raises :class:`OptError` on any diagnostic -- a
+transform may only ever produce programs the analysis layer certifies.
+The behavioural half of the contract (optimized output answers exactly
+like unoptimized) is pinned by the 22-query parity suite in
+``tests/test_opt.py`` and the ``repro-lint`` matrix.
+
+Deliberately *not* here: anything that changes the lowering.  The passes
+clean up the residual program the single pass emitted; they never
+re-decide data structures or operator strategies (that is ROADMAP item 3,
+which consumes these same dataflow facts at plan time).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow import (
+    ALLOC,
+    PURE,
+    READ,
+    def_use,
+    expr_effect,
+    has_volatile,
+    stmt_defs,
+    stmt_uses,
+)
+from repro.analysis.lint import VECTOR_KERNEL_CALLS, call_effect
+from repro.analysis.typecheck import TypeChecker
+from repro.analysis.verifier import Verifier
+from repro.analysis.walker import Diagnostic, render_excerpt
+from repro.errors import ReproError
+from repro.staging import ir
+
+
+class OptError(ReproError):
+    """A transform produced a program the analysis layer rejects.
+
+    Raised by the translation-validation hook between passes; carries the
+    offending pass name and the structured diagnostics.  This is a bug in
+    the optimizer by definition -- the input program was certified before
+    the pass ran.
+    """
+
+    code = "E_OPT"
+    phase = "optimize"
+
+    def __init__(
+        self,
+        origin: str,
+        diagnostics: Sequence[Diagnostic],
+        functions: Sequence[ir.Function],
+    ) -> None:
+        self.origin = origin
+        self.diagnostics = list(diagnostics)
+        lines = [d.render() for d in self.diagnostics[:10]]
+        more = len(self.diagnostics) - 10
+        if more > 0:
+            lines.append(f"... and {more} more")
+        try:
+            excerpt = render_excerpt(
+                functions, self.diagnostics[0].stmt if self.diagnostics else None
+            )
+        except Exception:  # a broken program may not even render
+            excerpt = "<unrenderable program>"
+        super().__init__(
+            f"optimizer pass {origin!r} broke the residual program:\n"
+            + "\n".join(lines)
+            + "\n--- generated source (excerpt) ---\n"
+            + excerpt
+        )
+
+
+@dataclass
+class OptStats:
+    """Per-pipeline counters, mirrored into ``codegen_stats['opt']`` and
+    the metrics registry (``opt.*``)."""
+
+    stmts_removed: int = 0
+    exprs_cse: int = 0
+    hoisted: int = 0
+    copies_propagated: int = 0
+    consts_folded: int = 0
+    branches_simplified: int = 0
+    iterations: int = 0
+    stmts_before: int = 0
+    stmts_after: int = 0
+    per_pass: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, pass_name: str, delta: int) -> None:
+        if delta:
+            self.per_pass[pass_name] = self.per_pass.get(pass_name, 0) + delta
+
+    def to_dict(self) -> dict:
+        return {
+            "stmts_removed": self.stmts_removed,
+            "exprs_cse": self.exprs_cse,
+            "hoisted": self.hoisted,
+            "copies_propagated": self.copies_propagated,
+            "consts_folded": self.consts_folded,
+            "branches_simplified": self.branches_simplified,
+            "iterations": self.iterations,
+            "stmts_before": self.stmts_before,
+            "stmts_after": self.stmts_after,
+            "per_pass": dict(self.per_pass),
+        }
+
+
+def stmt_count(functions: Sequence[ir.Function]) -> int:
+    """Real (non-comment) statements across a program, closures included."""
+    from repro.analysis.walker import iter_stmts
+
+    return sum(
+        1
+        for fn in functions
+        for stmt in iter_stmts(fn.body)
+        if not ir.is_transparent(stmt)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression rewriting helpers
+# ---------------------------------------------------------------------------
+
+
+def _subst(expr: ir.Expr, mapping: Dict[str, ir.Expr], counter: List[int]) -> ir.Expr:
+    """Rebuild ``expr`` with every mapped symbol replaced (frozen nodes)."""
+    if isinstance(expr, ir.Sym):
+        repl = mapping.get(expr.name)
+        if repl is not None:
+            counter[0] += 1
+            return repl
+        return expr
+    if isinstance(expr, ir.Const):
+        return expr
+    if isinstance(expr, ir.Bin):
+        return ir.Bin(expr.op, _subst(expr.lhs, mapping, counter),
+                      _subst(expr.rhs, mapping, counter))
+    if isinstance(expr, ir.Un):
+        return ir.Un(expr.op, _subst(expr.operand, mapping, counter))
+    if isinstance(expr, ir.Call):
+        return ir.Call(expr.fn, tuple(_subst(a, mapping, counter) for a in expr.args))
+    if isinstance(expr, ir.Index):
+        return ir.Index(_subst(expr.arr, mapping, counter),
+                        _subst(expr.idx, mapping, counter))
+    if isinstance(expr, ir.TupleExpr):
+        return ir.TupleExpr(tuple(_subst(i, mapping, counter) for i in expr.items))
+    if isinstance(expr, ir.ListExpr):
+        return ir.ListExpr(tuple(_subst(i, mapping, counter) for i in expr.items))
+    return expr
+
+
+def map_stmt_exprs(stmt: ir.Stmt, fn: Callable[[ir.Expr], ir.Expr]) -> None:
+    """Apply ``fn`` to every expression field of one statement, in place.
+
+    The write-side twin of :func:`ir.stmt_exprs`; sub-blocks are the
+    caller's responsibility.
+    """
+    if isinstance(stmt, (ir.Assign, ir.Reassign, ir.ExprStmt)):
+        stmt.expr = fn(stmt.expr)
+    elif isinstance(stmt, ir.SetIndex):
+        stmt.arr = fn(stmt.arr)
+        stmt.idx = fn(stmt.idx)
+        stmt.value = fn(stmt.value)
+    elif isinstance(stmt, ir.If):
+        stmt.cond = fn(stmt.cond)
+    elif isinstance(stmt, ir.ForRange):
+        stmt.start = fn(stmt.start)
+        stmt.stop = fn(stmt.stop)
+        if stmt.step is not None:
+            stmt.step = fn(stmt.step)
+    elif isinstance(stmt, ir.ForEach):
+        stmt.iterable = fn(stmt.iterable)
+    elif isinstance(stmt, ir.Return) and stmt.expr is not None:
+        stmt.expr = fn(stmt.expr)
+
+
+def _rewrite_program(
+    functions: Sequence[ir.Function], fn: Callable[[ir.Expr], ir.Expr]
+) -> None:
+    from repro.analysis.walker import iter_stmts
+
+    for func in functions:
+        for stmt in iter_stmts(func.body):
+            map_stmt_exprs(stmt, fn)
+
+
+def _apply_mapping(functions: Sequence[ir.Function],
+                   mapping: Dict[str, ir.Expr]) -> int:
+    """Substitute name -> replacement everywhere; returns replacement count."""
+    if not mapping:
+        return 0
+    counter = [0]
+    _rewrite_program(functions, lambda e: _subst(e, mapping, counter))
+    return counter[0]
+
+
+def _resolve_chains(mapping: Dict[str, ir.Expr]) -> None:
+    """Compress x->y, y->z chains so one application suffices."""
+    for name in list(mapping):
+        seen = {name}
+        target = mapping[name]
+        while isinstance(target, ir.Sym) and target.name in mapping:
+            if target.name in seen:  # defensive; cycles cannot happen (SSA)
+                break
+            seen.add(target.name)
+            target = mapping[target.name]
+        mapping[name] = target
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+
+class OptPass:
+    """One rewrite over a whole program; returns True when it changed it."""
+
+    name = "opt-pass"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        raise NotImplementedError
+
+
+class CopyPropagation(OptPass):
+    """Forward ``x = y`` copies into every use of ``x``.
+
+    Sound without dataflow guards because of the IR's verifier-enforced
+    discipline: ``x`` immutable means its value never changes after the
+    bind, and ``y`` immutable means the copied value equals ``y`` at every
+    later program point (closures included -- late binding reads the same
+    never-changing slot).  Mutable names on either side are excluded.
+    """
+
+    name = "copyprop"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        from repro.analysis.walker import iter_stmts
+
+        mapping: Dict[str, ir.Expr] = {}
+        for fn in functions:
+            du = def_use(fn)
+            for stmt in iter_stmts(fn.body):
+                if (
+                    isinstance(stmt, ir.Assign)
+                    and not stmt.mutable
+                    and isinstance(stmt.expr, ir.Sym)
+                    and stmt.expr.name not in du.mutable
+                ):
+                    mapping[stmt.name] = stmt.expr
+        _resolve_chains(mapping)
+        replaced = _apply_mapping(functions, mapping)
+        stats.copies_propagated += replaced
+        stats.bump(self.name, replaced)
+        return replaced > 0
+
+
+_BIN_FOLD = {
+    "+": operator.add, "-": operator.sub, "*": operator.mul,
+    "/": operator.truediv, "//": operator.floordiv, "%": operator.mod,
+    "==": operator.eq, "!=": operator.ne,
+    "<": operator.lt, "<=": operator.le,
+    ">": operator.gt, ">=": operator.ge,
+}
+
+_FOLDABLE_CONSTS = (bool, int, float, str)
+
+
+def fold_expr(expr: ir.Expr, counter: List[int]) -> ir.Expr:
+    """Bottom-up constant folding with Python evaluation semantics.
+
+    Anything that would raise at run time (zero division, mixed-type
+    ordering) is left alone -- folding must never turn a crashing program
+    into an answering one or vice versa.
+    """
+    if isinstance(expr, (ir.Const, ir.Sym)):
+        return expr
+    if isinstance(expr, ir.Bin):
+        lhs = fold_expr(expr.lhs, counter)
+        rhs = fold_expr(expr.rhs, counter)
+        if expr.op in ("and", "or") and isinstance(lhs, ir.Const):
+            # Python short-circuit: a constant left operand decides whether
+            # the right side is ever evaluated, so dropping it is exactly
+            # what the unoptimized program does.
+            counter[0] += 1
+            take_rhs = bool(lhs.value) if expr.op == "and" else not bool(lhs.value)
+            return rhs if take_rhs else lhs
+        if (
+            isinstance(lhs, ir.Const)
+            and isinstance(rhs, ir.Const)
+            and isinstance(lhs.value, _FOLDABLE_CONSTS)
+            and isinstance(rhs.value, _FOLDABLE_CONSTS)
+            and expr.op in _BIN_FOLD
+        ):
+            try:
+                value = _BIN_FOLD[expr.op](lhs.value, rhs.value)
+            except (ZeroDivisionError, TypeError, OverflowError):
+                value = None
+            else:
+                if isinstance(value, _FOLDABLE_CONSTS):
+                    counter[0] += 1
+                    return ir.Const(value)
+        if lhs is expr.lhs and rhs is expr.rhs:
+            return expr
+        return ir.Bin(expr.op, lhs, rhs)
+    if isinstance(expr, ir.Un):
+        operand = fold_expr(expr.operand, counter)
+        if isinstance(operand, ir.Const) and isinstance(
+            operand.value, _FOLDABLE_CONSTS
+        ):
+            if expr.op == "not":
+                counter[0] += 1
+                return ir.Const(not operand.value)
+            if expr.op == "-" and not isinstance(operand.value, str):
+                counter[0] += 1
+                return ir.Const(-operand.value)
+        if operand is expr.operand:
+            return expr
+        return ir.Un(expr.op, operand)
+    if isinstance(expr, ir.Call):
+        args = tuple(fold_expr(a, counter) for a in expr.args)
+        return expr if all(a is b for a, b in zip(args, expr.args)) else \
+            ir.Call(expr.fn, args)
+    if isinstance(expr, ir.Index):
+        arr = fold_expr(expr.arr, counter)
+        idx = fold_expr(expr.idx, counter)
+        return expr if arr is expr.arr and idx is expr.idx else ir.Index(arr, idx)
+    if isinstance(expr, ir.TupleExpr):
+        items = tuple(fold_expr(i, counter) for i in expr.items)
+        return expr if all(a is b for a, b in zip(items, expr.items)) else \
+            ir.TupleExpr(items)
+    if isinstance(expr, ir.ListExpr):
+        items = tuple(fold_expr(i, counter) for i in expr.items)
+        return expr if all(a is b for a, b in zip(items, expr.items)) else \
+            ir.ListExpr(items)
+    return expr
+
+
+class ConstPropagation(OptPass):
+    """Forward constant bindings into their uses, then fold."""
+
+    name = "constprop"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        from repro.analysis.walker import iter_stmts
+
+        mapping: Dict[str, ir.Expr] = {}
+        for fn in functions:
+            for stmt in iter_stmts(fn.body):
+                if (
+                    isinstance(stmt, ir.Assign)
+                    and not stmt.mutable
+                    and isinstance(stmt.expr, ir.Const)
+                    and isinstance(stmt.expr.value, _FOLDABLE_CONSTS + (type(None),))
+                ):
+                    mapping[stmt.name] = stmt.expr
+        replaced = _apply_mapping(functions, mapping)
+        counter = [0]
+        _rewrite_program(functions, lambda e: fold_expr(e, counter))
+        stats.consts_folded += counter[0]
+        total = replaced + counter[0]
+        stats.bump(self.name, total)
+        return total > 0
+
+
+class SimplifyIfs(OptPass):
+    """Splice constant-condition branches; drop effect-free empty ifs."""
+
+    name = "simplify-ifs"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        changed = [0]
+        for fn in functions:
+            self._walk(fn.body, changed)
+        stats.branches_simplified += changed[0]
+        stats.bump(self.name, changed[0])
+        return changed[0] > 0
+
+    def _walk(self, block: ir.Block, changed: List[int]) -> None:
+        out: List[ir.Stmt] = []
+        for stmt in block:
+            for sub in ir.stmt_blocks(stmt):
+                self._walk(sub, changed)
+            if isinstance(stmt, ir.If):
+                if isinstance(stmt.cond, ir.Const):
+                    taken = stmt.then if stmt.cond.value else stmt.els
+                    out.extend(taken)
+                    changed[0] += 1
+                    continue
+                empty = not any(True for _ in _real(stmt.then)) and not any(
+                    True for _ in _real(stmt.els)
+                )
+                if (
+                    empty
+                    and expr_effect(stmt.cond) in (PURE, ALLOC, READ)
+                    and not has_volatile(stmt.cond)
+                ):
+                    changed[0] += 1
+                    continue  # drop the whole conditional
+            out.append(stmt)
+        block[:] = out
+
+
+def _real(block: ir.Block):
+    for stmt in block:
+        if not ir.is_transparent(stmt):
+            yield stmt
+
+
+_REMOVABLE_EFFECTS = (PURE, ALLOC, READ)
+
+_TERMINATORS = (ir.Break, ir.Continue, ir.Return)
+
+
+class DeadCodeElim(OptPass):
+    """Dead stores and dead code, the transforming twin of the lint rules.
+
+    Three families, all validated by construction:
+
+    * statements after a ``break``/``continue``/``return`` in the same
+      block can never execute -- removed (comments kept);
+    * an immutable binding whose name is read nowhere -- not by any
+      statement, not by any closure -- is deleted when its initializer
+      cannot write or emit (``PURE``/``ALLOC``/``READ``); a never-read
+      *mutable* variable loses its reassignments too;
+    * a reassignment whose target is dead at that point (block liveness,
+      closure captures pinned live) is a dead store -- removed while the
+      variable's declaring bind stays (the C emitter needs the
+      declaration).
+    """
+
+    name = "dce"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        removed = 0
+        for fn in functions:
+            removed += self._prune_unreachable(fn.body)
+            removed += self._remove_dead_bindings(fn)
+            removed += self._remove_dead_reassigns(fn)
+        stats.stmts_removed += removed
+        stats.bump(self.name, removed)
+        return removed > 0
+
+    def _prune_unreachable(self, block: ir.Block) -> int:
+        removed = 0
+        terminated = False
+        out: List[ir.Stmt] = []
+        for stmt in block:
+            if terminated and not ir.is_transparent(stmt):
+                removed += 1
+                continue
+            for sub in ir.stmt_blocks(stmt):
+                removed += self._prune_unreachable(sub)
+            out.append(stmt)
+            if isinstance(stmt, _TERMINATORS):
+                terminated = True
+        block[:] = out
+        return removed
+
+    def _remove_dead_bindings(self, fn: ir.Function) -> int:
+        du = def_use(fn)
+        dead_ids: Set[int] = set()
+        for name, sites in du.defs.items():
+            head = sites[0]
+            if not isinstance(head, ir.Assign):
+                continue  # loop vars and closures are not removable binds
+            if du.use_count(name) or name in du.closure_used:
+                continue
+            if expr_effect(head.expr) not in _REMOVABLE_EFFECTS:
+                continue
+            if name in du.mutable:
+                # never-read variable: initial bind and every reassign go,
+                # provided no reassigned value could have effects
+                if any(
+                    isinstance(s, ir.Reassign)
+                    and expr_effect(s.expr) not in _REMOVABLE_EFFECTS
+                    for s in sites
+                ):
+                    continue
+                dead_ids.update(id(s) for s in sites)
+            else:
+                dead_ids.add(id(head))
+        return self._drop(fn.body, dead_ids)
+
+    def _remove_dead_reassigns(self, fn: ir.Function) -> int:
+        from repro.analysis.dataflow import analyze_function
+
+        flow = analyze_function(fn)
+        protected = flow.defuse.closure_used
+        dead_ids: Set[int] = set()
+        for block in flow.cfg:
+            live = set(flow.live.live_out[block.bid])
+            ordered = list(block.real())
+            if block.terminator is not None:
+                ordered.append(block.terminator)
+            for stmt in reversed(ordered):
+                defs = stmt_defs(stmt)
+                if (
+                    isinstance(stmt, ir.Reassign)
+                    and stmt.name not in live
+                    and stmt.name not in protected
+                    and expr_effect(stmt.expr) in _REMOVABLE_EFFECTS
+                ):
+                    dead_ids.add(id(stmt))
+                    continue  # a removed store neither kills nor uses
+                live.difference_update(defs)
+                live.update(stmt_uses(stmt))
+        return self._drop(fn.body, dead_ids)
+
+    def _drop(self, block: ir.Block, dead_ids: Set[int]) -> int:
+        if not dead_ids:
+            return 0
+        removed = 0
+        out: List[ir.Stmt] = []
+        for stmt in block:
+            if id(stmt) in dead_ids:
+                removed += 1
+                continue
+            for sub in ir.stmt_blocks(stmt):
+                removed += self._drop(sub, dead_ids)
+            out.append(stmt)
+        block[:] = out
+        return removed
+
+
+# -- common-subexpression elimination ----------------------------------------
+
+#: Pure calls over immutable scalar values: always CSE-safe.
+_CSE_SCALAR_CALLS = frozenset({
+    "hash_str", "hash_int", "to_float", "to_int", "abs", "min2", "max2",
+    "str_startswith", "str_endswith", "str_contains", "str_slice",
+    "str_concat", "str_eq", "not_none", "is_none",
+})
+
+#: Idempotent snapshots of load-time database state: CSE-safe for a whole
+#: run (nothing mutates the database while a residual program executes).
+_CSE_DB_CALLS = frozenset({
+    "db_column", "db_column_vec", "db_size", "db_index", "db_unique_index",
+    "db_dictionary", "db_date_index", "db_encoded", "db_dict_strings",
+    "db_date_candidates", "db_date_runs", "index_lookup",
+    "index_lookup_unique",
+})
+
+#: Reads of runtime containers: CSE-able only under kill discipline (any
+#: write, unknown call, or loop back edge invalidates them).
+_CSE_CONTAINER_CALLS = frozenset({
+    "len", "list_len", "dict_get", "dict_contains", "dict_len",
+    "set_contains", "set_len",
+})
+
+#: Whole-column kernels build fresh arrays from immutable inputs; results
+#: are never mutated, so deduplicating one saves a full column scan.
+#: ``v_tolist`` is excluded: it manufactures a mutable list.
+_CSE_KERNEL_CALLS = VECTOR_KERNEL_CALLS - {"v_tolist"}
+
+
+def _cse_classify(expr: ir.Expr, mutable: Set[str]) -> Optional[bool]:
+    """Whether ``expr`` may key a CSE entry.
+
+    Returns ``None`` (ineligible), ``False`` (eligible, stable for the
+    whole run) or ``True`` (eligible but *killable*: its value reads
+    mutable state).  Atoms are eligible-in-context but pointless as keys;
+    callers skip them separately.
+    """
+    killable = False
+    for node in ir.walk_expr(expr):
+        if isinstance(node, ir.Sym):
+            if node.name in mutable:
+                return None
+        elif isinstance(node, (ir.Const, ir.Bin, ir.Un, ir.TupleExpr)):
+            continue
+        elif isinstance(node, ir.ListExpr):
+            return None  # fresh mutable allocation: identity matters
+        elif isinstance(node, ir.Index):
+            killable = True
+        elif isinstance(node, ir.Call):
+            if node.fn in _CSE_SCALAR_CALLS or node.fn in _CSE_DB_CALLS \
+                    or node.fn in _CSE_KERNEL_CALLS:
+                continue
+            if node.fn in _CSE_CONTAINER_CALLS:
+                killable = True
+            else:
+                return None  # volatile, allocating, writing, or unknown
+        else:
+            return None
+    return killable
+
+
+def _stmt_kills(stmt: ir.Stmt) -> bool:
+    """Whether executing ``stmt`` may invalidate state-reading entries."""
+    if isinstance(stmt, ir.SetIndex):
+        return True
+    for expr in ir.stmt_exprs(stmt):
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.Call):
+                eff = call_effect(node.fn)
+                if eff is None or eff in ("write", "io"):
+                    return True
+    return False
+
+
+def _region_kills(block: ir.Block) -> bool:
+    """Whether any statement under ``block`` (closures included) kills."""
+    for stmt in block:
+        if ir.is_transparent(stmt):
+            continue
+        if _stmt_kills(stmt):
+            return True
+        for sub in ir.stmt_blocks(stmt):
+            if _region_kills(sub):
+                return True
+    return False
+
+
+class CommonSubexprElim(OptPass):
+    """Reuse the first binding of a repeated pure expression.
+
+    Availability is scoped by the statement tree: an entry bound at some
+    position dominates everything later in its block and everything
+    nested under it, which is exactly the region where reuse is legal
+    under the fresh-name discipline.  Entries whose value reads mutable
+    state (subscripts, container lookups) are additionally killed by any
+    write/unknown call and before every loop body (the back edge makes
+    "earlier in the block" ambiguous); closures start from an empty table
+    because they run at an unknown later time.
+    """
+
+    name = "cse"
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        total = 0
+        for fn in functions:
+            du = def_use(fn)
+            mapping: Dict[str, ir.Expr] = {}
+            removed_ids: Set[int] = set()
+            self._walk(fn.body, [{}], du.mutable, mapping, removed_ids)
+            if mapping:
+                _apply_mapping([fn], mapping)
+                DeadCodeElim()._drop(fn.body, removed_ids)
+                total += len(removed_ids)
+        stats.exprs_cse += total
+        stats.bump(self.name, total)
+        return total > 0
+
+    # scope stack entries: dict[key expr -> (Sym, killable)]
+    def _walk(
+        self,
+        block: ir.Block,
+        stack: List[Dict[ir.Expr, Tuple[ir.Sym, bool]]],
+        mutable: Set[str],
+        mapping: Dict[str, ir.Expr],
+        removed_ids: Set[int],
+    ) -> None:
+        for stmt in block:
+            if ir.is_transparent(stmt):
+                continue
+            if (
+                isinstance(stmt, ir.Assign)
+                and not stmt.mutable
+                and not ir.is_atom(stmt.expr)
+            ):
+                killable = _cse_classify(stmt.expr, mutable)
+                if killable is not None:
+                    hit = self._lookup(stack, stmt.expr)
+                    if hit is not None:
+                        mapping[stmt.name] = hit
+                        removed_ids.add(id(stmt))
+                    else:
+                        stack[-1][stmt.expr] = (ir.Sym(stmt.name), killable)
+            if _stmt_kills(stmt):
+                self._kill(stack)
+            if isinstance(stmt, ir.If):
+                for branch in (stmt.then, stmt.els):
+                    stack.append({})
+                    self._walk(branch, stack, mutable, mapping, removed_ids)
+                    stack.pop()
+            elif isinstance(stmt, (ir.While, ir.ForRange, ir.ForEach)):
+                if _region_kills(stmt.body):
+                    self._kill(stack)
+                stack.append({})
+                self._walk(stmt.body, stack, mutable, mapping, removed_ids)
+                stack.pop()
+            elif isinstance(stmt, ir.NestedFunc):
+                # a closure runs later: only run-stable facts would carry
+                # over, and conservatively not even those
+                self._walk(stmt.body, [{}], mutable, mapping, removed_ids)
+
+    def _lookup(
+        self, stack: List[Dict[ir.Expr, Tuple[ir.Sym, bool]]], key: ir.Expr
+    ) -> Optional[ir.Sym]:
+        for scope in reversed(stack):
+            entry = scope.get(key)
+            if entry is not None:
+                return entry[0]
+        return None
+
+    def _kill(self, stack: List[Dict[ir.Expr, Tuple[ir.Sym, bool]]]) -> None:
+        for scope in stack:
+            for key in [k for k, (_, killable) in scope.items() if killable]:
+                del scope[key]
+
+
+class LoopInvariantHoist(OptPass):
+    """Hoist loop-invariant field loads and pure computations out of loops.
+
+    A candidate is an immutable top-level binding of a loop body whose
+    initializer (a) cannot write, emit, allocate mutable state, or read
+    the clock, and (b) references no name defined or reassigned anywhere
+    inside the loop.  Such a statement computes the same value on every
+    iteration; moving it immediately before the loop preserves all uses
+    (the fresh name stays unique) and every effect ordering.  Subscript
+    loads qualify deliberately: the canonical win is an outer-row field
+    load sitting inside an inner join loop, whose index the enclosing
+    scan already proved in bounds.  One extra gate mirrors the CSE kill
+    discipline: an initializer that reads *runtime* state (a subscript, a
+    container lookup -- anything outside the load-time database
+    snapshot) is only invariant if nothing inside the loop can write, so
+    such candidates are rejected whenever the body contains a store or
+    an unknown/writing call.  Inner loops hoist before their enclosing
+    loop is considered, so invariants bubble all the way up across
+    pipeline rounds.
+    """
+
+    name = "licm"
+
+    _HOISTABLE_EFFECTS = (PURE, READ)  # ALLOC must stay per-iteration
+
+    def run(self, functions: Sequence[ir.Function], stats: OptStats) -> bool:
+        hoisted = [0]
+        for fn in functions:
+            self._walk(fn.body, hoisted)
+        stats.hoisted += hoisted[0]
+        stats.bump(self.name, hoisted[0])
+        return hoisted[0] > 0
+
+    def _walk(self, block: ir.Block, hoisted: List[int]) -> None:
+        i = 0
+        while i < len(block):
+            stmt = block[i]
+            for sub in ir.stmt_blocks(stmt):
+                self._walk(sub, hoisted)
+            if isinstance(stmt, (ir.While, ir.ForRange, ir.ForEach)):
+                moved = self._hoist_from(stmt)
+                if moved:
+                    block[i:i] = moved
+                    hoisted[0] += len(moved)
+                    i += len(moved)
+            i += 1
+
+    def _hoist_from(self, loop: ir.Stmt) -> List[ir.Stmt]:
+        body: ir.Block = loop.body
+        loop_defs = self._defined_in(body)
+        if isinstance(loop, (ir.ForRange, ir.ForEach)):
+            loop_defs.add(loop.var)
+        body_kills = _region_kills(body)
+        moved: List[ir.Stmt] = []
+        kept: List[ir.Stmt] = []
+        for stmt in body:
+            if (
+                isinstance(stmt, ir.Assign)
+                and not stmt.mutable
+                and not ir.is_atom(stmt.expr)
+                and expr_effect(stmt.expr) in self._HOISTABLE_EFFECTS
+                and not has_volatile(stmt.expr)
+                and not self._unguarded_division(stmt.expr)
+                and not (body_kills and self._reads_runtime_state(stmt.expr))
+                and not any(
+                    name in loop_defs for name in self._expr_names(stmt.expr)
+                )
+            ):
+                moved.append(stmt)
+            else:
+                kept.append(stmt)
+        if moved:
+            body[:] = kept
+        return moved
+
+    @staticmethod
+    def _expr_names(expr: ir.Expr):
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.Sym):
+                yield node.name
+
+    @staticmethod
+    def _reads_runtime_state(expr: ir.Expr) -> bool:
+        """Whether the value depends on state a loop body could mutate.
+
+        Database-snapshot reads, whole-column kernels and pure scalar
+        calls are stable for an entire run; subscripts and every other
+        call (container lookups included) count as runtime-state reads.
+        """
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.Index):
+                return True
+            if isinstance(node, ir.Call) and not (
+                node.fn in _CSE_SCALAR_CALLS
+                or node.fn in _CSE_DB_CALLS
+                or node.fn in _CSE_KERNEL_CALLS
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _unguarded_division(expr: ir.Expr) -> bool:
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.Bin) and node.op in ("/", "//", "%"):
+                rhs = node.rhs
+                if not (isinstance(rhs, ir.Const) and rhs.value not in (0, 0.0)):
+                    return True
+        return False
+
+    def _defined_in(self, block: ir.Block) -> Set[str]:
+        """Every name bound or reassigned anywhere under ``block``."""
+        defined: Set[str] = set()
+
+        def walk(b: ir.Block) -> None:
+            for stmt in b:
+                if ir.is_transparent(stmt):
+                    continue
+                defined.update(stmt_defs(stmt))
+                if isinstance(stmt, ir.NestedFunc):
+                    defined.update(stmt.params)
+                    walk(stmt.body)
+                for sub in ir.stmt_blocks(stmt):
+                    walk(sub)
+
+        walk(block)
+        return defined
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OptResult:
+    """The optimized program (mutated in place) plus its statistics."""
+
+    functions: List[ir.Function]
+    stats: OptStats
+
+
+def passes_for_level(level: int) -> List[OptPass]:
+    """The pass sequence one pipeline round runs at ``opt_level=level``."""
+    base: List[OptPass] = [CopyPropagation(), ConstPropagation(), SimplifyIfs()]
+    if level >= 2:
+        base.extend([CommonSubexprElim(), LoopInvariantHoist()])
+    base.append(DeadCodeElim())
+    return base
+
+
+def optimize(
+    functions: Sequence[ir.Function],
+    level: int = 1,
+    *,
+    validate: bool = True,
+    max_rounds: int = 8,
+) -> OptResult:
+    """Run the pass pipeline to a fixpoint; mutates ``functions`` in place.
+
+    ``validate=True`` (default, and what the compile driver uses) runs the
+    verifier and the type checker over the input and again after every
+    pass that changed the program, raising :class:`OptError` on any
+    diagnostic: the optimizer is only allowed to produce programs the
+    analysis layer certifies.
+    """
+    functions = list(functions)
+    stats = OptStats()
+    stats.stmts_before = stmt_count(functions)
+    stats.stmts_after = stats.stmts_before
+    if level <= 0:
+        return OptResult(functions, stats)
+    if level > 2:
+        raise ValueError(f"opt_level must be 0, 1 or 2, got {level}")
+    if validate:
+        _validate(functions, "input")
+    passes = passes_for_level(level)
+    for _ in range(max_rounds):
+        stats.iterations += 1
+        any_change = False
+        for p in passes:
+            changed = p.run(functions, stats)
+            if changed:
+                any_change = True
+                if validate:
+                    _validate(functions, p.name)
+        if not any_change:
+            break
+    stats.stmts_after = stmt_count(functions)
+    return OptResult(functions, stats)
+
+
+def _validate(functions: Sequence[ir.Function], origin: str) -> None:
+    diagnostics = Verifier().run(functions) + TypeChecker().run(functions)
+    if diagnostics:
+        raise OptError(origin, diagnostics, functions)

@@ -1,0 +1,196 @@
+"""``repro-bench-opt``: what does classic dataflow optimization buy here?
+
+The paper claims the single generation pass leaves (almost) nothing for a
+multi-pass optimizer to find; LegoBase claims the opposite.  This harness
+measures the disagreement on our own residual programs: every TPC-H query
+is compiled at ``opt_level`` 0, 1 and 2 under both codegen backends, all
+three programs are checked to answer identically, and the report records
+the residual statement-count reduction plus the runtime delta per level.
+
+Results land in a JSON report (default ``BENCH_PR6.json``)::
+
+    repro-bench-opt                    # full run at REPRO_BENCH_SF
+    repro-bench-opt --smoke            # CI mode: tiny scale, one repeat
+    repro-bench-opt --scale 0.05 -r 5  # bigger data, more repeats
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.backends import _geomean, _interleaved_medians, _normalize
+from repro.compiler.driver import LB2Compiler
+from repro.compiler.lb2 import Config
+from repro.compiler.runtime import have_numpy
+from repro.tpch.dbgen import generate_database, generate_tables
+from repro.tpch.queries import QUERIES, query_plan
+
+LEVELS = (0, 1, 2)
+
+
+def bench_opt(
+    scale: float,
+    repeats: int,
+    queries: Sequence[int],
+    codegens: Sequence[str] = ("scalar", "vector"),
+) -> dict:
+    """Time every query at every opt level; returns the report dict."""
+    db = generate_database(tables=dict(generate_tables(scale)))
+    report: dict = {
+        "benchmark": "IR optimizer levels over residual programs",
+        "scale": scale,
+        "repeats": repeats,
+        "numpy": have_numpy(),
+        "levels": list(LEVELS),
+        "queries": {},
+    }
+    speedups = {(cg, lv): [] for cg in codegens for lv in LEVELS if lv}
+    reductions = {(cg, lv): [] for cg in codegens for lv in LEVELS if lv}
+    for q in queries:
+        plan = query_plan(q, scale=scale)
+        entry: dict = {}
+        for codegen in codegens:
+            compiled = {
+                lv: LB2Compiler(
+                    db.catalog, db, Config(codegen=codegen, opt_level=lv)
+                ).compile(plan)
+                for lv in LEVELS
+            }
+            rows = {lv: _normalize(c.run(db)) for lv, c in compiled.items()}
+            if not (rows[0] == rows[1] == rows[2]):
+                raise AssertionError(
+                    f"Q{q} {codegen}: opt levels disagree; benchmark void"
+                )
+            seconds = _interleaved_medians(
+                {str(lv): (lambda c=c: c.run(db)) for lv, c in compiled.items()},
+                repeats,
+            )
+            from repro.analysis.opt import stmt_count
+
+            baseline_stmts = stmt_count(compiled[0].functions)
+            per_level: dict = {}
+            for lv in LEVELS:
+                stats = compiled[lv].codegen_stats.get("opt")
+                stmts = (
+                    stats["stmts_after"] if stats is not None else baseline_stmts
+                )
+                reduction = (
+                    (baseline_stmts - stmts) / baseline_stmts
+                    if baseline_stmts
+                    else 0.0
+                )
+                speedup = seconds["0"] / seconds[str(lv)]
+                per_level[str(lv)] = {
+                    "seconds": seconds[str(lv)],
+                    "stmts": stmts,
+                    "stmt_reduction": reduction,
+                    "speedup_vs_l0": speedup,
+                    "opt_stats": stats,
+                }
+                if lv:
+                    speedups[(codegen, lv)].append(speedup)
+                    reductions[(codegen, lv)].append(reduction)
+            entry[codegen] = {
+                "rows": len(rows[0]),
+                "levels": per_level,
+            }
+        report["queries"][str(q)] = entry
+    report["summary"] = {
+        codegen: {
+            str(lv): {
+                "geomean_speedup_vs_l0": _geomean(speedups[(codegen, lv)]),
+                "mean_stmt_reduction": (
+                    sum(reductions[(codegen, lv)])
+                    / len(reductions[(codegen, lv)])
+                    if reductions[(codegen, lv)]
+                    else 0.0
+                ),
+            }
+            for lv in LEVELS
+            if lv
+        }
+        for codegen in codegens
+    }
+    return report
+
+
+def _print_report(report: dict) -> None:
+    print(
+        f"scale={report['scale']}  repeats={report['repeats']}  "
+        f"numpy={report['numpy']}"
+    )
+    header = (
+        f"{'query':>5} {'codegen':>7} {'lvl':>3} {'stmts':>6} "
+        f"{'reduction':>9} {'time':>10} {'vs l0':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for q, entry in report["queries"].items():
+        for codegen, data in entry.items():
+            for lv, s in data["levels"].items():
+                print(
+                    f"Q{q:>4} {codegen:>7} {lv:>3} {s['stmts']:>6} "
+                    f"{s['stmt_reduction'] * 100:>8.1f}% "
+                    f"{s['seconds'] * 1e3:>8.2f}ms "
+                    f"{s['speedup_vs_l0']:>6.2f}x"
+                )
+    for codegen, levels in report["summary"].items():
+        for lv, s in levels.items():
+            gm = s["geomean_speedup_vs_l0"]
+            print(
+                f"{codegen} level {lv}: mean stmt reduction "
+                f"{s['mean_stmt_reduction'] * 100:.1f}%, geomean speedup "
+                + (f"{gm:.2f}x" if gm else "n/a")
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-bench-opt", description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="TPC-H scale factor (default: REPRO_BENCH_SF or 0.01)",
+    )
+    parser.add_argument(
+        "-r", "--repeats", type=int, default=3,
+        help="timing repeats per query/level (median is reported)",
+    )
+    parser.add_argument(
+        "--query", type=int, action="append", default=None,
+        choices=sorted(QUERIES), help="benchmark a subset of queries",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_PR6.json",
+        help="report path (default: BENCH_PR6.json in the working dir)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: tiny scale, one repeat, no report unless --out is set",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = args.scale if args.scale is not None else 0.002
+        repeats = 1
+    else:
+        from repro.bench.harness import bench_scale
+
+        scale = args.scale if args.scale is not None else bench_scale()
+        repeats = args.repeats
+    queries = args.query if args.query else sorted(QUERIES)
+
+    report = bench_opt(scale, repeats, queries)
+    _print_report(report)
+    write_report = not args.smoke or "--out" in (argv or sys.argv[1:])
+    if write_report:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -178,6 +178,23 @@ class LB2Compiler:
 
             functions = ctx.program()
             header = f"residual program for plan rooted at {type(plan).__name__}"
+            opt_stats = None
+            if self.config.opt_level:
+                # The optimizer sits between generation and rendering; at the
+                # default opt_level=0 this branch never runs and the residual
+                # source is byte-identical to the unoptimized pipeline.
+                from repro.analysis.opt import optimize
+
+                with span("optimize") as osp:
+                    result = optimize(
+                        functions, level=self.config.opt_level, validate=True
+                    )
+                    functions = result.functions
+                    opt_stats = result.stats
+                    if osp:
+                        osp.meta["level"] = self.config.opt_level
+                        osp.meta["stmts_removed"] = opt_stats.stmts_removed
+                        osp.meta["hoisted"] = opt_stats.hoisted
             source = generate_python(functions, header=header)
             generation_seconds = time.perf_counter() - t0
             if sp:
@@ -203,6 +220,17 @@ class LB2Compiler:
         REGISTRY.counter("compile.count")
         REGISTRY.observe("compile.generation_seconds", generation_seconds)
         REGISTRY.observe("compile.host_seconds", compile_seconds)
+        if opt_stats is not None:
+            REGISTRY.counter("opt.stmts_removed", opt_stats.stmts_removed)
+            REGISTRY.counter("opt.exprs_cse", opt_stats.exprs_cse)
+            REGISTRY.counter("opt.hoisted", opt_stats.hoisted)
+            REGISTRY.counter(
+                "opt.copies_propagated", opt_stats.copies_propagated
+            )
+            REGISTRY.counter("opt.consts_folded", opt_stats.consts_folded)
+            REGISTRY.counter(
+                "opt.branches_simplified", opt_stats.branches_simplified
+            )
 
         compiled = CompiledQuery(
             plan=plan,
@@ -216,6 +244,8 @@ class LB2Compiler:
             codegen_stats=builder.backend.stats(),
             functions=functions,
         )
+        if opt_stats is not None:
+            compiled.codegen_stats["opt"] = opt_stats.to_dict()
         compiled._c_source = generate_c(functions, header=header)
         return compiled
 

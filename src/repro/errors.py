@@ -26,6 +26,7 @@ PHASES = (
     "catalog",
     "plan",
     "codegen",
+    "optimize",
     "verify",
     "host-compile",
     "execute",

@@ -1,0 +1,365 @@
+"""Unit tests for the dataflow layer, one fact family at a time.
+
+Every test hand-builds small IR functions (the verifier's fresh-name and
+mutability invariants are respected, since the analyses lean on them) and
+checks the derived facts directly: CFG shape, def-use chains, reaching
+definitions, liveness, and the effect lattice.
+"""
+
+import pytest
+
+from repro.analysis import dataflow as df
+from repro.staging import ir
+
+
+def _fn(body, params=("db",), name="f"):
+    return ir.Function(name, tuple(params), body)
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_straight_line_is_one_block(self):
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.Assign("b", ir.Bin("+", ir.Sym("a"), ir.Const(1))),
+            ir.ExprStmt(ir.Call("list_append", (ir.Sym("db"), ir.Sym("b")))),
+        ])
+        cfg = df.build_cfg(fn)
+        entry = cfg.block(cfg.entry)
+        assert len(list(entry.real())) == 3
+        assert entry.terminator is None
+        assert entry.succs == [cfg.exit]
+
+    def test_comment_does_not_split_blocks(self):
+        """Satellite: Comment is transparent -- a commented run of simple
+        statements is still one basic block and carries no facts."""
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.Comment("the middle of a block"),
+            ir.Assign("b", ir.Sym("a")),
+        ])
+        cfg = df.build_cfg(fn)
+        entry = cfg.block(cfg.entry)
+        # one block; the comment rides along but is not a "real" statement
+        assert len(entry.stmts) == 3
+        assert len(list(entry.real())) == 2
+        assert entry.succs == [cfg.exit]
+        # and it contributes nothing to def/use
+        du = df.def_use(fn)
+        assert set(du.defs) == {"a", "b"}
+
+    def test_if_splits_and_joins(self):
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.If(ir.Sym("a"),
+                  [ir.Assign("t", ir.Const(2))],
+                  [ir.Assign("e", ir.Const(3))]),
+            ir.Assign("after", ir.Const(4)),
+        ])
+        cfg = df.build_cfg(fn)
+        cond = cfg.block(cfg.entry)
+        assert isinstance(cond.terminator, ir.If)
+        assert len(cond.succs) == 2
+        labels = {cfg.block(b).label for b in cond.succs}
+        assert labels == {"then", "else"}
+        # both branches flow into the same join block
+        joins = {cfg.block(b).succs[0] for b in cond.succs}
+        assert len(joins) == 1
+        join = cfg.block(joins.pop())
+        assert [s.name for s in join.real()] == ["after"]
+
+    def test_if_without_else_edges_to_join(self):
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.If(ir.Sym("a"), [ir.Assign("t", ir.Const(2))]),
+        ])
+        cfg = df.build_cfg(fn)
+        cond = cfg.block(cfg.entry)
+        # cond -> then and cond -> join (the fall-through path)
+        assert len(cond.succs) == 2
+
+    def test_while_has_back_edge_and_no_fallthrough_exit(self):
+        fn = _fn([
+            ir.Assign("i", ir.Const(0), mutable=True),
+            ir.While([
+                ir.If(ir.Bin(">=", ir.Sym("i"), ir.Const(10)), [ir.Break()]),
+                ir.Reassign("i", ir.Bin("+", ir.Sym("i"), ir.Const(1))),
+            ]),
+        ])
+        cfg = df.build_cfg(fn)
+        headers = [b for b in cfg if b.label == "loop-header"]
+        exits = [b for b in cfg if b.label == "loop-exit"]
+        assert len(headers) == 1 and len(exits) == 1
+        header, exit_block = headers[0], exits[0]
+        # while True: the only way out is the break edge, not the header
+        assert exit_block.bid not in header.succs
+        assert any(
+            isinstance(cfg.block(p).terminator, ir.Break)
+            for p in exit_block.preds
+        )
+        # some block loops back to the header
+        assert any(header.bid in b.succs for b in cfg if b.bid != header.bid)
+
+    def test_forrange_zero_iteration_edge(self):
+        fn = _fn([
+            ir.Assign("n", ir.Const(3)),
+            ir.ForRange("i", ir.Const(0), ir.Sym("n"), [
+                ir.Assign("x", ir.Sym("i")),
+            ]),
+        ])
+        cfg = df.build_cfg(fn)
+        header = next(b for b in cfg if b.label == "for-header")
+        assert isinstance(header.terminator, ir.ForRange)
+        labels = {cfg.block(s).label for s in header.succs}
+        # the loop may run zero times: header reaches both body and exit
+        assert labels == {"for-body", "for-exit"}
+
+    def test_return_seals_and_trailing_stmts_are_unreachable(self):
+        fn = _fn([
+            ir.Return(ir.Const(1)),
+            ir.Assign("never", ir.Const(2)),
+        ])
+        cfg = df.build_cfg(fn)
+        dead = next(b for b in cfg if b.label == "post-return")
+        assert [s.name for s in dead.real()] == ["never"]
+        assert dead.preds == []  # statically unreachable
+        assert cfg.rpo()[-1] == dead.bid  # appended after reachable blocks
+
+    def test_nested_func_is_opaque_simple_statement(self):
+        fn = _fn([
+            ir.Assign("cap", ir.Const(7)),
+            ir.NestedFunc("run", ("out",), [
+                ir.Return(ir.Sym("cap")),
+            ]),
+            ir.Return(ir.Sym("run")),
+        ])
+        cfg = df.build_cfg(fn)
+        entry = cfg.block(cfg.entry)
+        # the closure body's Return does not seal the enclosing block
+        assert any(isinstance(s, ir.NestedFunc) for s in entry.real())
+        assert isinstance(entry.terminator, ir.Return)
+
+
+# ---------------------------------------------------------------------------
+# Def-use chains
+# ---------------------------------------------------------------------------
+
+
+class TestDefUse:
+    def test_counts_and_dead(self):
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.Assign("b", ir.Bin("+", ir.Sym("a"), ir.Sym("a"))),
+            ir.Assign("unused", ir.Const(9)),
+        ])
+        du = df.def_use(fn)
+        assert du.use_count("a") == 2  # per occurrence: b's RHS reads twice
+        assert not du.is_dead("a")
+        assert du.is_dead("unused")
+        assert du.is_dead("b")
+
+    def test_mutable_and_reassign_sites(self):
+        fn = _fn([
+            ir.Assign("acc", ir.Const(0), mutable=True),
+            ir.Reassign("acc", ir.Bin("+", ir.Sym("acc"), ir.Const(1))),
+        ])
+        du = df.def_use(fn)
+        assert du.mutable == {"acc"}
+        assert len(du.defs["acc"]) == 2  # bind + reassign, program order
+        assert isinstance(du.defs["acc"][0], ir.Assign)
+        assert isinstance(du.defs["acc"][1], ir.Reassign)
+        # the reassign *reads* acc on its RHS but the write is not a use
+        assert du.use_count("acc") == 1
+
+    def test_closure_free_names_are_uses(self):
+        fn = _fn([
+            ir.Assign("cap", ir.Const(1)),
+            ir.Assign("local_only", ir.Const(2)),
+            ir.NestedFunc("run", ("out",), [
+                ir.Assign("inner", ir.Sym("cap")),
+                ir.ExprStmt(ir.Call("list_append", (ir.Sym("out"), ir.Sym("inner")))),
+            ]),
+            ir.Return(ir.Sym("run")),
+        ])
+        du = df.def_use(fn)
+        assert "cap" in du.closure_used
+        assert "local_only" not in du.closure_used
+        assert "out" not in du.closure_used  # bound as a closure param
+        assert not du.is_dead("cap")
+
+    def test_closure_reassignment_counts_as_capture(self):
+        fn = _fn([
+            ir.Assign("acc", ir.Const(0), mutable=True),
+            ir.NestedFunc("bump", (), [
+                ir.Reassign("acc", ir.Bin("+", ir.Sym("acc"), ir.Const(1))),
+            ]),
+            ir.Return(ir.Sym("bump")),
+        ])
+        du = df.def_use(fn)
+        assert "acc" in du.closure_used
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class TestReaching:
+    def test_params_reach_entry(self):
+        fn = _fn([ir.Return(ir.Sym("db"))], params=("db", "out"))
+        reaching = df.reaching_definitions(fn)
+        assert {"db", "out"} <= reaching.reaching_names(reaching.cfg.entry)
+
+    def test_reassign_kills_earlier_definition(self):
+        bind = ir.Assign("v", ir.Const(1), mutable=True)
+        redef = ir.Reassign("v", ir.Const(2))
+        fn = _fn([
+            bind,
+            redef,
+            ir.If(ir.Sym("db"), [ir.Assign("x", ir.Sym("v"))]),
+        ])
+        reaching = df.reaching_definitions(fn)
+        out = reaching.reach_out[reaching.cfg.entry]
+        sites = {s for s in out if reaching.site_name[s] == "v"}
+        assert sites == {id(redef)}  # the bind was killed within the block
+
+    def test_both_branch_definitions_reach_join(self):
+        then_def = ir.Reassign("v", ir.Const(1))
+        else_def = ir.Reassign("v", ir.Const(2))
+        fn = _fn([
+            ir.Assign("v", ir.Const(0), mutable=True),
+            ir.If(ir.Sym("db"), [then_def], [else_def]),
+            ir.Assign("read", ir.Sym("v")),
+        ])
+        reaching = df.reaching_definitions(fn)
+        join = next(b for b in reaching.cfg if b.label == "join")
+        sites = {
+            s for s in reaching.reach_in[join.bid]
+            if reaching.site_name[s] == "v"
+        }
+        assert sites == {id(then_def), id(else_def)}  # may-analysis: both
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+
+class TestLiveness:
+    def test_loop_accumulator_is_live_around_the_loop(self):
+        fn = _fn([
+            ir.Assign("acc", ir.Const(0), mutable=True),
+            ir.ForRange("i", ir.Const(0), ir.Const(10), [
+                ir.Reassign("acc", ir.Bin("+", ir.Sym("acc"), ir.Sym("i"))),
+            ]),
+            ir.Return(ir.Sym("acc")),
+        ])
+        live = df.liveness(fn)
+        body = next(b for b in live.cfg if b.label == "for-body")
+        assert "acc" in live.live_in[body.bid]
+        assert "acc" in live.live_out[body.bid]  # the back edge keeps it live
+
+    def test_dead_after_last_use(self):
+        fn = _fn([
+            ir.Assign("a", ir.Const(1)),
+            ir.Assign("b", ir.Sym("a")),
+            ir.Return(ir.Sym("b")),
+        ])
+        live = df.liveness(fn)
+        entry = live.cfg.block(live.cfg.entry)
+        assert "a" not in live.live_out[entry.bid]
+        assert "b" not in live.live_out[entry.bid]  # consumed by the return
+
+    def test_closure_captures_pinned_live_at_exit(self):
+        fn = _fn([
+            ir.Assign("cap", ir.Const(1)),
+            ir.NestedFunc("run", (), [ir.Return(ir.Sym("cap"))]),
+            ir.Return(ir.Sym("run")),
+        ])
+        live = df.liveness(fn)
+        assert "cap" in live.exit_live
+        entry = live.cfg.block(live.cfg.entry)
+        assert "cap" in live.live_out[entry.bid]
+
+
+# ---------------------------------------------------------------------------
+# Effects
+# ---------------------------------------------------------------------------
+
+
+class TestEffects:
+    def test_lattice_order(self):
+        assert df.effect_join(df.PURE, df.READ) == df.READ
+        assert df.effect_join(df.WRITE, df.READ) == df.WRITE
+        assert df.effect_join(df.IO, df.UNKNOWN) == df.UNKNOWN
+
+    def test_expr_effects(self):
+        assert df.expr_effect(ir.Bin("+", ir.Const(1), ir.Const(2))) == df.PURE
+        assert df.expr_effect(ir.Index(ir.Sym("a"), ir.Const(0))) == df.READ
+        assert df.expr_effect(ir.ListExpr((ir.Const(1),))) == df.ALLOC
+        assert df.expr_effect(ir.Call("hash_str", (ir.Sym("s"),))) == df.PURE
+        assert (
+            df.expr_effect(ir.Call("list_append", (ir.Sym("l"), ir.Const(1))))
+            == df.WRITE
+        )
+        assert df.expr_effect(ir.Call("no_such_intrinsic", ())) == df.UNKNOWN
+
+    def test_stmt_effects(self):
+        setidx = ir.SetIndex(ir.Sym("a"), ir.Const(0), ir.Const(1))
+        assert df.stmt_effect(setidx) == df.WRITE
+        assign = ir.Assign("x", ir.Call("db_size", (ir.Const("t"),)))
+        assert df.stmt_effect(assign) == df.READ
+
+    def test_volatile_and_fault_predicates(self):
+        assert df.has_volatile(ir.Call("obs_now", ()))
+        assert not df.has_volatile(ir.Call("hash_str", (ir.Sym("s"),)))
+        assert df.may_fault(ir.Index(ir.Sym("a"), ir.Sym("i")))
+        assert df.may_fault(ir.Bin("/", ir.Sym("a"), ir.Sym("b")))
+        assert not df.may_fault(ir.Bin("/", ir.Sym("a"), ir.Const(2)))
+        assert df.may_fault(ir.Bin("//", ir.Sym("a"), ir.Const(0)))
+        assert df.may_fault(ir.Call("no_such_intrinsic", ()))
+        assert not df.may_fault(ir.Bin("+", ir.Sym("a"), ir.Sym("b")))
+
+
+# ---------------------------------------------------------------------------
+# The bundle + real residual programs
+# ---------------------------------------------------------------------------
+
+
+class TestOnResidualPrograms:
+    @pytest.fixture(scope="class")
+    def compiled(self, tpch_db):
+        from repro.compiler.driver import LB2Compiler
+        from repro.tpch import query_plan
+        from tests.conftest import TINY_SCALE
+
+        plan = query_plan(6, scale=TINY_SCALE)
+        return LB2Compiler(tpch_db.catalog, tpch_db).compile(plan)
+
+    def test_analyze_program_runs_on_real_ir(self, compiled):
+        flows = df.analyze_program(compiled.functions)
+        assert flows
+        for flow in flows:
+            assert len(flow.cfg) >= 2  # at least entry + exit
+            # every reachable block's preds/succs are mutually consistent
+            for block in flow.cfg:
+                for s in block.succs:
+                    assert block.bid in flow.cfg.block(s).preds
+                for p in block.preds:
+                    assert block.bid in flow.cfg.block(p).succs
+
+    def test_no_dead_immutable_bindings_in_shipped_programs(self, compiled):
+        """The single pass emits no unused pure bindings for Q6 -- the lint
+        gate enforces this; the dataflow layer must agree with it."""
+        for fn in compiled.functions:
+            du = df.def_use(fn)
+            for name, sites in du.defs.items():
+                head = sites[0]
+                if not isinstance(head, ir.Assign) or name in du.mutable:
+                    continue
+                if df.expr_effect(head.expr) == df.PURE:
+                    assert not du.is_dead(name) or name in du.closure_used
