@@ -1,0 +1,231 @@
+"""``repro-bench-serve``: sustained QPS and tail latency for the serve tier.
+
+The workload is the mixed 22-query TPC-H suite (15 via SQL, 7 via
+hand-written plans) fired at one :class:`~repro.serve.service.QueryService`
+from concurrent client threads, every request carrying a deadline.  Two
+measured runs land in the report (default ``BENCH_PR7.json``):
+
+* **baseline** -- clean service, warm compiled-query cache;
+* **faulted** -- the compiled-query cache cleared and a
+  :class:`~repro.resilience.faults.FaultInjector` firing at the ``codegen``
+  and ``host-compile`` sites, so a slice of requests degrades down the
+  fallback chain (and some plan shapes trip the circuit breaker).
+
+For each run: sustained QPS, latency percentiles (p50/p95/p99, ms),
+outcome counts by error code, degraded counts, and the breaker/metrics
+counters.  The invariant checked before any number is reported: every
+reply is rows or a *typed* error -- one raw exception voids the run.
+
+    repro-bench-serve                       # full run at REPRO_BENCH_SF
+    repro-bench-serve --smoke               # CI mode: tiny scale, 1 round
+    repro-bench-serve --clients 8 -r 5      # heavier sustained load
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.bench.harness import bench_scale
+from repro.obs.metrics import REGISTRY
+from repro.resilience.faults import FaultInjector, FaultSpec
+from repro.serve.admission import TenantQuota
+from repro.serve.service import QueryService, ServiceConfig, ServiceResponse
+from repro.serve.workload import mixed_workload
+from repro.session import Session
+from repro.storage import OptimizationLevel
+from repro.tpch.dbgen import generate_database, generate_tables
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def drive(
+    service: QueryService,
+    clients: int,
+    rounds: int,
+    deadline_seconds: float,
+) -> tuple[List[ServiceResponse], float]:
+    """``clients`` threads, each running ``rounds`` of the full workload;
+    returns (responses, wall_seconds)."""
+    lock = threading.Lock()
+    responses: List[ServiceResponse] = []
+
+    def one_client(idx: int) -> None:
+        requests = mixed_workload(
+            rounds, tenant=f"bench-{idx}", deadline_seconds=deadline_seconds
+        )
+        for request in requests:
+            response = service.submit(request)
+            with lock:
+                responses.append(response)
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return responses, time.perf_counter() - started
+
+
+def summarize(responses: Sequence[ServiceResponse], wall: float) -> dict:
+    latencies = sorted(r.elapsed_seconds for r in responses)
+    outcomes: dict = {}
+    degraded = 0
+    for r in responses:
+        if r.ok:
+            outcomes["ok"] = outcomes.get("ok", 0) + 1
+            if r.degraded:
+                degraded += 1
+        else:
+            code = r.code or "E_RUNTIME"
+            if code == "E_RUNTIME":
+                raise AssertionError(
+                    f"raw exception crossed the service boundary: {r.error}"
+                )
+            outcomes[code] = outcomes.get(code, 0) + 1
+    return {
+        "requests": len(responses),
+        "wall_seconds": wall,
+        "qps": len(responses) / wall if wall else 0.0,
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50) * 1e3,
+            "p95": percentile(latencies, 0.95) * 1e3,
+            "p99": percentile(latencies, 0.99) * 1e3,
+            "max": (latencies[-1] if latencies else 0.0) * 1e3,
+        },
+        "outcomes": outcomes,
+        "degraded": degraded,
+    }
+
+
+def bench_serve(
+    scale: float,
+    clients: int,
+    rounds: int,
+    workers: int,
+    deadline_seconds: float,
+    fault_every: int = 3,
+) -> dict:
+    db = generate_database(
+        tables=dict(generate_tables(scale)), level=OptimizationLevel.COMPLIANT
+    )
+    session = Session(db, max_cache_size=256)
+    config = ServiceConfig(
+        workers=workers,
+        max_queue_depth=clients * rounds * 22,  # bench measures latency, not shed
+        default_deadline_seconds=deadline_seconds,
+        default_quota=TenantQuota(),
+        query_scale=scale,
+    )
+    report: dict = {
+        "benchmark": "serve tier: mixed 22-query workload under concurrency",
+        "scale": scale,
+        "clients": clients,
+        "rounds": rounds,
+        "workers": workers,
+        "deadline_seconds": deadline_seconds,
+        "fault_every": fault_every,
+    }
+    with QueryService(session, config) as service:
+        # Warmup: populate the compiled cache once so the baseline measures
+        # the compile-once/execute-many steady state.
+        warm, _ = drive(service, 1, 1, deadline_seconds)
+        report["warmup_ok"] = sum(1 for r in warm if r.ok)
+
+        REGISTRY.reset("serve.")
+        responses, wall = drive(service, clients, rounds, deadline_seconds)
+        report["baseline"] = summarize(responses, wall)
+        report["baseline"]["counters"] = REGISTRY.counters_with_prefix("serve.")
+
+        # Faulted run: cold cache + deterministic compile-site failures.
+        session.clear_cache()
+        REGISTRY.reset("serve.")
+        with FaultInjector(
+            FaultSpec(
+                "codegen", at=frozenset(range(0, 1 << 20, fault_every)), times=None
+            ),
+            FaultSpec(
+                "host-compile",
+                at=frozenset(range(1, 1 << 20, fault_every)),
+                times=None,
+            ),
+        ):
+            responses, wall = drive(service, clients, rounds, deadline_seconds)
+        report["faulted"] = summarize(responses, wall)
+        report["faulted"]["counters"] = REGISTRY.counters_with_prefix("serve.")
+        report["cache"] = session.cache_info()
+        del report["cache"]["statements"]  # keys are long; sizes suffice
+    return report
+
+
+def _print_report(report: dict) -> None:
+    from repro.bench.report import print_table
+
+    rows = []
+    for run in ("baseline", "faulted"):
+        entry = report[run]
+        rows.append(
+            (
+                run,
+                [
+                    entry["qps"],
+                    entry["latency_ms"]["p50"],
+                    entry["latency_ms"]["p95"],
+                    entry["latency_ms"]["p99"],
+                    entry["outcomes"].get("ok", 0),
+                    entry["degraded"],
+                    sum(v for k, v in entry["outcomes"].items() if k != "ok"),
+                ],
+            )
+        )
+    print_table(
+        f"serve: {report['clients']} clients x {report['rounds']} rounds x 22 "
+        f"queries (sf={report['scale']}, {report['workers']} workers)",
+        ["qps", "p50 ms", "p95 ms", "p99 ms", "ok", "degraded", "rejected"],
+        rows,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-bench-serve")
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("-r", "--rounds", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--deadline", type=float, default=30.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny scale, small load, no report file")
+    parser.add_argument("--out", default="BENCH_PR7.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        scale = args.scale if args.scale is not None else 0.002
+        report = bench_serve(scale, clients=3, rounds=1, workers=args.workers,
+                             deadline_seconds=args.deadline)
+    else:
+        scale = args.scale if args.scale is not None else bench_scale()
+        report = bench_serve(scale, args.clients, args.rounds, args.workers,
+                             args.deadline)
+    _print_report(report)
+    if not args.smoke:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ key) are routed through here.
 from __future__ import annotations
 
 import functools
+import threading
 from time import perf_counter as _perf_counter
 from typing import Iterable, Sequence
 
@@ -169,13 +170,28 @@ def first_or_none(seq: Iterable):
 # mid-scan fault injector); with no hooks installed it is a no-op, and with
 # budget checks disabled (the default) it is never even emitted, so the
 # residual source is byte-identical to the unguarded build.
+#
+# The hook stack is *per thread*: a guard armed by one serve-tier request
+# must only see ticks from the residual program running on that request's
+# worker thread -- a global list would let thread A's deadline abort
+# thread B's scan and would double-count everybody's rows into every
+# guard.  Thread-local data survives ``fork`` for the forking thread, so
+# the parallel layer's forked workers (which fork from the thread that
+# armed the hooks) inherit mid-scan fault hooks exactly as before.
 
-_TICK_HOOKS: list = []
+_TICK_LOCAL = threading.local()
+
+
+def _tick_hooks() -> list:
+    hooks = getattr(_TICK_LOCAL, "hooks", None)
+    if hooks is None:
+        hooks = _TICK_LOCAL.hooks = []
+    return hooks
 
 
 def push_tick_hook(hook) -> None:
-    """Install a ``hook(n)`` callable invoked on every ``scan_tick``."""
-    _TICK_HOOKS.append(hook)
+    """Install a ``hook(n)`` invoked on this thread's every ``scan_tick``."""
+    _tick_hooks().append(hook)
 
 
 def pop_tick_hook(hook) -> None:
@@ -184,9 +200,10 @@ def pop_tick_hook(hook) -> None:
     Compared with ``==``, not ``is``: callers pass bound methods, and each
     ``obj.method`` access builds a fresh bound-method object.
     """
-    for i in range(len(_TICK_HOOKS) - 1, -1, -1):
-        if _TICK_HOOKS[i] == hook:
-            del _TICK_HOOKS[i]
+    hooks = _tick_hooks()
+    for i in range(len(hooks) - 1, -1, -1):
+        if hooks[i] == hook:
+            del hooks[i]
             return
 
 
@@ -198,7 +215,7 @@ def scan_tick(n: int = 1) -> None:
     program; the exception propagates out of the generated function to the
     caller, exactly like any other runtime failure.
     """
-    for hook in list(_TICK_HOOKS):
+    for hook in list(_tick_hooks()):
         hook(n)
 
 

@@ -21,8 +21,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-#: Phases an error can be attributed to, in pipeline order.
+#: Phases an error can be attributed to, in pipeline order.  ``admit`` is
+#: the serving tier's front door: a request can be rejected (queue full,
+#: rate limit, open circuit breaker) before any compilation phase runs.
 PHASES = (
+    "admit",
     "catalog",
     "plan",
     "codegen",
@@ -31,6 +34,10 @@ PHASES = (
     "host-compile",
     "execute",
 )
+
+#: Phases that belong to the *compile path* -- the circuit breaker in the
+#: serve tier counts consecutive failures in these phases per plan shape.
+COMPILE_PHASES = frozenset({"codegen", "optimize", "verify", "host-compile"})
 
 #: ``code -> class`` registry, populated by ``__init_subclass__``.
 ERROR_CODES: dict[str, type] = {}
@@ -110,6 +117,73 @@ class InjectedFault(ReproError):
         self.phase = self._SITE_PHASES.get(site, "execute")
 
 
+class ServiceOverloadError(ReproError):
+    """Admission control shed a request: the service queue is full.
+
+    Raised (or returned, serialized) before any work is done on the
+    request; clients should back off and retry.  Carries the queue depth
+    observed at rejection time for operator dashboards.
+    """
+
+    code = "E_ADMIT"
+    phase = "admit"
+
+    def __init__(self, message: str, depth: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.depth = depth
+
+
+class RateLimitError(ReproError):
+    """A token-bucket rate limiter (global or per-tenant) rejected the
+    request.  ``tenant`` is None for the service-wide bucket."""
+
+    code = "E_RATELIMIT"
+    phase = "admit"
+
+    def __init__(self, message: str, tenant: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class CircuitOpenError(ReproError):
+    """The compile-path circuit breaker is open for this plan shape and
+    the request pinned an engine that requires compilation.
+
+    Requests that do *not* pin an engine never see this error: the serve
+    tier falls through to the interpreted engines while the breaker is
+    open.  ``shape`` identifies the plan-shape the breaker tripped on.
+    """
+
+    code = "E_BREAKER"
+    phase = "admit"
+
+    def __init__(self, message: str, shape: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.shape = shape
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """A request ran past its per-request deadline.
+
+    A subclass of :class:`BudgetExceeded` because deadlines are enforced
+    the same cooperative way (the deadline is mapped onto
+    ``Budget.wall_clock_seconds``, so staged ``scan_tick`` checkpoints
+    abort mid-scan); the distinct code lets clients tell "you asked for
+    too little time" from "the operator capped this tenant".
+    """
+
+    code = "E_DEADLINE"
+    phase = "execute"
+
+
+class ServiceProtocolError(ReproError):
+    """A wire request the service front end could not parse (malformed
+    JSON, unknown op, missing statement)."""
+
+    code = "E_PROTOCOL"
+    phase = "admit"
+
+
 def error_code(exc: BaseException) -> str:
     """The taxonomy code of any exception (``E_RUNTIME`` for foreign ones)."""
     if isinstance(exc, ReproError):
@@ -122,3 +196,45 @@ def error_phase(exc: BaseException) -> str:
     if isinstance(exc, ReproError):
         return exc.phase
     return "execute"
+
+
+# -- wire format --------------------------------------------------------------
+#
+# The serve tier ships errors to clients as JSON; these two functions are
+# the round-trip.  ``error_to_dict`` works on *any* exception (foreign ones
+# become E_RUNTIME, exactly like ``error_code``); ``error_from_dict``
+# reconstructs a taxonomy member of the owning class for the code, so a
+# client can ``except DeadlineExceeded`` on an error that crossed a socket.
+
+
+def error_to_dict(exc: BaseException) -> dict:
+    """JSON-ready rendering of any exception: code, phase, message, trail."""
+    return {
+        "code": error_code(exc),
+        "phase": error_phase(exc),
+        "type": type(exc).__name__,
+        "message": str(exc) or type(exc).__name__,
+        "engine_trail": list(getattr(exc, "engine_trail", ()) or ()),
+    }
+
+
+def error_from_dict(doc: dict) -> ReproError:
+    """Rebuild a :class:`ReproError` from its wire form.
+
+    The instance is of the class that owns ``doc["code"]`` (``ReproError``
+    itself for unknown or foreign codes).  Construction bypasses subclass
+    ``__init__`` -- wire payloads don't carry constructor arguments like a
+    fault site or partial stats -- but code, phase, message and trail all
+    survive the round trip.
+    """
+    cls = ERROR_CODES.get(doc.get("code", ""), ReproError)
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, doc.get("message", ""))
+    code = doc.get("code")
+    if isinstance(code, str) and code:
+        exc.code = code  # preserves E_RUNTIME and other class-less codes
+    phase = doc.get("phase")
+    if phase in PHASES:
+        exc.phase = phase
+    exc.engine_trail = tuple(doc.get("engine_trail", ()) or ())
+    return exc

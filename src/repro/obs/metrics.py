@@ -59,6 +59,15 @@ class MetricsRegistry:
                 if value > h["max"]:
                     h["max"] = value
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """A detached copy of every counter whose name starts with ``prefix``."""
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def get_counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)

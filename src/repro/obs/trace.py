@@ -16,6 +16,7 @@ it without cycles.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -77,15 +78,28 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
-# Module-level trace state: one active trace per process (queries are
-# traced one at a time from the session; parallel workers are separate
-# processes with their own module state).
-_ACTIVE: Optional["Trace"] = None
-_STACK: List[Span] = []
+# Trace state is *per thread*: the serve tier runs one request per worker
+# thread, each under its own :class:`Trace`, and spans opened on one
+# thread must never attach to another request's tree.  Thread-local data
+# survives ``fork`` for the forking thread, so the parallel layer's
+# forked workers still inherit the (usually absent) trace state exactly
+# as they did when this was a plain module global.
+_STATE = threading.local()
+
+
+def _active() -> Optional["Trace"]:
+    return getattr(_STATE, "active", None)
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_STATE, "stack", None)
+    if stack is None:
+        stack = _STATE.stack = []
+    return stack
 
 
 def active_trace() -> Optional["Trace"]:
-    return _ACTIVE
+    return _active()
 
 
 @contextmanager
@@ -95,18 +109,19 @@ def span(name: str, **meta) -> Iterator[object]:
     Yields the :class:`Span` when a trace is active, else a falsy
     no-op -- guard any expensive annotation work with ``if sp:``.
     """
-    if _ACTIVE is None:
+    if _active() is None:
         yield _NULL_SPAN
         return
     sp = Span(name=name, start=time.perf_counter(), meta=dict(meta))
-    parent = _STACK[-1]
+    stack = _stack()
+    parent = stack[-1]
     parent.children.append(sp)
-    _STACK.append(sp)
+    stack.append(sp)
     try:
         yield sp
     finally:
         sp.end = time.perf_counter()
-        _STACK.pop()
+        stack.pop()
 
 
 class Trace:
@@ -126,23 +141,22 @@ class Trace:
         self._previous: Optional[Trace] = None
 
     def __enter__(self) -> "Trace":
-        global _ACTIVE
-        self._previous = _ACTIVE
+        self._previous = _active()
         self.root.start = time.perf_counter()
-        _ACTIVE = self
-        _STACK.append(self.root)
+        _STATE.active = self
+        _stack().append(self.root)
         return self
 
     def __exit__(self, *exc) -> None:
-        global _ACTIVE
         self.root.end = time.perf_counter()
         # Pop back to (and including) our root: a span leaked open by an
         # exception inside the block must not outlive the trace.
-        while _STACK:
-            top = _STACK.pop()
+        stack = _stack()
+        while stack:
+            top = stack.pop()
             if top is self.root:
                 break
-        _ACTIVE = self._previous
+        _STATE.active = self._previous
         self._previous = None
 
     def to_dict(self) -> dict:

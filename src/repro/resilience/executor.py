@@ -123,6 +123,7 @@ class ResilientExecutor:
         policy: Optional[FallbackPolicy] = None,
         budget: Optional[Budget] = None,
         engines: Sequence[str] = ENGINE_CHAIN,
+        cache_guarded_compiles: bool = False,
     ) -> None:
         unknown = [e for e in engines if e not in FULL_CHAIN]
         if unknown:
@@ -133,6 +134,12 @@ class ResilientExecutor:
         self.policy = policy or DEFAULT_POLICY
         self.budget = budget
         self.engines = tuple(engines)
+        # The serving tier sets this: budget-checked builds go through the
+        # session cache (keyed by their own config) instead of compiling
+        # fresh per request, so deadlines don't forfeit compile-once
+        # economics.  Off by default: one-shot guarded runs (tests, ad-hoc
+        # scripts) should not populate the cache with guarded variants.
+        self.cache_guarded_compiles = cache_guarded_compiles
 
     # -- public surface -----------------------------------------------------
 
@@ -142,14 +149,21 @@ class ResilientExecutor:
         plan = self.session.plan(sql)
         return self._execute(plan, sql=sql)
 
-    def execute_plan(self, plan) -> ResilientResult:
-        """Execute a hand-built physical plan with fallback."""
+    def execute_plan(self, plan, cache_key: Optional[str] = None) -> ResilientResult:
+        """Execute a hand-built physical plan with fallback.
+
+        With ``cache_key`` set, the compiled engine caches the build under
+        that key via :meth:`Session.prepare_plan` (compile-once semantics
+        for plan-level callers); without it, every call compiles fresh.
+        """
         plan.validate(self.session.db.catalog)
-        return self._execute(plan, sql=None)
+        return self._execute(plan, sql=None, cache_key=cache_key)
 
     # -- the chain ----------------------------------------------------------
 
-    def _execute(self, plan, sql: Optional[str]) -> ResilientResult:
+    def _execute(
+        self, plan, sql: Optional[str], cache_key: Optional[str] = None
+    ) -> ResilientResult:
         report = ExecutionReport(budget=self.budget)
         guard = BudgetGuard(self.budget) if self._budget_active() else None
         last_error: Optional[BaseException] = None
@@ -158,7 +172,7 @@ class ResilientExecutor:
             ok = False
             with span("attempt", engine=engine) as sp:
                 try:
-                    rows = self._run_engine(engine, plan, sql, guard)
+                    rows = self._run_engine(engine, plan, sql, guard, cache_key)
                     ok = True
                 except BaseException as exc:  # noqa: BLE001 - the policy decides
                     report.attempts.append(
@@ -175,10 +189,10 @@ class ResilientExecutor:
                     REGISTRY.counter(f"engine.failed.{engine}")
                     if sp:
                         sp.meta["error"] = error_code(exc) or type(exc).__name__
-                    if sql is not None and engine == "compiled":
+                    if engine == "compiled":
                         # Auto-invalidate: never serve a cached compiled query
                         # that just failed (stale plan, codegen bug...).
-                        self.session.forget(sql)
+                        self._forget_compiled(sql, cache_key)
                     if not self.policy.should_degrade(exc):
                         self._attach(exc, report, guard)
                         raise
@@ -242,30 +256,62 @@ class ResilientExecutor:
         plan,
         sql: Optional[str],
         guard: Optional[BudgetGuard],
+        cache_key: Optional[str] = None,
     ) -> list[tuple]:
         if engine == "compiled":
-            return self._run_compiled(plan, sql, guard)
+            return self._run_compiled(plan, sql, guard, cache_key)
         if engine == "vector":
             return self._run_vector(plan, guard)
         if engine == "push":
             return self._run_push(plan, guard)
         return self._run_volcano(plan, guard)
 
+    def _guarded_config(self):
+        from repro.compiler.lb2 import Config
+
+        base = self.session.config or Config()
+        return replace(base, budget_checks=True)
+
+    def _forget_compiled(self, sql: Optional[str], cache_key: Optional[str]) -> None:
+        """Evict whatever cache entries the failed compiled attempt used."""
+        session = self.session
+        configs = [None]
+        if self.cache_guarded_compiles:
+            configs.append(self._guarded_config())
+        for config in configs:
+            if sql is not None:
+                session.forget(sql, config=config)
+            if cache_key is not None:
+                session.forget_plan(cache_key, config=config)
+
     def _run_compiled(
-        self, plan, sql: Optional[str], guard: Optional[BudgetGuard]
+        self,
+        plan,
+        sql: Optional[str],
+        guard: Optional[BudgetGuard],
+        cache_key: Optional[str] = None,
     ) -> list[tuple]:
         from repro.compiler.driver import LB2Compiler
-        from repro.compiler.lb2 import Config
 
         session = self.session
         if self._needs_ticks():
-            # Guarded build: compiled fresh (never cached) with cooperative
-            # checkpoints in the scan loops.
-            base = session.config or Config()
-            config = replace(base, budget_checks=True)
-            compiled = LB2Compiler(session.db.catalog, session.db, config).compile(plan)
+            # Guarded build: cooperative checkpoints in the scan loops.
+            # Cached only when the owner opted in (the serving tier, where
+            # every request carries a deadline and fresh-compile-per-request
+            # would forfeit the compile-once economics); otherwise fresh.
+            config = self._guarded_config()
+            if self.cache_guarded_compiles and sql is not None:
+                compiled = session.prepare(sql, config=config)
+            elif self.cache_guarded_compiles and cache_key is not None:
+                compiled = session.prepare_plan(plan, cache_key, config=config)
+            else:
+                compiled = LB2Compiler(
+                    session.db.catalog, session.db, config
+                ).compile(plan)
         elif sql is not None:
             compiled = session.prepare(sql)
+        elif cache_key is not None:
+            compiled = session.prepare_plan(plan, cache_key)
         else:
             compiled = LB2Compiler(
                 session.db.catalog, session.db, session.config

@@ -24,6 +24,7 @@ fault point is one global read and a truth test.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -37,14 +38,16 @@ FAULT_SITES = ("codegen", "verify", "host-compile", "worker-run", "mid-scan")
 class FaultSpec:
     """Arm one site: fail invocations whose 0-based ordinal is in ``at``.
 
-    ``key`` (when not None) additionally restricts the spec to fault-point
-    calls made with a matching ``key=`` argument -- e.g. one parallel
-    worker's index.  ``times`` bounds how many faults the spec raises in
-    total (None = unlimited).
+    ``at=None`` matches *every* ordinal (sustained failure -- the serve
+    smoke uses this to hold a circuit breaker open).  ``key`` (when not
+    None) additionally restricts the spec to fault-point calls made with a
+    matching ``key=`` argument -- e.g. one parallel worker's index.
+    ``times`` bounds how many faults the spec raises in total
+    (None = unlimited).
     """
 
     site: str
-    at: frozenset[int] = frozenset({0})
+    at: Optional[frozenset[int]] = frozenset({0})
     key: Optional[object] = None
     times: Optional[int] = 1
 
@@ -53,7 +56,8 @@ class FaultSpec:
             raise ValueError(
                 f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}"
             )
-        self.at = frozenset(self.at)
+        if self.at is not None:
+            self.at = frozenset(self.at)
 
 
 class FaultInjector:
@@ -69,9 +73,15 @@ class FaultInjector:
         self.specs = list(specs)
         self.counters: dict[tuple, int] = {}
         self.fired: list[tuple[str, int]] = []  # (site, ordinal) log
+        # One lock serializes ordinal assignment, spec matching and the
+        # ``times`` decrement: two threads arriving at the same site must
+        # each draw a distinct ordinal, and a spec with ``times=1`` must
+        # fire exactly once no matter how the arrivals interleave.
+        self._lock = threading.Lock()
 
     def arm(self, spec: FaultSpec) -> "FaultInjector":
-        self.specs.append(spec)
+        with self._lock:
+            self.specs.append(spec)
         return self
 
     def hit(self, site: str, key: Optional[object]) -> Optional[InjectedFault]:
@@ -79,25 +89,28 @@ class FaultInjector:
 
         Ordinals count per ``(site, key)`` pair, not per site: a pool
         process that runs several workers' partials must still see each
-        worker's own first call as ordinal 0.
+        worker's own first call as ordinal 0.  Thread-safe: concurrent
+        arrivals draw distinct ordinals and never double-fire a bounded
+        spec.
         """
-        ordinal = self.counters.get((site, key), 0)
-        self.counters[(site, key)] = ordinal + 1
-        for spec in self.specs:
-            if spec.site != site:
-                continue
-            if spec.key is not None and spec.key != key:
-                continue
-            if ordinal not in spec.at:
-                continue
-            if spec.times is not None and spec.times <= 0:
-                continue
-            if spec.times is not None:
-                spec.times -= 1
-            self.fired.append((site, ordinal))
-            REGISTRY.counter("faults.injected")
-            REGISTRY.counter(f"faults.injected.{site}")
-            return InjectedFault(site, detail=f"ordinal={ordinal} key={key!r}")
+        with self._lock:
+            ordinal = self.counters.get((site, key), 0)
+            self.counters[(site, key)] = ordinal + 1
+            for spec in self.specs:
+                if spec.site != site:
+                    continue
+                if spec.key is not None and spec.key != key:
+                    continue
+                if spec.at is not None and ordinal not in spec.at:
+                    continue
+                if spec.times is not None and spec.times <= 0:
+                    continue
+                if spec.times is not None:
+                    spec.times -= 1
+                self.fired.append((site, ordinal))
+                REGISTRY.counter("faults.injected")
+                REGISTRY.counter(f"faults.injected.{site}")
+                return InjectedFault(site, detail=f"ordinal={ordinal} key={key!r}")
         return None
 
     # -- activation ---------------------------------------------------------

@@ -1,0 +1,46 @@
+"""The serving tier: concurrent SQL over a thread-safe Session.
+
+Public surface:
+
+* :class:`QueryService` / :class:`ServiceConfig` -- the admission-controlled
+  executor (:mod:`repro.serve.service`);
+* :class:`ServiceRequest` / :class:`ServiceResponse` -- the request model;
+* :class:`QueryServer` / :class:`ServiceClient` -- the line-oriented JSON
+  TCP front end and its blocking client;
+* :class:`TenantQuota` -- per-tenant limits (rate, concurrency, row budget);
+* :class:`CircuitBreaker` -- the compile-path breaker (exported for tests
+  and dashboards; the service owns one internally).
+
+The typed rejections (``E_ADMIT``, ``E_RATELIMIT``, ``E_BREAKER``,
+``E_DEADLINE``, ``E_PROTOCOL``) live in :mod:`repro.errors` with the rest
+of the taxonomy.
+"""
+
+from repro.serve.admission import AdmissionGate, TenantQuota, TokenBucket
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ServiceClient, raise_for_error
+from repro.serve.server import QueryServer, wait_for_port
+from repro.serve.service import (
+    QueryService,
+    ServiceConfig,
+    ServiceRequest,
+    ServiceResponse,
+)
+from repro.serve.workload import mixed_workload, request_for
+
+__all__ = [
+    "AdmissionGate",
+    "CircuitBreaker",
+    "QueryServer",
+    "QueryService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "TenantQuota",
+    "TokenBucket",
+    "mixed_workload",
+    "raise_for_error",
+    "request_for",
+    "wait_for_port",
+]

@@ -1,0 +1,282 @@
+"""``repro-serve``: run the query service, or smoke-test it end to end.
+
+Serve mode (the default) generates a TPC-H database and listens until
+interrupted::
+
+    repro-serve --port 7433 --scale 0.01 --workers 8
+
+Smoke mode is the CI job: it starts the full stack (database, session,
+service, TCP server) in one process, drives the mixed 22-query workload
+over real sockets from concurrent clients -- optionally with fault
+injection at the codegen and host-compile sites -- and asserts the
+serving-tier invariants:
+
+* every reply is rows or a *typed* error (an ``E_*`` taxonomy code;
+  ``E_RUNTIME`` would mean a raw exception leaked);
+* under compile faults, affected requests degrade to the interpreters
+  (answers stay correct) instead of failing;
+* the compile-path circuit breaker opens under sustained compile failure
+  and closes again after a successful half-open probe;
+* the server shuts down cleanly via the in-band ``shutdown`` op.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from repro.obs.metrics import REGISTRY
+from repro.serve.admission import TenantQuota
+from repro.serve.client import ServiceClient
+from repro.serve.server import QueryServer
+from repro.serve.service import QueryService, ServiceConfig
+from repro.serve.workload import wire_workload
+from repro.session import Session
+from repro.storage import OptimizationLevel
+from repro.tpch.dbgen import generate_database, generate_tables
+
+
+def build_service(args: argparse.Namespace) -> QueryService:
+    db = generate_database(
+        tables=dict(generate_tables(args.scale)),
+        level=OptimizationLevel.COMPLIANT,
+    )
+    session = Session(db, max_cache_size=args.cache_size)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        default_deadline_seconds=args.deadline,
+        rate_limit=args.rate,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        default_quota=TenantQuota(max_rows=args.max_rows),
+        query_scale=args.scale,
+        trace_requests=args.trace,
+    )
+    return QueryService(session, config)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    service = build_service(args)
+    server = QueryServer(service, host=args.host, port=args.port).start()
+    host, port = server.address
+    print(f"repro-serve listening on {host}:{port} "
+          f"(scale={args.scale}, workers={args.workers})", file=sys.stderr)
+    try:
+        while not server._shutdown_started.wait(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("interrupt: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+# -- smoke mode ---------------------------------------------------------------
+
+
+class _SmokeFailure(Exception):
+    pass
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise _SmokeFailure(message)
+
+
+def _drive_clients(
+    host: str, port: int, clients: int, rounds: int, replies: List[dict]
+) -> None:
+    """``clients`` threads, each its own socket, each the full workload."""
+    lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def one_client(idx: int) -> None:
+        try:
+            with ServiceClient(host, port) as client:
+                for doc in wire_workload(rounds, tenant=f"smoke-{idx}"):
+                    reply = client.request(doc)
+                    with lock:
+                        replies.append(reply)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    _check(not any(t.is_alive() for t in threads), "client thread hung")
+    _check(not errors, f"client transport errors: {errors[:3]}")
+
+
+def _assert_all_typed(replies: Sequence[dict]) -> dict:
+    """Every reply is rows or a typed error; returns outcome counts."""
+    outcomes: dict = {"ok": 0, "degraded": 0}
+    for reply in replies:
+        if reply.get("ok"):
+            outcomes["ok"] += 1
+            if reply.get("degraded"):
+                outcomes["degraded"] += 1
+            continue
+        err = reply.get("error") or {}
+        code = err.get("code", "")
+        _check(
+            isinstance(code, str) and code.startswith("E_"),
+            f"untyped error leaked: {reply}",
+        )
+        _check(
+            code != "E_RUNTIME",
+            f"raw exception crossed the service boundary: {reply}",
+        )
+        outcomes[code] = outcomes.get(code, 0) + 1
+    return outcomes
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import FaultInjector, FaultSpec
+
+    t0 = time.monotonic()
+    service = build_service(args)
+    server = QueryServer(service, host=args.host, port=args.port).start()
+    host, port = server.address
+    print(f"smoke: service on {host}:{port} scale={args.scale}", file=sys.stderr)
+    try:
+        # Phase 1: clean concurrent workload over real sockets.
+        replies: List[dict] = []
+        _drive_clients(host, port, args.clients, args.rounds, replies)
+        expected = args.clients * args.rounds * 22
+        _check(len(replies) == expected, f"lost replies: {len(replies)}/{expected}")
+        outcomes = _assert_all_typed(replies)
+        _check(outcomes["ok"] == expected, f"clean run had failures: {outcomes}")
+        print(f"smoke: baseline {outcomes}", file=sys.stderr)
+
+        if args.faults:
+            shape_probe(host, port, service, args)
+            # Sustained mixed workload with compile faults firing.  The
+            # compiled-query cache is cleared first: cached shapes never
+            # recompile, and a fault site nothing visits proves nothing.
+            service.session.clear_cache()
+            every = 3
+            with FaultInjector(
+                FaultSpec("codegen", at=frozenset(range(0, 4096, every)), times=None),
+                FaultSpec(
+                    "host-compile", at=frozenset(range(1, 4096, every)), times=None
+                ),
+            ):
+                faulted: List[dict] = []
+                _drive_clients(host, port, args.clients, args.rounds, faulted)
+            outcomes = _assert_all_typed(faulted)
+            _check(
+                outcomes["ok"] == len(faulted),
+                f"faulted run surfaced failures instead of degrading: {outcomes}",
+            )
+            _check(
+                outcomes["degraded"] > 0,
+                "fault injection fired but nothing degraded",
+            )
+            print(f"smoke: faulted {outcomes}", file=sys.stderr)
+
+        # Clean shutdown through the wire.
+        with ServiceClient(host, port) as client:
+            _check(client.ping(), "ping failed")
+            _check(client.shutdown(), "shutdown op not acknowledged")
+        deadline = time.monotonic() + 10.0
+        while not server._shutdown_started.is_set():
+            _check(time.monotonic() < deadline, "server did not begin shutdown")
+            time.sleep(0.05)
+        server.close()  # idempotent; waits for the accept thread
+        print(
+            f"smoke: ok in {time.monotonic() - t0:.1f}s "
+            f"(faults={'on' if args.faults else 'off'})",
+            file=sys.stderr,
+        )
+        return 0
+    except _SmokeFailure as exc:
+        print(f"smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        server.close()
+
+
+def shape_probe(
+    host: str, port: int, service: QueryService, args: argparse.Namespace
+) -> None:
+    """Open the breaker on one shape under sustained compile faults, then
+    watch it recover through a half-open probe."""
+    from repro.resilience.faults import FaultInjector, FaultSpec
+    from repro.tpch.sql_queries import SQL_QUERIES
+
+    sql = SQL_QUERIES[6]
+    shape = "sql:" + " ".join(sql.split())
+    service.session.clear_cache()  # force every request through the compiler
+    opened_before = REGISTRY.get_counter("serve.breaker.opened")
+    with FaultInjector(FaultSpec("codegen", at=None, times=None)):
+        with ServiceClient(host, port) as client:
+            for _ in range(args.breaker_threshold + 2):
+                reply = client.sql(sql, tenant="breaker-smoke")
+                _check(reply.get("ok", False), f"degradation failed: {reply}")
+    _check(
+        service.breaker.state(shape) == "open",
+        f"breaker did not open (state={service.breaker.state(shape)})",
+    )
+    _check(
+        REGISTRY.get_counter("serve.breaker.opened") > opened_before,
+        "serve.breaker.opened did not advance",
+    )
+    time.sleep(args.breaker_cooldown * 1.1)  # let the cooldown lapse
+    with ServiceClient(host, port) as client:
+        reply = client.sql(sql, tenant="breaker-smoke")
+        _check(reply.get("ok", False), f"probe request failed: {reply}")
+    _check(
+        service.breaker.state(shape) == "closed",
+        f"breaker did not recover (state={service.breaker.state(shape)})",
+    )
+    print("smoke: breaker opened and recovered", file=sys.stderr)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    parser.add_argument("--scale", type=float, default=0.005)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=16)
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        help="default per-request deadline (seconds)")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="global rate limit (requests/second)")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="default per-request scanned-row budget")
+    parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--breaker-threshold", type=int, default=3)
+    parser.add_argument("--breaker-cooldown", type=float, default=0.3)
+    parser.add_argument("--trace", action="store_true",
+                        help="attach a per-request trace to every response")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the self-contained CI smoke and exit")
+    parser.add_argument("--faults", action="store_true",
+                        help="smoke: also run with compile-site fault injection")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="smoke: concurrent client connections")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="smoke: workload rounds per client")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return cmd_smoke(args)
+    return cmd_serve(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

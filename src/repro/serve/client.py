@@ -1,0 +1,96 @@
+"""A minimal blocking client for the line-oriented JSON protocol.
+
+One socket, one request in flight at a time (a lock serializes callers);
+for concurrent load, open one :class:`ServiceClient` per client thread --
+that is what the bench harness and the CI smoke do, and it mirrors how a
+connection pool would use the service.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Optional
+
+from repro.errors import ReproError, error_from_dict
+
+
+class ServiceClient:
+    """Blocking JSONL client; context-manager closes the socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def request(self, doc: dict) -> dict:
+        """Send one JSON object, read one JSON reply."""
+        payload = json.dumps(doc).encode("utf-8") + b"\n"
+        with self._lock:
+            self._sock.sendall(payload)
+            line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- conveniences -------------------------------------------------------
+
+    def sql(
+        self,
+        sql: str,
+        tenant: str = "default",
+        deadline_seconds: Optional[float] = None,
+        **extra,
+    ) -> dict:
+        doc = {"sql": sql, "tenant": tenant, **extra}
+        if deadline_seconds is not None:
+            doc["deadline_seconds"] = deadline_seconds
+        return self.request(doc)
+
+    def tpch(
+        self,
+        number: int,
+        tenant: str = "default",
+        deadline_seconds: Optional[float] = None,
+        **extra,
+    ) -> dict:
+        doc = {"tpch": number, "tenant": tenant, **extra}
+        if deadline_seconds is not None:
+            doc["deadline_seconds"] = deadline_seconds
+        return self.request(doc)
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> bool:
+        return bool(self.request({"op": "shutdown"}).get("bye"))
+
+
+def raise_for_error(reply: dict) -> dict:
+    """Turn an error reply back into its taxonomy exception; pass-through
+    for successful replies (client-side ``except DeadlineExceeded:``)."""
+    if reply.get("ok"):
+        return reply
+    err = reply.get("error") or {}
+    exc = error_from_dict(err)
+    if not isinstance(exc, ReproError):  # pragma: no cover - defensive
+        exc = ReproError(err.get("message", "unknown service error"))
+    raise exc

@@ -1,0 +1,181 @@
+"""A line-oriented TCP front end over :class:`QueryService`.
+
+The wire protocol is newline-delimited JSON (one request object per line,
+one response object per line, UTF-8).  Query requests carry ``sql`` or
+``tpch`` plus optional ``tenant`` / ``deadline_seconds`` / ``engine`` /
+``id``; three admin ops ride the same framing::
+
+    {"op": "ping"}                  -> {"ok": true, "pong": true}
+    {"op": "stats"}                 -> {"ok": true, "stats": {...}}
+    {"op": "shutdown"}              -> {"ok": true, "bye": true} and the
+                                       server stops accepting connections
+
+Every connection gets its own handler thread (``ThreadingTCPServer``);
+actual query concurrency is bounded by the service's admission gate and
+worker pool, not by the socket layer.  Malformed lines produce a typed
+``E_PROTOCOL`` error response; nothing a client sends can surface a raw
+traceback over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.errors import ServiceProtocolError, error_to_dict
+from repro.obs.metrics import REGISTRY
+from repro.serve.service import QueryService
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "QueryServer" = self.server.owner  # type: ignore[attr-defined]
+        REGISTRY.counter("serve.connections")
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                reply = server.handle_line(line.decode("utf-8", "replace"))
+            except _ShutdownRequested:
+                self._send({"ok": True, "bye": True})
+                server.begin_shutdown()
+                return
+            self._send(reply)
+
+    def _send(self, doc: dict) -> None:
+        try:
+            self.wfile.write(json.dumps(doc).encode("utf-8") + b"\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+
+class _ShutdownRequested(Exception):
+    pass
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class QueryServer:
+    """Owns the listening socket and the service it fronts.
+
+    ``port=0`` binds an ephemeral port (tests, CI); the bound address is
+    available as :attr:`address` after construction.  ``start`` runs the
+    accept loop on a daemon thread; ``close`` stops it and (by default)
+    shuts the service's worker pool down with it.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        own_service: bool = True,
+    ) -> None:
+        self.service = service
+        self.own_service = own_service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_started = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def start(self) -> "QueryServer":
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def begin_shutdown(self) -> None:
+        """Asynchronous close (used by the in-band shutdown op): stop the
+        accept loop from a fresh thread so the handler can still flush."""
+        if self._shutdown_started.is_set():
+            return
+        threading.Thread(target=self.close, name="repro-serve-stop", daemon=True).start()
+
+    def close(self) -> None:
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self.own_service:
+            self.service.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request dispatch ---------------------------------------------------
+
+    def handle_line(self, line: str) -> dict:
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            REGISTRY.counter("serve.errors.E_PROTOCOL")
+            return {
+                "ok": False,
+                "error": error_to_dict(
+                    ServiceProtocolError(f"malformed JSON request: {exc}")
+                ),
+            }
+        if not isinstance(doc, dict):
+            REGISTRY.counter("serve.errors.E_PROTOCOL")
+            return {
+                "ok": False,
+                "error": error_to_dict(
+                    ServiceProtocolError("request must be a JSON object")
+                ),
+            }
+        op = doc.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True, "id": doc.get("id")}
+        if op == "stats":
+            return {"ok": True, "stats": self.service.stats(), "id": doc.get("id")}
+        if op == "shutdown":
+            raise _ShutdownRequested()
+        if op is not None:
+            REGISTRY.counter("serve.errors.E_PROTOCOL")
+            return {
+                "ok": False,
+                "id": doc.get("id"),
+                "error": error_to_dict(
+                    ServiceProtocolError(f"unknown op {op!r}")
+                ),
+            }
+        return self.service.submit_dict(doc)
+
+
+def wait_for_port(host: str, port: int, timeout: float = 5.0) -> bool:
+    """Poll until a TCP connect succeeds (service startup helper)."""
+    import time
+
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        try:
+            with socket.create_connection((host, port), timeout=0.2):
+                return True
+        except OSError:
+            time.sleep(0.02)
+    return False

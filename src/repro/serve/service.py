@@ -1,0 +1,471 @@
+"""The query service: concurrent SQL over one thread-safe Session.
+
+:class:`QueryService` is the long-lived object a front end (TCP server,
+bench harness, test) submits :class:`ServiceRequest`\\ s to.  Each request
+flows through, in order:
+
+1. **admission** on the caller's thread -- global token bucket, tenant
+   token bucket + concurrency quota, bounded in-flight gate; every
+   rejection is an immediate typed error (``E_RATELIMIT`` / ``E_ADMIT``),
+   never an unbounded queue;
+2. **execution** on a worker thread -- the request's deadline becomes
+   ``Budget.wall_clock_seconds`` (plus the tenant's ``max_rows``), so the
+   staged ``scan_tick`` checkpoints abort a runaway scan cooperatively
+   mid-flight; the compile-path circuit breaker decides whether the
+   compiled engines may be attempted for this plan shape; the
+   :class:`~repro.resilience.executor.ResilientExecutor` walks whatever
+   chain remains;
+3. **response** -- rows or a typed error, plus the engine that answered,
+   the degradation trail, and timing.  A request never surfaces a raw
+   exception and never outlives its deadline by more than one checkpoint
+   interval plus a small grace.
+
+Compile-once/execute-many economics survive deadlines: the executor is
+built with ``cache_guarded_compiles=True``, so budget-checked builds are
+cached in the session (single-flight: N concurrent misses on one shape
+compile once).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import (
+    COMPILE_PHASES,
+    BudgetExceeded,
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    error_to_dict,
+)
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Trace, span
+from repro.resilience.budget import Budget
+from repro.resilience.executor import ENGINE_CHAIN, FULL_CHAIN, ResilientExecutor
+from repro.serve.admission import AdmissionGate, TenantQuota, TenantRegistry, TokenBucket
+from repro.serve.breaker import OPEN, PROBE, CircuitBreaker
+from repro.session import Session
+
+#: Engines that go through the compiler (and therefore the breaker).
+COMPILED_ENGINES = frozenset({"compiled", "vector"})
+
+#: Interpreted engines the service degrades to while a breaker is open.
+INTERPRETED_CHAIN = ("push", "volcano")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for one :class:`QueryService` instance."""
+
+    workers: int = 4
+    max_queue_depth: int = 16  # waiting requests beyond the workers
+    default_deadline_seconds: float = 10.0
+    deadline_grace_seconds: float = 0.5  # client-side wait past deadline
+    rate_limit: Optional[float] = None  # service-wide requests/second
+    rate_burst: int = 32
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 1.0
+    engines: Tuple[str, ...] = ENGINE_CHAIN
+    tenants: Optional[Dict[str, TenantQuota]] = None
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    query_scale: float = 1.0  # scale passed to TPC-H plan builders
+    trace_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        unknown = [e for e in self.engines if e not in FULL_CHAIN]
+        if unknown:
+            raise ValueError(f"unknown engines {unknown}; pick from {FULL_CHAIN}")
+
+
+@dataclass
+class ServiceRequest:
+    """One query: SQL text or a TPC-H plan number, plus client context."""
+
+    sql: Optional[str] = None
+    tpch: Optional[int] = None
+    tenant: str = "default"
+    deadline_seconds: Optional[float] = None
+    engine: Optional[str] = None  # pin one engine (testing/diagnostics)
+    id: Optional[object] = None
+
+    def shape(self) -> str:
+        """The plan-shape key the breaker and compiled cache share."""
+        if self.sql is not None:
+            return "sql:" + " ".join(self.sql.split())
+        return f"tpch:{self.tpch}"
+
+
+@dataclass
+class ServiceResponse:
+    """Rows or a typed error; never a raw exception."""
+
+    id: Optional[object] = None
+    ok: bool = False
+    rows: Optional[list] = None
+    error: Optional[dict] = None  # repro.errors.error_to_dict form
+    engine: Optional[str] = None
+    engine_trail: Tuple[str, ...] = ()
+    degraded: bool = False
+    breaker: Optional[str] = None  # breaker decision for this shape
+    tenant: str = "default"
+    elapsed_seconds: float = 0.0
+    trace: Optional[dict] = None
+
+    @property
+    def code(self) -> Optional[str]:
+        return self.error.get("code") if self.error else None
+
+    def to_dict(self) -> dict:
+        doc = {
+            "id": self.id,
+            "ok": self.ok,
+            "tenant": self.tenant,
+            "elapsed_ms": round(self.elapsed_seconds * 1e3, 3),
+        }
+        if self.ok:
+            doc["rows"] = [list(r) for r in self.rows or []]
+            doc["engine"] = self.engine
+            doc["degraded"] = self.degraded
+            doc["engine_trail"] = list(self.engine_trail)
+        else:
+            doc["error"] = self.error
+        if self.breaker is not None:
+            doc["breaker"] = self.breaker
+        if self.trace is not None:
+            doc["trace"] = self.trace
+        return doc
+
+
+class QueryService:
+    """Admission-controlled concurrent query execution over a Session."""
+
+    def __init__(self, session: Session, config: Optional[ServiceConfig] = None) -> None:
+        self.session = session
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self._gate = AdmissionGate(cfg.workers + cfg.max_queue_depth)
+        self._bucket = (
+            TokenBucket(cfg.rate_limit, cfg.rate_burst) if cfg.rate_limit else None
+        )
+        self._tenants = TenantRegistry(cfg.tenants, cfg.default_quota)
+        self.breaker = CircuitBreaker(
+            cfg.breaker_threshold, cfg.breaker_cooldown_seconds
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=cfg.workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the front door -----------------------------------------------------
+
+    def submit(self, request: ServiceRequest) -> ServiceResponse:
+        """Admit, execute, respond.  Blocks the calling thread until the
+        response is ready or the deadline (plus grace) has passed."""
+        started = time.monotonic()
+        REGISTRY.counter("serve.requests")
+        REGISTRY.counter(f"serve.tenant.{request.tenant}.requests")
+        try:
+            self._validate(request)
+            deadline = started + self._deadline_for(request)
+            self._admit(request)  # raises typed rejections; no gate held
+        except ReproError as exc:
+            return self._reject(request, exc, started)
+        # Admitted: the gate slot is held until the worker finishes (or the
+        # client gives up waiting -- the slot follows the *work*, which is
+        # what protects the pool, not the waiting client).
+        tenant_state = self._tenants.state(request.tenant)
+        try:
+            future = self._pool.submit(self._run, request, tenant_state, deadline)
+        except RuntimeError as exc:  # pool already shut down
+            self._gate.leave()
+            tenant_state.release()
+            return self._reject(
+                request, ReproError(f"service unavailable: {exc}"), started
+            )
+        future.add_done_callback(
+            lambda _f: (self._gate.leave(), tenant_state.release())
+        )
+        grace = self.config.deadline_grace_seconds
+        timeout = max(0.0, deadline - time.monotonic()) + grace
+        try:
+            response = future.result(timeout=timeout)
+        except FutureTimeout:
+            # The worker overran its cooperative checkpoints; answer the
+            # client now with a fresh response object (the worker still owns
+            # its own), and let the worker die at its next tick.
+            REGISTRY.counter("serve.deadline.overrun")
+            exc = DeadlineExceeded(
+                f"deadline exceeded: no result within "
+                f"{self._deadline_for(request):.3f}s (+{grace:.3f}s grace)"
+            )
+            return self._reject(request, exc, started)
+        except BaseException as exc:  # pragma: no cover - defensive
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return self._reject(request, exc, started)
+        response.elapsed_seconds = time.monotonic() - started
+        self._account(response)
+        return response
+
+    def submit_dict(self, doc: dict) -> dict:
+        """Dict-in/dict-out convenience for wire front ends."""
+        request = ServiceRequest(
+            sql=doc.get("sql"),
+            tpch=doc.get("tpch"),
+            tenant=str(doc.get("tenant", "default")),
+            deadline_seconds=doc.get("deadline_seconds"),
+            engine=doc.get("engine"),
+            id=doc.get("id"),
+        )
+        return self.submit(request).to_dict()
+
+    # -- admission ----------------------------------------------------------
+
+    def _validate(self, request: ServiceRequest) -> None:
+        if self._closed:
+            raise ReproError("service is shut down")
+        if (request.sql is None) == (request.tpch is None):
+            from repro.errors import ServiceProtocolError
+
+            raise ServiceProtocolError(
+                "request must carry exactly one of 'sql' or 'tpch'"
+            )
+        if request.engine is not None and request.engine not in FULL_CHAIN:
+            from repro.errors import ServiceProtocolError
+
+            raise ServiceProtocolError(
+                f"unknown engine {request.engine!r}; pick from {FULL_CHAIN}"
+            )
+
+    def _deadline_for(self, request: ServiceRequest) -> float:
+        quota = self._tenants.state(request.tenant).quota
+        deadline = request.deadline_seconds
+        if deadline is None or deadline <= 0:
+            deadline = self.config.default_deadline_seconds
+        if quota.max_deadline_seconds is not None:
+            deadline = min(deadline, quota.max_deadline_seconds)
+        return deadline
+
+    def _admit(self, request: ServiceRequest) -> None:
+        """Global bucket -> tenant limits -> gate; all shed, none queue."""
+        from repro.errors import RateLimitError
+
+        if self._bucket is not None and not self._bucket.try_acquire():
+            REGISTRY.counter("serve.rejected.ratelimit")
+            raise RateLimitError(
+                f"service over its global rate limit "
+                f"({self.config.rate_limit}/s)"
+            )
+        tenant_state = self._tenants.state(request.tenant)
+        tenant_state.admit()
+        try:
+            self._gate.enter()
+        except BaseException:
+            tenant_state.release()
+            raise
+        REGISTRY.counter("serve.admitted")
+
+    # -- execution (worker thread) ------------------------------------------
+
+    def _run(
+        self, request: ServiceRequest, tenant_state, deadline: float
+    ) -> ServiceResponse:
+        started = time.monotonic()
+        response = ServiceResponse(id=request.id, tenant=request.tenant)
+        trace = Trace("request", shape=request.shape()) if self.config.trace_requests else None
+        if trace is not None:
+            trace.__enter__()
+        try:
+            with span("serve.request", tenant=request.tenant):
+                self._run_inner(request, tenant_state, deadline, response)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._fill_error(response, exc)
+        finally:
+            if trace is not None:
+                trace.__exit__(None, None, None)
+                response.trace = trace.to_dict()
+        response.elapsed_seconds = time.monotonic() - started
+        return response
+
+    def _run_inner(
+        self,
+        request: ServiceRequest,
+        tenant_state,
+        deadline: float,
+        response: ServiceResponse,
+    ) -> None:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            REGISTRY.counter("serve.deadline.expired_in_queue")
+            raise DeadlineExceeded(
+                "deadline expired while queued (before execution began)"
+            )
+        quota = tenant_state.quota
+        budget = Budget(
+            wall_clock_seconds=remaining, max_rows=quota.max_rows
+        )
+        shape = request.shape()
+        decision = self.breaker.decide(shape)
+        response.breaker = decision
+        engines = self._engines_for(request, decision)
+        executor = ResilientExecutor(
+            self.session,
+            budget=budget,
+            engines=engines,
+            cache_guarded_compiles=True,
+        )
+        compiled_attempted = False
+        try:
+            if request.sql is not None:
+                result = executor.query(request.sql)
+            else:
+                result = executor.execute_plan(
+                    self._tpch_plan(request.tpch), cache_key=f"tpch:{request.tpch}"
+                )
+        except BaseException as exc:
+            compiled_attempted = self._feed_breaker_from_error(shape, exc)
+            if decision == PROBE and not compiled_attempted:
+                self.breaker.abort_probe(shape)
+            raise self._map_budget_error(exc, quota, request)
+        compiled_attempted = self._feed_breaker_from_report(shape, result.report)
+        if decision == PROBE and not compiled_attempted:
+            self.breaker.abort_probe(shape)
+        response.ok = True
+        response.rows = list(result.rows)
+        response.engine = result.report.engine
+        response.engine_trail = result.report.engine_trail
+        response.degraded = result.report.degraded or decision == OPEN
+
+    def _engines_for(self, request: ServiceRequest, decision: str) -> Sequence[str]:
+        if request.engine is not None:
+            if request.engine in COMPILED_ENGINES and decision == OPEN:
+                REGISTRY.counter("serve.rejected.breaker")
+                raise CircuitOpenError(
+                    f"circuit breaker open for shape {request.shape()!r} "
+                    f"and request pins engine {request.engine!r}",
+                    shape=request.shape(),
+                )
+            return (request.engine,)
+        if decision == OPEN:
+            REGISTRY.counter("serve.breaker.bypassed")
+            interpreted = tuple(
+                e for e in self.config.engines if e not in COMPILED_ENGINES
+            )
+            return interpreted or INTERPRETED_CHAIN
+        return self.config.engines
+
+    def _tpch_plan(self, number: int):
+        from repro.errors import ServiceProtocolError
+        from repro.tpch.queries import QUERIES, query_plan
+
+        if number not in QUERIES:
+            raise ServiceProtocolError(f"unknown TPC-H query number {number!r}")
+        return query_plan(number, scale=self.config.query_scale)
+
+    # -- breaker feedback ---------------------------------------------------
+
+    def _feed_breaker_from_report(self, shape: str, report) -> bool:
+        """Inspect the attempt trail; True when a compiled engine ran."""
+        attempted = False
+        for attempt in report.attempts:
+            if attempt.engine not in COMPILED_ENGINES:
+                continue
+            attempted = True
+            if attempt.ok:
+                self.breaker.on_success(shape)
+            elif attempt.phase in COMPILE_PHASES:
+                self.breaker.on_compile_failure(shape)
+        return attempted
+
+    def _feed_breaker_from_error(self, shape: str, exc: BaseException) -> bool:
+        report = getattr(exc, "execution_report", None)
+        if report is None:
+            return False
+        return self._feed_breaker_from_report(shape, report)
+
+    # -- error shaping ------------------------------------------------------
+
+    def _map_budget_error(
+        self, exc: BaseException, quota: TenantQuota, request: ServiceRequest
+    ) -> BaseException:
+        """Wall-clock budget trips were deadline-driven here; rename them."""
+        if isinstance(exc, DeadlineExceeded) or not isinstance(exc, BudgetExceeded):
+            return exc
+        stats = exc.stats
+        rows_tripped = (
+            quota.max_rows is not None
+            and stats.get("rows_seen", 0) > quota.max_rows
+        )
+        if rows_tripped:
+            REGISTRY.counter(f"serve.tenant.{request.tenant}.budget_trips")
+            return exc  # an operator-set row quota: stays E_BUDGET
+        mapped = DeadlineExceeded(str(exc), stats=stats)
+        mapped.engine_trail = exc.engine_trail
+        return mapped
+
+    def _fill_error(self, response: ServiceResponse, exc: BaseException) -> None:
+        response.ok = False
+        response.error = error_to_dict(exc)
+        report = getattr(exc, "execution_report", None)
+        if report is not None:
+            response.engine_trail = report.engine_trail
+
+    def _reject(
+        self, request: ServiceRequest, exc: BaseException, started: float
+    ) -> ServiceResponse:
+        response = ServiceResponse(id=request.id, tenant=request.tenant)
+        self._fill_error(response, exc)
+        response.elapsed_seconds = time.monotonic() - started
+        self._account(response)
+        return response
+
+    def _account(self, response: ServiceResponse) -> None:
+        REGISTRY.observe("serve.latency_seconds", response.elapsed_seconds)
+        if response.ok:
+            REGISTRY.counter("serve.completed")
+            if response.degraded:
+                REGISTRY.counter("serve.degraded")
+        else:
+            REGISTRY.counter("serve.failed")
+            REGISTRY.counter(f"serve.errors.{response.code}")
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operator view: queue, breakers, tenants, ``serve.*`` counters."""
+        return {
+            "queue_depth": self._gate.depth,
+            "queue_limit": self._gate.limit,
+            "workers": self.config.workers,
+            "breakers": self.breaker.snapshot(),
+            "tenants": self._tenants.snapshot(),
+            "cache": self.session.cache_info(),
+            "counters": REGISTRY.counters_with_prefix("serve."),
+        }

@@ -1,0 +1,75 @@
+"""The mixed 22-query TPC-H workload the serve tier is measured against.
+
+Fifteen queries travel as SQL text (the full front-end path: lexer,
+parser, decorrelation, cost-based join ordering); the seven plan-only
+queries travel as ``tpch: N`` requests and are built from the hand-written
+plans server-side -- together they cover every TPC-H shape, which is the
+point: a serving tier that only survives the easy queries isn't one.
+
+Used by the bench harness (``repro-bench-serve``), the CI smoke
+(``repro-serve --smoke``) and the concurrency tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.serve.service import ServiceRequest
+from repro.tpch.sql_queries import SQL_QUERIES
+
+ALL_QUERIES = tuple(range(1, 23))
+
+
+def request_for(
+    number: int,
+    tenant: str = "default",
+    deadline_seconds: Optional[float] = None,
+    request_id: Optional[object] = None,
+) -> ServiceRequest:
+    """The service request for TPC-H query ``number`` (SQL when it can be)."""
+    if number in SQL_QUERIES:
+        return ServiceRequest(
+            sql=SQL_QUERIES[number],
+            tenant=tenant,
+            deadline_seconds=deadline_seconds,
+            id=request_id,
+        )
+    return ServiceRequest(
+        tpch=number,
+        tenant=tenant,
+        deadline_seconds=deadline_seconds,
+        id=request_id,
+    )
+
+
+def mixed_workload(
+    rounds: int = 1,
+    tenant: str = "default",
+    deadline_seconds: Optional[float] = None,
+) -> List[ServiceRequest]:
+    """``rounds`` passes over all 22 queries, in query order per round."""
+    out: List[ServiceRequest] = []
+    for r in range(rounds):
+        for q in ALL_QUERIES:
+            out.append(
+                request_for(
+                    q,
+                    tenant=tenant,
+                    deadline_seconds=deadline_seconds,
+                    request_id=f"r{r}-q{q}",
+                )
+            )
+    return out
+
+
+def wire_workload(rounds: int = 1, tenant: str = "default") -> Iterator[dict]:
+    """The same workload as raw wire dicts (for :class:`ServiceClient`)."""
+    for req in mixed_workload(rounds, tenant=tenant):
+        doc: dict = {"tenant": req.tenant, "id": req.id}
+        if req.sql is not None:
+            doc["sql"] = req.sql
+        else:
+            doc["tpch"] = req.tpch
+        if req.deadline_seconds is not None:
+            doc["deadline_seconds"] = req.deadline_seconds
+        yield doc

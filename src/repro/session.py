@@ -9,12 +9,23 @@ precompiled and used multiple times").
 The cache is a bounded LRU (``max_cache_size`` statements); hits, misses
 and evictions feed :data:`repro.obs.metrics.REGISTRY` and are inspectable
 via :meth:`Session.cache_info`.
+
+The session is safe to share across threads -- the serving tier
+(:mod:`repro.serve`) hammers one instance from a worker pool.  Cache
+bookkeeping (LRU order, eviction, counters) is serialized under one lock,
+and compilation is *single-flight*: when several threads miss on the same
+key concurrently, exactly one compiles while the rest block on the
+in-flight build and share its result (or its typed failure).  Compilation
+itself runs outside the lock, so a slow compile never blocks cache hits
+for other statements.
 """
 
 from __future__ import annotations
 
+import copy
+import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.compiler.driver import CompiledQuery, LB2Compiler
 from repro.compiler.lb2 import Config
@@ -25,6 +36,17 @@ from repro.plan.physical import PhysicalPlan
 from repro.plan.rewrite import optimize_for_level
 from repro.sql import sql_to_plan
 from repro.storage.database import Database
+
+
+class _Inflight:
+    """One in-progress compilation that concurrent misses can wait on."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[CompiledQuery] = None
+        self.error: Optional[BaseException] = None
 
 
 class Session:
@@ -44,9 +66,12 @@ class Session:
         self.use_index_rewrites = use_index_rewrites
         self.max_cache_size = max_cache_size
         self._cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._inflight: dict[tuple, _Inflight] = {}
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._single_flight_waits = 0
 
     # -- planning ---------------------------------------------------------------
 
@@ -58,7 +83,7 @@ class Session:
                 plan = optimize_for_level(plan, self.db, self.db.catalog)
         return plan
 
-    def _cache_key(self, sql: str) -> tuple:
+    def _cache_key(self, sql: str, config: Optional[Config]) -> tuple:
         """Everything a compiled query was specialized against.
 
         Keying by statement text alone served stale plans after a config
@@ -69,35 +94,109 @@ class Session:
         """
         return (
             " ".join(sql.split()),  # whitespace-insensitive statement text
-            self.config,
+            config,
             id(self.db),
             self.use_index_rewrites,
         )
 
-    def prepare(self, sql: str) -> CompiledQuery:
+    def _plan_cache_key(self, key: str, config: Optional[Config]) -> tuple:
+        return (f"plan:{key}", config, id(self.db), self.use_index_rewrites)
+
+    def prepare(
+        self, sql: str, *, config: Optional[Config] = None
+    ) -> CompiledQuery:
         """The compiled query for ``sql``, cached by statement + config.
 
         LRU semantics: a hit refreshes the statement's recency; inserting
         past ``max_cache_size`` evicts the least recently used entry.
+        ``config`` overrides the session config for this statement only
+        (the serving tier uses this to cache budget-checked builds under
+        their own key); None means the session config.
         """
-        key = self._cache_key(sql)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-            REGISTRY.counter("session.cache.hits")
-            return cached
-        self._misses += 1
-        REGISTRY.counter("session.cache.misses")
-        with span("compile", statement=" ".join(sql.split())):
-            compiler = LB2Compiler(self.db.catalog, self.db, self.config)
-            compiled = compiler.compile(self.plan(sql))
-        self._cache[key] = compiled
-        while len(self._cache) > self.max_cache_size:
-            self._cache.popitem(last=False)
-            self._evictions += 1
-            REGISTRY.counter("session.cache.evictions")
-        return compiled
+        cfg = self.config if config is None else config
+        key = self._cache_key(sql, cfg)
+
+        def compile_sql() -> CompiledQuery:
+            with span("compile", statement=" ".join(sql.split())):
+                compiler = LB2Compiler(self.db.catalog, self.db, cfg)
+                return compiler.compile(self.plan(sql))
+
+        return self._prepare_cached(key, compile_sql)
+
+    def prepare_plan(
+        self, plan: PhysicalPlan, key: str, *, config: Optional[Config] = None
+    ) -> CompiledQuery:
+        """Compile-and-cache a hand-built plan under an explicit ``key``.
+
+        The SQL cache amortizes compilation for front-end statements; this
+        is the same economics for callers that build
+        :class:`~repro.plan.physical.PhysicalPlan` trees directly (the
+        TPC-H plan-only queries served by :mod:`repro.serve`).  The caller
+        owns the key contract: one key must always name one plan shape.
+        """
+        cfg = self.config if config is None else config
+        cache_key = self._plan_cache_key(key, cfg)
+
+        def compile_plan() -> CompiledQuery:
+            with span("compile", statement=f"plan:{key}"):
+                compiler = LB2Compiler(self.db.catalog, self.db, cfg)
+                return compiler.compile(plan)
+
+        return self._prepare_cached(cache_key, compile_plan)
+
+    def _prepare_cached(
+        self, key: tuple, compile_fn: Callable[[], CompiledQuery]
+    ) -> CompiledQuery:
+        """Cache lookup with single-flight compilation on miss."""
+        while True:
+            wait_for: Optional[_Inflight] = None
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self._hits += 1
+                    REGISTRY.counter("session.cache.hits")
+                    return cached
+                flight = self._inflight.get(key)
+                if flight is not None:
+                    wait_for = flight
+                else:
+                    flight = _Inflight()
+                    self._inflight[key] = flight
+                    self._misses += 1
+                    REGISTRY.counter("session.cache.misses")
+            if wait_for is not None:
+                wait_for.event.wait()
+                with self._lock:
+                    self._single_flight_waits += 1
+                    REGISTRY.counter("session.cache.single_flight_waits")
+                if wait_for.error is not None:
+                    # Each waiter raises its own shallow copy: exception
+                    # instances carry mutable state (tracebacks, engine
+                    # trails) that must not be shared across threads.
+                    raise copy.copy(wait_for.error)
+                result = wait_for.result
+                assert result is not None
+                return result
+            # This thread owns the compile; run it outside the lock.
+            try:
+                compiled = compile_fn()
+            except BaseException as exc:
+                flight.error = exc
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            with self._lock:
+                self._cache[key] = compiled
+                while len(self._cache) > self.max_cache_size:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+                    REGISTRY.counter("session.cache.evictions")
+                self._inflight.pop(key, None)
+            flight.result = compiled
+            flight.event.set()
+            return compiled
 
     # -- execution -----------------------------------------------------------------
 
@@ -158,21 +257,25 @@ class Session:
 
     @property
     def cached_statements(self) -> int:
-        return len(self._cache)
+        with self._lock:
+            return len(self._cache)
 
     def cache_info(self) -> dict:
         """Size, bound, keys (LRU -> MRU order) and hit/miss/evict counts."""
-        return {
-            "size": len(self._cache),
-            "max_size": self.max_cache_size,
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "statements": [key[0] for key in self._cache],
-        }
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "max_size": self.max_cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "single_flight_waits": self._single_flight_waits,
+                "statements": [key[0] for key in self._cache],
+            }
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def invalidate(self) -> None:
         """Drop every cached compiled query (alias of :meth:`clear_cache`).
@@ -181,8 +284,22 @@ class Session:
         plan misbehaves at run time, so degradation never re-serves a
         known-bad residual program.
         """
-        self._cache.clear()
+        self.clear_cache()
 
-    def forget(self, sql: str) -> bool:
-        """Evict one statement's compiled query; True when it was cached."""
-        return self._cache.pop(self._cache_key(sql), None) is not None
+    def forget(self, sql: str, *, config: Optional[Config] = None) -> bool:
+        """Evict one statement's compiled query; True when it was cached.
+
+        ``config`` selects which specialization to evict (the same default
+        as :meth:`prepare`: the session config).
+        """
+        cfg = self.config if config is None else config
+        with self._lock:
+            return self._cache.pop(self._cache_key(sql, cfg), None) is not None
+
+    def forget_plan(self, key: str, *, config: Optional[Config] = None) -> bool:
+        """Evict one plan-keyed compiled query; True when it was cached."""
+        cfg = self.config if config is None else config
+        with self._lock:
+            return (
+                self._cache.pop(self._plan_cache_key(key, cfg), None) is not None
+            )

@@ -282,6 +282,90 @@ def test_foreign_errors_map_to_runtime_code():
     assert error_phase(ValueError("x")) == "execute"
 
 
+def test_serve_errors_are_taxonomy_members():
+    """The serving tier's rejections each own one code and one phase."""
+    from repro.errors import (
+        ERROR_CODES,
+        PHASES,
+        CircuitOpenError,
+        DeadlineExceeded,
+        RateLimitError,
+        ReproError,
+        ServiceOverloadError,
+        ServiceProtocolError,
+    )
+
+    expected = {
+        ServiceOverloadError: ("E_ADMIT", "admit"),
+        RateLimitError: ("E_RATELIMIT", "admit"),
+        CircuitOpenError: ("E_BREAKER", "admit"),
+        DeadlineExceeded: ("E_DEADLINE", "execute"),
+        ServiceProtocolError: ("E_PROTOCOL", "admit"),
+    }
+    for cls, (code, phase) in expected.items():
+        assert issubclass(cls, ReproError), cls
+        assert cls.code == code
+        assert cls.phase == phase
+        assert phase in PHASES
+        assert ERROR_CODES[code] is cls
+
+
+def test_deadline_is_a_budget_error_with_its_own_code():
+    """Fallback policy treats deadlines like budgets (never degrade past
+    them), but clients can still tell the two apart by code."""
+    from repro.errors import BudgetExceeded, DeadlineExceeded
+
+    exc = DeadlineExceeded("too slow", stats={"rows_seen": 7})
+    assert isinstance(exc, BudgetExceeded)
+    assert exc.code == "E_DEADLINE" and exc.stats == {"rows_seen": 7}
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: __import__("repro.errors", fromlist=["x"]).ServiceOverloadError(
+            "queue full", depth=16
+        ),
+        lambda: __import__("repro.errors", fromlist=["x"]).RateLimitError(
+            "slow down", tenant="t1"
+        ),
+        lambda: __import__("repro.errors", fromlist=["x"]).CircuitOpenError(
+            "open", shape="sql:select 1"
+        ),
+        lambda: __import__("repro.errors", fromlist=["x"]).DeadlineExceeded(
+            "too slow"
+        ),
+        lambda: __import__("repro.errors", fromlist=["x"]).ServiceProtocolError(
+            "bad line"
+        ),
+    ],
+)
+def test_serve_errors_round_trip_through_wire_form(make):
+    """code, phase, message and engine trail survive dict serialization;
+    the reconstructed instance is of the code-owning class, so clients can
+    ``except DeadlineExceeded`` across the socket."""
+    import json
+
+    from repro.errors import error_from_dict, error_to_dict
+
+    exc = make().with_trail(["compiled", "push"])
+    doc = json.loads(json.dumps(error_to_dict(exc)))  # a real wire hop
+    back = error_from_dict(doc)
+    assert type(back) is type(exc)
+    assert back.code == exc.code
+    assert back.phase == exc.phase
+    assert str(back) == str(exc)
+    assert back.engine_trail == ("compiled", "push")
+
+
+def test_foreign_errors_round_trip_as_runtime():
+    from repro.errors import ReproError, error_from_dict, error_to_dict
+
+    back = error_from_dict(error_to_dict(KeyError("lineitem")))
+    assert type(back) is ReproError
+    assert back.code == "E_RUNTIME" and back.phase == "execute"
+
+
 def test_crashed_worker_error_names_worker_and_site(tiny_db):
     """A worker crash surfaces as ParallelError naming the culprit: which
     worker, and (for injected faults) which fault site."""

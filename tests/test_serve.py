@@ -1,0 +1,448 @@
+"""Serving-tier tests: admission, breaker, deadlines, wire protocol, and
+the concurrency hammer against one shared Session.
+
+The hammer (satellite of the serve PR) is the load-bearing test: N client
+threads drive all 22 TPC-H queries through one :class:`QueryService` and
+we assert (a) every answer equals the single-threaded golden, (b) each
+distinct cache key was compiled exactly once (single-flight), and (c) the
+session's cache counters account for every prepare call with no drift.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFault,
+    RateLimitError,
+    ServiceOverloadError,
+)
+from repro.obs.metrics import REGISTRY
+from repro.resilience import ResilientExecutor
+from repro.resilience.faults import FaultInjector, FaultSpec, fault_point
+from repro.serve import (
+    CircuitBreaker,
+    QueryServer,
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceRequest,
+    TenantQuota,
+    TokenBucket,
+    mixed_workload,
+)
+from repro.serve.admission import AdmissionGate, TenantState
+from repro.session import Session
+from repro.tpch import query_plan
+from repro.tpch.sql_queries import SQL_QUERIES
+from tests.conftest import TINY_SCALE, normalize
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- admission primitives -----------------------------------------------------
+
+
+def test_token_bucket_spends_burst_then_refills():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(3)] == [True, True, True]
+    assert not bucket.try_acquire()  # burst exhausted, no time has passed
+    clock.advance(0.5)  # refills one token at 2/s
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(10.0)  # refill is capped at burst
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_admission_gate_sheds_at_limit():
+    gate = AdmissionGate(2)
+    gate.enter()
+    gate.enter()
+    with pytest.raises(ServiceOverloadError) as excinfo:
+        gate.enter()
+    assert excinfo.value.code == "E_ADMIT"
+    assert excinfo.value.depth == 2
+    gate.leave()
+    gate.enter()  # a freed slot is reusable
+    assert gate.depth == 2
+
+
+def test_tenant_concurrency_and_rate_quotas():
+    state = TenantState("t", TenantQuota(max_concurrent=1))
+    state.admit()
+    with pytest.raises(ServiceOverloadError):
+        state.admit()
+    state.release()
+    state.admit()  # slot came back
+
+    limited = TenantState("slow", TenantQuota(rate=0.001, burst=1))
+    limited.admit()  # spends the single burst token
+    with pytest.raises(RateLimitError) as excinfo:
+        limited.admit()
+    assert excinfo.value.code == "E_RATELIMIT"
+    assert excinfo.value.tenant == "slow"
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_opens_probes_and_recovers():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown_seconds=5.0, clock=clock)
+    shape = "sql:select 1"
+    assert breaker.decide(shape) == "closed"
+    for _ in range(2):
+        breaker.on_compile_failure(shape)
+    assert breaker.state(shape) == "closed"  # below threshold
+    assert breaker.on_compile_failure(shape)  # third consecutive: opens
+    assert breaker.state(shape) == "open"
+    assert breaker.decide(shape) == "open"  # cooldown not yet lapsed
+    clock.advance(5.0)
+    assert breaker.decide(shape) == "probe"  # half-open: one probe slot
+    assert breaker.decide(shape) == "open"  # ...and only one
+    breaker.on_success(shape)
+    assert breaker.state(shape) == "closed"
+    assert breaker.decide(shape) == "closed"
+
+
+def test_breaker_failed_probe_reopens_and_abort_returns_slot():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+    breaker.on_compile_failure("s")
+    clock.advance(5.0)
+    assert breaker.decide("s") == "probe"
+    breaker.on_compile_failure("s")  # probe failed
+    assert breaker.state("s") == "open"
+    assert breaker.decide("s") == "open"  # fresh cooldown
+    clock.advance(5.0)
+    assert breaker.decide("s") == "probe"
+    breaker.abort_probe("s")  # probe never reached the compiler
+    assert breaker.decide("s") == "probe"  # slot is available again
+
+
+def test_consecutive_means_consecutive():
+    breaker = CircuitBreaker(threshold=3, cooldown_seconds=5.0)
+    breaker.on_compile_failure("s")
+    breaker.on_compile_failure("s")
+    breaker.on_success("s")  # resets the run
+    breaker.on_compile_failure("s")
+    breaker.on_compile_failure("s")
+    assert breaker.state("s") == "closed"
+
+
+# -- fault injector under races (satellite: deterministic trigger counting) ---
+
+
+def test_fault_injector_exactly_once_under_racing_threads():
+    injector = FaultInjector(FaultSpec("codegen", at=None, times=5))
+    threads, fired, clean = 8, [], []
+    lock = threading.Lock()
+    start = threading.Barrier(threads)
+    before = REGISTRY.get_counter("faults.injected")
+
+    def hammer() -> None:
+        start.wait()
+        for _ in range(25):
+            try:
+                with_fault = injector.hit("codegen", key=None)
+            except Exception:  # pragma: no cover - hit() must not raise
+                raise
+            with lock:
+                (fired if with_fault is not None else clean).append(1)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    # A times=5 spec fires exactly five times no matter the interleaving.
+    assert len(fired) == 5
+    assert len(clean) == threads * 25 - 5
+    assert REGISTRY.get_counter("faults.injected") == before + 5
+    # Every arrival drew a distinct ordinal.
+    assert injector.counters[("codegen", None)] == threads * 25
+    assert sorted(o for _, o in injector.fired) == list(range(5))
+
+
+# -- the service over a real database ----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_session(tpch_db):
+    return Session(tpch_db, max_cache_size=256)
+
+
+@pytest.fixture(scope="module")
+def service(serve_session):
+    config = ServiceConfig(
+        workers=4,
+        max_queue_depth=64,
+        default_deadline_seconds=60.0,
+        breaker_threshold=3,
+        breaker_cooldown_seconds=0.2,
+        tenants={
+            "capped": TenantQuota(max_rows=10),
+            "hurried": TenantQuota(max_deadline_seconds=0.001),
+        },
+        query_scale=TINY_SCALE,
+    )
+    with QueryService(serve_session, config) as svc:
+        yield svc
+
+
+def test_simple_sql_roundtrip(service, serve_session):
+    response = service.submit(ServiceRequest(sql=SQL_QUERIES[6], id="q6"))
+    assert response.ok and response.id == "q6"
+    assert response.engine == "compiled" and not response.degraded
+    assert normalize(response.rows) == normalize(serve_session.query(SQL_QUERIES[6]))
+
+
+def test_protocol_violations_are_typed(service):
+    both = service.submit(ServiceRequest(sql="select 1", tpch=1))
+    neither = service.submit(ServiceRequest())
+    bad_engine = service.submit(ServiceRequest(tpch=1, engine="gpu"))
+    bad_number = service.submit(ServiceRequest(tpch=99))
+    for response in (both, neither, bad_engine, bad_number):
+        assert not response.ok
+        assert response.code == "E_PROTOCOL"
+
+
+def test_bad_sql_is_typed_not_raw(service):
+    response = service.submit(ServiceRequest(sql="selekt frobnicate"))
+    assert not response.ok
+    assert response.code.startswith("E_")
+    assert response.code != "E_RUNTIME"
+
+
+def test_deadline_maps_to_e_deadline(service):
+    response = service.submit(
+        ServiceRequest(sql=SQL_QUERIES[1], deadline_seconds=0.002)
+    )
+    assert not response.ok
+    assert response.code == "E_DEADLINE"
+
+
+def test_tenant_deadline_cap_clamps_requests(service):
+    # The "hurried" tenant's max_deadline_seconds overrides the generous ask.
+    response = service.submit(
+        ServiceRequest(sql=SQL_QUERIES[1], tenant="hurried", deadline_seconds=60.0)
+    )
+    assert not response.ok and response.code == "E_DEADLINE"
+
+
+def test_tenant_row_quota_stays_e_budget(service):
+    response = service.submit(ServiceRequest(sql=SQL_QUERIES[1], tenant="capped"))
+    assert not response.ok
+    assert response.code == "E_BUDGET"  # operator-set quota, not a deadline
+
+
+def test_full_gate_sheds_with_e_admit(service):
+    limit = service._gate.limit
+    for _ in range(limit - service._gate.depth):
+        service._gate.enter()
+    try:
+        response = service.submit(ServiceRequest(tpch=1))
+        assert not response.ok and response.code == "E_ADMIT"
+    finally:
+        while service._gate.depth:
+            service._gate.leave()
+
+
+def test_breaker_opens_degrades_and_recovers(service, serve_session):
+    sql = SQL_QUERIES[14]
+    shape = "sql:" + " ".join(sql.split())
+    golden = normalize(
+        ResilientExecutor(serve_session, engines=("volcano",)).query(sql).rows
+    )
+    serve_session.clear_cache()  # force every request through the compiler
+    with FaultInjector(FaultSpec("codegen", at=None, times=None)):
+        for _ in range(service.config.breaker_threshold + 1):
+            response = service.submit(ServiceRequest(sql=sql))
+            # Affected requests degrade to the interpreters, answers intact.
+            assert response.ok and response.degraded
+            assert normalize(response.rows) == golden
+    assert service.breaker.state(shape) == "open"
+
+    # While open, a request that pins a compiled engine is rejected typed...
+    pinned = service.submit(ServiceRequest(sql=sql, engine="compiled"))
+    assert not pinned.ok and pinned.code == "E_BREAKER"
+    # ...and an unpinned one bypasses the compiler entirely (no probe yet).
+    bypassed = service.submit(ServiceRequest(sql=sql))
+    assert bypassed.ok and bypassed.degraded
+    assert bypassed.engine in ("push", "volcano")
+
+    time.sleep(service.config.breaker_cooldown_seconds * 1.5)
+    probe = service.submit(ServiceRequest(sql=sql))  # half-open probe compiles
+    assert probe.ok and probe.engine == "compiled"
+    assert service.breaker.state(shape) == "closed"
+
+
+def test_circuit_open_error_carries_shape():
+    exc = CircuitOpenError("open", shape="sql:select 1")
+    assert exc.code == "E_BREAKER" and exc.shape == "sql:select 1"
+
+
+def test_stats_surface(service):
+    service.submit(ServiceRequest(tpch=1))
+    stats = service.stats()
+    assert stats["queue_depth"] == 0
+    assert stats["workers"] == service.config.workers
+    assert "breakers" in stats and "tenants" in stats
+    assert stats["cache"]["size"] >= 1
+    assert stats["counters"].get("serve.requests", 0) >= 1
+
+
+# -- the concurrency hammer (satellite: one Session, N threads, goldens) ------
+
+
+def test_hammer_shared_session_matches_goldens(tpch_db):
+    clients, rounds = 6, 2
+    goldens = {
+        q: normalize(
+            ResilientExecutor(Session(tpch_db), engines=("volcano",))
+            .execute_plan(query_plan(q, scale=TINY_SCALE))
+            .rows
+        )
+        for q in range(1, 23)
+    }
+
+    session = Session(tpch_db, max_cache_size=256)
+    config = ServiceConfig(
+        workers=4,
+        max_queue_depth=clients * rounds * 22,
+        default_deadline_seconds=120.0,
+        query_scale=TINY_SCALE,
+    )
+    compiles_before = REGISTRY.get_counter("compile.count")
+    responses, errors = [], []
+    lock = threading.Lock()
+    start = threading.Barrier(clients)
+
+    def one_client(idx: int) -> None:
+        try:
+            start.wait()
+            for request in mixed_workload(rounds, tenant=f"hammer-{idx}"):
+                response = service.submit(request)
+                with lock:
+                    responses.append((request, response))
+        except BaseException as exc:  # pragma: no cover - reported below
+            with lock:
+                errors.append(exc)
+
+    with QueryService(session, config) as service:
+        threads = [
+            threading.Thread(target=one_client, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        assert not any(t.is_alive() for t in threads), "hammer thread hung"
+    assert not errors, errors[:3]
+    assert len(responses) == clients * rounds * 22
+
+    # (a) Every concurrent answer equals the single-threaded golden.
+    for request, response in responses:
+        assert response.ok, (request.id, response.error)
+        assert not response.degraded
+        number = request.tpch or int(request.id.split("-q")[1])
+        assert normalize(response.rows) == goldens[number], request.id
+
+    # (b) Single-flight: each distinct cache key compiled exactly once.
+    info = session.cache_info()
+    compiled = REGISTRY.get_counter("compile.count") - compiles_before
+    assert info["misses"] == len(info["statements"]) == compiled == 22
+
+    # (c) No counter drift: every prepare call is a hit, a miss, or a
+    # single-flight wait -- nothing double-counted, nothing lost.
+    total_prepares = clients * rounds * 22
+    assert info["hits"] + info["misses"] + info["single_flight_waits"] == total_prepares
+    assert info["evictions"] == 0
+
+
+# -- the TCP front end --------------------------------------------------------
+
+
+@pytest.fixture()
+def server(service):
+    with QueryServer(service, port=0, own_service=False) as srv:
+        yield srv
+
+
+def test_wire_roundtrip_ping_query_stats(server, serve_session):
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        assert client.ping()
+        reply = client.sql(SQL_QUERIES[6], id="wire-q6")
+        assert reply["ok"] and reply["id"] == "wire-q6"
+        golden = serve_session.query(SQL_QUERIES[6])
+        assert normalize([tuple(r) for r in reply["rows"]]) == normalize(golden)
+        stats = client.stats()
+        assert stats["counters"]["serve.requests"] >= 1
+
+
+def test_wire_malformed_lines_get_e_protocol(server):
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        rfile = sock.makefile("rb")
+        for payload in (b"this is not json\n", b"[1, 2, 3]\n", b'{"op": "dance"}\n'):
+            sock.sendall(payload)
+            reply = json.loads(rfile.readline())
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == "E_PROTOCOL"
+        # The connection survives protocol errors.
+        sock.sendall(b'{"op": "ping"}\n')
+        assert json.loads(rfile.readline())["pong"] is True
+
+
+def test_wire_error_replies_reconstruct(server):
+    from repro.errors import ServiceProtocolError
+    from repro.serve import raise_for_error
+
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        reply = client.request({"sql": "x", "tpch": 1})
+        with pytest.raises(ServiceProtocolError):
+            raise_for_error(reply)
+
+
+def test_wire_shutdown_is_clean(serve_session):
+    config = ServiceConfig(workers=1, query_scale=TINY_SCALE)
+    server = QueryServer(
+        QueryService(serve_session, config), port=0, own_service=True
+    ).start()
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        assert client.shutdown()
+    deadline = time.monotonic() + 10.0
+    while not server._shutdown_started.is_set():
+        assert time.monotonic() < deadline, "shutdown op did not stop the server"
+        time.sleep(0.02)
+    server.close()
+    # The in-band shutdown closes the listening socket from its own thread;
+    # poll until connects are refused.
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection((host, port), timeout=0.2).close()
+            time.sleep(0.05)
+        except OSError:
+            break
+    else:
+        pytest.fail("listening socket never closed")
