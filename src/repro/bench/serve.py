@@ -31,7 +31,7 @@ import time
 from typing import List, Optional, Sequence
 
 from repro.bench.harness import bench_scale
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, percentile
 from repro.resilience.faults import FaultInjector, FaultSpec
 from repro.serve.admission import TenantQuota
 from repro.serve.service import QueryService, ServiceConfig, ServiceResponse
@@ -41,12 +41,9 @@ from repro.storage import OptimizationLevel
 from repro.tpch.dbgen import generate_database, generate_tables
 
 
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over pre-sorted values (q in [0, 1])."""
-    if not sorted_values:
-        return 0.0
-    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[idx]
+# ``percentile`` moved to repro.obs.metrics so the bench's exact math and
+# the live bucketed histograms share one rank rule; re-exported above for
+# existing importers.
 
 
 def drive(

@@ -54,6 +54,7 @@ class ReproError(Exception):
     code: str = "E_REPRO"
     phase: str = "execute"
     engine_trail: tuple[str, ...] = ()
+    request_id: Optional[str] = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -64,6 +65,16 @@ class ReproError(Exception):
     def with_trail(self, trail: Sequence[str]) -> "ReproError":
         """Attach the attempted-engine trail; returns ``self`` for re-raise."""
         self.engine_trail = tuple(trail)
+        return self
+
+    def with_request(self, request_id: Optional[str]) -> "ReproError":
+        """Attach the originating request's correlation id; returns ``self``.
+
+        The serve tier stamps every error it ships with the request id it
+        minted (or echoed) at admission, so a wire error joins the event
+        log and the trace exactly like a successful reply does.
+        """
+        self.request_id = request_id
         return self
 
     def describe(self) -> str:
@@ -208,14 +219,19 @@ def error_phase(exc: BaseException) -> str:
 
 
 def error_to_dict(exc: BaseException) -> dict:
-    """JSON-ready rendering of any exception: code, phase, message, trail."""
-    return {
+    """JSON-ready rendering of any exception: code, phase, message, trail,
+    and the request correlation id when one was attached."""
+    doc = {
         "code": error_code(exc),
         "phase": error_phase(exc),
         "type": type(exc).__name__,
         "message": str(exc) or type(exc).__name__,
         "engine_trail": list(getattr(exc, "engine_trail", ()) or ()),
     }
+    request_id = getattr(exc, "request_id", None)
+    if request_id is not None:
+        doc["request_id"] = request_id
+    return doc
 
 
 def error_from_dict(doc: dict) -> ReproError:
@@ -237,4 +253,7 @@ def error_from_dict(doc: dict) -> ReproError:
     if phase in PHASES:
         exc.phase = phase
     exc.engine_trail = tuple(doc.get("engine_trail", ()) or ())
+    request_id = doc.get("request_id")
+    if isinstance(request_id, str):
+        exc.request_id = request_id
     return exc

@@ -1,18 +1,34 @@
-"""Observability: compile-pipeline tracing, metrics, EXPLAIN ANALYZE.
+"""Observability: tracing, metrics, events, telemetry, EXPLAIN ANALYZE.
 
 Only the stdlib-leaf submodules are re-exported here;
 :mod:`repro.obs.explain` imports the compiler and the interpreters, so
 its consumers import it directly to keep this package cycle-free.
 """
 
-from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.events import EventLog, request_context
+from repro.obs.export import render_prometheus, validate_exposition
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.telemetry import TELEMETRY, TelemetryStore
 from repro.obs.trace import Span, Trace, active_trace, span
 
 __all__ = [
-    "REGISTRY",
+    "EventLog",
+    "Histogram",
     "MetricsRegistry",
+    "REGISTRY",
     "Span",
+    "TELEMETRY",
+    "TelemetryStore",
     "Trace",
     "active_trace",
+    "percentile",
+    "render_prometheus",
+    "request_context",
     "span",
+    "validate_exposition",
 ]

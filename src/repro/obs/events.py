@@ -1,0 +1,240 @@
+"""Structured JSONL event log: one line per request-lifecycle event.
+
+The serve tier narrates every request as a sequence of typed events --
+``admit``, ``compile``, ``fallback``, ``budget_trip``, ``complete`` (or
+``reject``) -- each carrying the request's correlation id, so a log
+grep on one ``request_id`` reconstructs that request's whole story and
+joins it against the wire reply and the trace.  Events are one JSON
+object per line (schema ``repro-events/v1``) in a size-rotated file.
+
+Two pieces of ambient, thread-local state make the emission sites cheap
+and cycle-free:
+
+* the **installed log** -- :func:`install` sets the process-wide
+  :class:`EventLog`; :func:`emit` no-ops (one ``is None`` check) when
+  none is installed, the same "off means off" contract as tracing;
+* the **request context** -- :func:`request_context` binds the current
+  worker thread to a request id / plan shape / tenant, so deep layers
+  (the session's single-flight compile, the resilient executor's
+  fallback) can stamp events without threading the id through every
+  signature.
+
+Stdlib-only leaf, like :mod:`repro.obs.metrics` and
+:mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+SCHEMA = "repro-events/v1"
+
+#: Every event kind the schema admits, in lifecycle order.
+EVENT_KINDS = (
+    "admit",       # request passed admission control
+    "reject",      # request rejected (admission, protocol, deadline...)
+    "compile",     # a compilation actually ran (cache misses only)
+    "fallback",    # one engine attempt failed; the chain degrades
+    "budget_trip", # a budget/deadline guard fired mid-execution
+    "complete",    # a response (rows) left the service
+)
+
+
+# -- request context (thread-local) -------------------------------------------
+
+_CTX = threading.local()
+
+
+def current_request_id() -> Optional[str]:
+    """The request id bound to this thread, if any."""
+    return getattr(_CTX, "request_id", None)
+
+
+def current_shape() -> Optional[str]:
+    """The plan shape bound to this thread, if any."""
+    return getattr(_CTX, "shape", None)
+
+
+@contextmanager
+def request_context(
+    request_id: Optional[str],
+    shape: Optional[str] = None,
+    tenant: Optional[str] = None,
+) -> Iterator[None]:
+    """Bind this thread to one request for the duration of the block."""
+    previous = (
+        getattr(_CTX, "request_id", None),
+        getattr(_CTX, "shape", None),
+        getattr(_CTX, "tenant", None),
+    )
+    _CTX.request_id, _CTX.shape, _CTX.tenant = request_id, shape, tenant
+    try:
+        yield
+    finally:
+        _CTX.request_id, _CTX.shape, _CTX.tenant = previous
+
+
+# -- the log ------------------------------------------------------------------
+
+
+class EventLog:
+    """A thread-safe, size-rotated JSONL event sink.
+
+    Rotation is the classic shift: when the active file would exceed
+    ``max_bytes`` the log renames ``path -> path.1`` (shifting existing
+    backups up, dropping the oldest past ``backups``) and starts fresh.
+    One lock serializes emit+rotate; events are written line-atomically
+    with an immediate flush so a crashed process loses at most the event
+    being written.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 4 * 1024 * 1024,
+        backups: int = 3,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups must be non-negative")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._fh = open(path, "a", encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, kind: str, request_id: Optional[str] = None, **fields) -> dict:
+        """Append one event; returns the document written.
+
+        ``request_id`` (and ``shape``/``tenant``, unless given
+        explicitly) default to the thread's bound request context.
+        None-valued fields are dropped, so call sites can pass
+        optional attributes unconditionally.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; one of {EVENT_KINDS}")
+        fields = {k: v for k, v in fields.items() if v is not None}
+        doc = {
+            "schema": SCHEMA,
+            "ts": time.time(),
+            "event": kind,
+            "request_id": request_id or current_request_id(),
+        }
+        if "shape" not in fields and current_shape() is not None:
+            doc["shape"] = current_shape()
+        tenant = getattr(_CTX, "tenant", None)
+        if "tenant" not in fields and tenant is not None:
+            doc["tenant"] = tenant
+        doc.update(fields)
+        line = json.dumps(doc, sort_keys=True) + "\n"
+        with self._lock:
+            if self._fh.tell() + len(line) > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._fh.flush()
+            self.emitted += 1
+        return doc
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the installed process-wide log -------------------------------------------
+
+_INSTALLED: Optional[EventLog] = None
+
+
+def install(log: Optional[EventLog]) -> Optional[EventLog]:
+    """Install (or, with None, remove) the process-wide event log;
+    returns the previous one so callers can restore it."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = log
+    return previous
+
+
+def installed() -> Optional[EventLog]:
+    return _INSTALLED
+
+
+def emit(kind: str, request_id: Optional[str] = None, **fields) -> Optional[dict]:
+    """Emit through the installed log; a cheap no-op when none is."""
+    log = _INSTALLED
+    if log is None:
+        return None
+    return log.emit(kind, request_id=request_id, **fields)
+
+
+# -- schema validation ---------------------------------------------------------
+
+
+def validate_event(doc: object) -> List[str]:
+    """Problems that make ``doc`` invalid under ``repro-events/v1``."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["event is not an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("ts"), (int, float)):
+        problems.append("ts: expected number")
+    kind = doc.get("event")
+    if kind not in EVENT_KINDS:
+        problems.append(f"event: {kind!r} not one of {EVENT_KINDS}")
+    rid = doc.get("request_id")
+    if rid is not None and not isinstance(rid, str):
+        problems.append("request_id: expected string or null")
+    for key in ("shape", "tenant", "engine", "code"):
+        if key in doc and not isinstance(doc[key], str):
+            problems.append(f"{key}: expected string")
+    return problems
+
+
+def read_events(path: str) -> Iterator[dict]:
+    """Parsed events from one JSONL file (raises on malformed JSON)."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def validate_log(path: str) -> List[str]:
+    """Every schema problem across one JSONL event file (empty = ok)."""
+    problems: List[str] = []
+    try:
+        for i, doc in enumerate(read_events(path)):
+            for problem in validate_event(doc):
+                problems.append(f"event[{i}]: {problem}")
+    except (OSError, json.JSONDecodeError) as exc:
+        problems.append(f"unreadable event log: {exc}")
+    return problems

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from repro.errors import ReproError, error_code, error_phase
+from repro.obs import events
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
 from repro.resilience.budget import Budget, BudgetGuard
@@ -74,6 +75,13 @@ class ExecutionReport:
     engine: Optional[str] = None  # the engine that produced the rows
     budget: Optional[Budget] = None
     budget_stats: Optional[dict] = None
+    request_id: Optional[str] = None  # serve-tier correlation id
+    # Per-operator telemetry, populated when the executor was built with
+    # ``instrument=True`` and a compiled engine answered: label -> seconds,
+    # label -> rows, and the vector backend's kernel counts.
+    operator_times: Optional[dict] = None
+    operator_rows: Optional[dict] = None
+    kernels: Optional[dict] = None
 
     @property
     def engine_trail(self) -> tuple[str, ...]:
@@ -124,6 +132,8 @@ class ResilientExecutor:
         budget: Optional[Budget] = None,
         engines: Sequence[str] = ENGINE_CHAIN,
         cache_guarded_compiles: bool = False,
+        instrument: bool = False,
+        request_id: Optional[str] = None,
     ) -> None:
         unknown = [e for e in engines if e not in FULL_CHAIN]
         if unknown:
@@ -140,6 +150,16 @@ class ResilientExecutor:
         # economics.  Off by default: one-shot guarded runs (tests, ad-hoc
         # scripts) should not populate the cache with guarded variants.
         self.cache_guarded_compiles = cache_guarded_compiles
+        # With ``instrument=True`` the compiled engines build with staged
+        # per-operator timers (``Config(instrument=True)``, its own cache
+        # key) and the report carries operator_times/operator_rows/kernels
+        # -- what the serve tier feeds the workload-telemetry store.
+        self.instrument = instrument
+        # The serve tier's correlation id; attached to the report and to
+        # every error leaving the chain.  An executor instance serves one
+        # request at a time (the serve tier builds one per request).
+        self.request_id = request_id
+        self._captured_compiled = None
 
     # -- public surface -----------------------------------------------------
 
@@ -164,12 +184,16 @@ class ResilientExecutor:
     def _execute(
         self, plan, sql: Optional[str], cache_key: Optional[str] = None
     ) -> ResilientResult:
-        report = ExecutionReport(budget=self.budget)
+        report = ExecutionReport(
+            budget=self.budget,
+            request_id=self.request_id or events.current_request_id(),
+        )
         guard = BudgetGuard(self.budget) if self._budget_active() else None
         last_error: Optional[BaseException] = None
         for engine in self.engines:
             start = time.perf_counter()
             ok = False
+            self._captured_compiled = None
             with span("attempt", engine=engine) as sp:
                 try:
                     rows = self._run_engine(engine, plan, sql, guard, cache_key)
@@ -187,6 +211,13 @@ class ResilientExecutor:
                     )
                     last_error = exc
                     REGISTRY.counter(f"engine.failed.{engine}")
+                    events.emit(
+                        "fallback",
+                        request_id=report.request_id,
+                        engine=engine,
+                        code=error_code(exc),
+                        phase=error_phase(exc) or "execute",
+                    )
                     if sp:
                         sp.meta["error"] = error_code(exc) or type(exc).__name__
                     if engine == "compiled":
@@ -207,6 +238,17 @@ class ResilientExecutor:
                 REGISTRY.counter("engine.degraded")
             if guard is not None:
                 report.budget_stats = guard.stats()
+            captured = self._captured_compiled
+            self._captured_compiled = None
+            if captured is not None and captured.instrumented:
+                # The staged instrumentation's per-operator views, taken
+                # right after this request's run (the CompiledQuery object
+                # is shared across requests of the same shape, so a late
+                # read could see a sibling's numbers -- same shape, so the
+                # aggregate telemetry stays correct either way).
+                report.operator_times = dict(captured.last_times or {})
+                report.operator_rows = dict(captured.last_stats or {})
+                report.kernels = dict(captured.last_kernels or {})
             self._merge_trail(report)
             return ResilientResult(rows, report)
         assert last_error is not None
@@ -233,6 +275,8 @@ class ResilientExecutor:
             report.budget_stats = guard.stats()
         if isinstance(exc, ReproError):
             exc.with_trail(report.engine_trail)
+            if report.request_id is not None and exc.request_id is None:
+                exc.with_request(report.request_id)
         # Always reachable for post-mortems, taxonomy member or not.
         exc.execution_report = report  # type: ignore[attr-defined]
 
@@ -266,18 +310,31 @@ class ResilientExecutor:
             return self._run_push(plan, guard)
         return self._run_volcano(plan, guard)
 
-    def _guarded_config(self):
+    def _config_overrides(self) -> dict:
+        """Config fields this run must override on the session config."""
+        overrides: dict = {}
+        if self._needs_ticks():
+            overrides["budget_checks"] = True
+        if self.instrument:
+            overrides["instrument"] = True
+        return overrides
+
+    def _override_config(self, **extra):
         from repro.compiler.lb2 import Config
 
         base = self.session.config or Config()
-        return replace(base, budget_checks=True)
+        return replace(base, **self._config_overrides(), **extra)
+
+    def _guarded_config(self):
+        """Kept for callers/tests that predate ``_override_config``."""
+        return self._override_config()
 
     def _forget_compiled(self, sql: Optional[str], cache_key: Optional[str]) -> None:
         """Evict whatever cache entries the failed compiled attempt used."""
         session = self.session
         configs = [None]
-        if self.cache_guarded_compiles:
-            configs.append(self._guarded_config())
+        if self.cache_guarded_compiles and self._config_overrides():
+            configs.append(self._override_config())
         for config in configs:
             if sql is not None:
                 session.forget(sql, config=config)
@@ -294,12 +351,13 @@ class ResilientExecutor:
         from repro.compiler.driver import LB2Compiler
 
         session = self.session
-        if self._needs_ticks():
-            # Guarded build: cooperative checkpoints in the scan loops.
-            # Cached only when the owner opted in (the serving tier, where
-            # every request carries a deadline and fresh-compile-per-request
-            # would forfeit the compile-once economics); otherwise fresh.
-            config = self._guarded_config()
+        if self._config_overrides():
+            # Overridden build: cooperative checkpoints in the scan loops
+            # (budgets/deadlines) and/or staged per-operator timers
+            # (telemetry).  Cached only when the owner opted in (the
+            # serving tier, where fresh-compile-per-request would forfeit
+            # the compile-once economics); otherwise fresh.
+            config = self._override_config()
             if self.cache_guarded_compiles and sql is not None:
                 compiled = session.prepare(sql, config=config)
             elif self.cache_guarded_compiles and cache_key is not None:
@@ -316,6 +374,7 @@ class ResilientExecutor:
             compiled = LB2Compiler(
                 session.db.catalog, session.db, session.config
             ).compile(plan)
+        self._captured_compiled = compiled
         if guard is None:
             return compiled.run(session.db)
         with guard:
@@ -330,14 +389,11 @@ class ResilientExecutor:
         guarded build is equivalent to the compiled engine's.
         """
         from repro.compiler.driver import LB2Compiler
-        from repro.compiler.lb2 import Config
 
         session = self.session
-        base = session.config or Config()
-        config = replace(
-            base, codegen="vector", budget_checks=self._needs_ticks()
-        )
+        config = self._override_config(codegen="vector")
         compiled = LB2Compiler(session.db.catalog, session.db, config).compile(plan)
+        self._captured_compiled = compiled
         if guard is None:
             return compiled.run(session.db)
         with guard:

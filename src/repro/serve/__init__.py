@@ -25,6 +25,7 @@ from repro.serve.service import (
     ServiceConfig,
     ServiceRequest,
     ServiceResponse,
+    mint_request_id,
 )
 from repro.serve.workload import mixed_workload, request_for
 
@@ -39,6 +40,7 @@ __all__ = [
     "ServiceResponse",
     "TenantQuota",
     "TokenBucket",
+    "mint_request_id",
     "mixed_workload",
     "raise_for_error",
     "request_for",

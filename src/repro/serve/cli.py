@@ -17,6 +17,13 @@ serving-tier invariants:
   (answers stay correct) instead of failing;
 * the compile-path circuit breaker opens under sustained compile failure
   and closes again after a successful half-open probe;
+* every reply echoes the client-sent ``request_id`` (errors included),
+  the structured JSONL event log is schema-valid and joins on those ids
+  (one ``admit``, exactly one terminal ``complete``/``reject`` each);
+* the ``metrics`` wire op serves a schema-valid Prometheus exposition
+  with live per-tenant latency quantiles;
+* the workload-telemetry snapshot is schema-valid and carries
+  per-operator timings for every executed plan shape;
 * the server shuts down cleanly via the in-band ``shutdown`` op.
 
 Exit code 0 on success, 1 with a diagnostic on any violation.
@@ -25,12 +32,19 @@ Exit code 0 on success, 1 with a diagnostic on any violation.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import tempfile
 import threading
 import time
 from typing import List, Optional, Sequence
 
+from repro.obs import events as obs_events
+from repro.obs.events import EventLog, read_events, validate_log
+from repro.obs.export import validate_exposition
 from repro.obs.metrics import REGISTRY
+from repro.obs.telemetry import TELEMETRY, validate_snapshot
 from repro.serve.admission import TenantQuota
 from repro.serve.client import ServiceClient
 from repro.serve.server import QueryServer
@@ -57,16 +71,37 @@ def build_service(args: argparse.Namespace) -> QueryService:
         default_quota=TenantQuota(max_rows=args.max_rows),
         query_scale=args.scale,
         trace_requests=args.trace,
+        telemetry=args.telemetry is not None or args.smoke,
     )
     return QueryService(session, config)
 
 
+def _setup_observability(args: argparse.Namespace) -> tuple:
+    """Install the event log / telemetry store the flags (or smoke) ask
+    for; returns ``(event_log, events_path, telemetry_path)``."""
+    events_path, telemetry_path = args.events, args.telemetry
+    if args.smoke:
+        workdir = tempfile.mkdtemp(prefix="repro-smoke-")
+        events_path = events_path or os.path.join(workdir, "events.jsonl")
+        telemetry_path = telemetry_path or os.path.join(workdir, "telemetry.json")
+    log = None
+    if events_path is not None:
+        log = EventLog(events_path)
+        obs_events.install(log)
+    if telemetry_path is not None:
+        TELEMETRY.enable(telemetry_path)
+    return log, events_path, telemetry_path
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
+    log, events_path, telemetry_path = _setup_observability(args)
     service = build_service(args)
     server = QueryServer(service, host=args.host, port=args.port).start()
     host, port = server.address
     print(f"repro-serve listening on {host}:{port} "
           f"(scale={args.scale}, workers={args.workers})", file=sys.stderr)
+    if events_path:
+        print(f"repro-serve event log: {events_path}", file=sys.stderr)
     try:
         while not server._shutdown_started.wait(timeout=0.5):
             pass
@@ -74,6 +109,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("interrupt: shutting down", file=sys.stderr)
     finally:
         server.close()
+        if telemetry_path is not None:
+            TELEMETRY.save()
+            print(f"repro-serve telemetry snapshot: {telemetry_path}",
+                  file=sys.stderr)
+        if log is not None:
+            obs_events.install(None)
+            log.close()
     return 0
 
 
@@ -101,6 +143,11 @@ def _drive_clients(
             with ServiceClient(host, port) as client:
                 for doc in wire_workload(rounds, tenant=f"smoke-{idx}"):
                     reply = client.request(doc)
+                    _check(
+                        reply.get("request_id") == doc["request_id"],
+                        f"request_id did not round-trip: sent "
+                        f"{doc['request_id']!r}, got {reply.get('request_id')!r}",
+                    )
                     with lock:
                         replies.append(reply)
         except BaseException as exc:  # noqa: BLE001 - reported below
@@ -142,10 +189,101 @@ def _assert_all_typed(replies: Sequence[dict]) -> dict:
     return outcomes
 
 
+def _assert_metrics_scrape(host: str, port: int, tenants: Sequence[str]) -> None:
+    """The ``metrics`` op serves valid exposition with live per-tenant
+    latency quantiles from the bucketed histograms."""
+    with ServiceClient(host, port) as client:
+        metrics = client.metrics()
+    problems = validate_exposition(metrics["exposition"])
+    _check(not problems, f"malformed exposition: {problems[:3]}")
+    histograms = metrics["snapshot"].get("histograms", {})
+    _check(
+        "serve.latency_seconds" in histograms,
+        f"no service latency histogram in scrape: {sorted(histograms)[:5]}",
+    )
+    for tenant in tenants:
+        name = f"serve.tenant.{tenant}.latency_seconds"
+        h = histograms.get(name)
+        _check(h is not None, f"no per-tenant histogram {name!r}")
+        _check(h["count"] > 0, f"{name}: empty histogram")
+        for q in ("p50", "p95", "p99"):
+            _check(
+                isinstance(h["quantiles"].get(q), (int, float)),
+                f"{name}: missing live quantile {q}",
+            )
+    print(
+        f"smoke: metrics scrape ok ({len(histograms)} histograms)",
+        file=sys.stderr,
+    )
+
+
+def _assert_event_log(events_path: str, replies: Sequence[dict]) -> None:
+    """The event log is schema-valid and joins on every reply's id: one
+    ``admit`` and exactly one terminal ``complete``/``reject`` per
+    submission (the smoke reuses ids across its phases, so the counts
+    scale with how often each id was sent)."""
+    problems = validate_log(events_path)
+    _check(not problems, f"invalid event log: {problems[:3]}")
+    by_rid: dict = {}
+    for doc in read_events(events_path):
+        by_rid.setdefault(doc.get("request_id"), []).append(doc["event"])
+    submissions: dict = {}
+    for reply in replies:
+        rid = reply.get("request_id")
+        submissions[rid] = submissions.get(rid, 0) + 1
+    for rid, n in submissions.items():
+        kinds = by_rid.get(rid)
+        _check(kinds is not None, f"no events for request {rid!r}")
+        admits = kinds.count("admit")
+        _check(
+            admits == n,
+            f"request {rid!r}: {admits} admit events for {n} submissions",
+        )
+        terminal = sum(1 for k in kinds if k in ("complete", "reject"))
+        _check(
+            terminal == n,
+            f"request {rid!r}: {terminal} terminal events for {n} "
+            f"submissions: {kinds}",
+        )
+    print(
+        f"smoke: event log ok ({sum(len(v) for v in by_rid.values())} events, "
+        f"{len(by_rid)} requests)",
+        file=sys.stderr,
+    )
+
+
+def _assert_telemetry(telemetry_path: str) -> None:
+    """The telemetry snapshot is schema-valid and every executed shape
+    carries per-operator timings (the service runs instrumented builds)."""
+    TELEMETRY.save()
+    with open(telemetry_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = validate_snapshot(doc)
+    _check(not problems, f"invalid telemetry snapshot: {problems[:3]}")
+    shapes = doc["shapes"]
+    _check(len(shapes) >= 22, f"expected >= 22 shapes, got {len(shapes)}")
+    for shape, entry in shapes.items():
+        _check(
+            entry["executions"]["count"] > 0,
+            f"shape {shape!r}: recorded but never executed",
+        )
+        _check(
+            bool(entry["operators"]),
+            f"shape {shape!r}: no per-operator timings",
+        )
+        for label, op in entry["operators"].items():
+            _check(
+                op["total_seconds"] >= 0.0 and op["count"] >= 0,
+                f"shape {shape!r} operator {label!r}: bad timing {op}",
+            )
+    print(f"smoke: telemetry ok ({len(shapes)} shapes)", file=sys.stderr)
+
+
 def cmd_smoke(args: argparse.Namespace) -> int:
     from repro.resilience.faults import FaultInjector, FaultSpec
 
     t0 = time.monotonic()
+    log, events_path, telemetry_path = _setup_observability(args)
     service = build_service(args)
     server = QueryServer(service, host=args.host, port=args.port).start()
     host, port = server.address
@@ -159,6 +297,20 @@ def cmd_smoke(args: argparse.Namespace) -> int:
         outcomes = _assert_all_typed(replies)
         _check(outcomes["ok"] == expected, f"clean run had failures: {outcomes}")
         print(f"smoke: baseline {outcomes}", file=sys.stderr)
+        all_replies = list(replies)
+
+        # A failing request must still echo its id on the error payload.
+        with ServiceClient(host, port) as client:
+            bad = client.request(
+                {"sql": "SELECT FROM", "request_id": "smoke-bad-request"}
+            )
+        _check(not bad.get("ok"), f"malformed SQL unexpectedly succeeded: {bad}")
+        _check(
+            bad.get("request_id") == "smoke-bad-request"
+            and (bad.get("error") or {}).get("request_id") == "smoke-bad-request",
+            f"error reply lost its request_id: {bad}",
+        )
+        all_replies.append(bad)
 
         if args.faults:
             shape_probe(host, port, service, args)
@@ -185,6 +337,17 @@ def cmd_smoke(args: argparse.Namespace) -> int:
                 "fault injection fired but nothing degraded",
             )
             print(f"smoke: faulted {outcomes}", file=sys.stderr)
+            all_replies.extend(faulted)
+
+        # Observability invariants: live scrape, joinable event log,
+        # per-shape telemetry.
+        _assert_metrics_scrape(
+            host, port, [f"smoke-{i}" for i in range(args.clients)]
+        )
+        if log is not None:
+            _assert_event_log(events_path, all_replies)
+        if telemetry_path is not None:
+            _assert_telemetry(telemetry_path)
 
         # Clean shutdown through the wire.
         with ServiceClient(host, port) as client:
@@ -206,6 +369,10 @@ def cmd_smoke(args: argparse.Namespace) -> int:
         return 1
     finally:
         server.close()
+        obs_events.install(None)
+        if log is not None:
+            log.close()
+        TELEMETRY.disable()
 
 
 def shape_probe(
@@ -264,6 +431,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--breaker-cooldown", type=float, default=0.3)
     parser.add_argument("--trace", action="store_true",
                         help="attach a per-request trace to every response")
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="write the structured JSONL event log to PATH "
+                             "(smoke mode defaults to a temp dir)")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="enable the workload-telemetry store and "
+                             "snapshot it to PATH on shutdown "
+                             "(smoke mode defaults to a temp dir)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the self-contained CI smoke and exit")
     parser.add_argument("--faults", action="store_true",

@@ -80,6 +80,10 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
 
+    def metrics(self) -> dict:
+        """The server's metrics: ``{"snapshot": {...}, "exposition": str}``."""
+        return self.request({"op": "metrics"})["metrics"]
+
     def shutdown(self) -> bool:
         return bool(self.request({"op": "shutdown"}).get("bye"))
 

@@ -7,8 +7,16 @@ one response object per line, UTF-8).  Query requests carry ``sql`` or
 
     {"op": "ping"}                  -> {"ok": true, "pong": true}
     {"op": "stats"}                 -> {"ok": true, "stats": {...}}
+    {"op": "metrics"}               -> {"ok": true, "metrics": {"snapshot":
+                                       {...}, "exposition": "..."}} -- the
+                                       registry as JSON plus the
+                                       Prometheus-style text rendering
     {"op": "shutdown"}              -> {"ok": true, "bye": true} and the
                                        server stops accepting connections
+
+Query requests may carry a ``request_id``; the service echoes it on the
+reply (and stamps it on errors) or mints one when absent, so a client can
+join its replies against the server's event log and traces.
 
 Every connection gets its own handler thread (``ThreadingTCPServer``);
 actual query concurrency is bounded by the service's admission gate and
@@ -153,16 +161,30 @@ class QueryServer:
             return {"ok": True, "pong": True, "id": doc.get("id")}
         if op == "stats":
             return {"ok": True, "stats": self.service.stats(), "id": doc.get("id")}
+        if op == "metrics":
+            from repro.obs.export import render_prometheus
+
+            snapshot = REGISTRY.snapshot()
+            return {
+                "ok": True,
+                "id": doc.get("id"),
+                "metrics": {
+                    "snapshot": snapshot,
+                    "exposition": render_prometheus(snapshot),
+                },
+            }
         if op == "shutdown":
             raise _ShutdownRequested()
         if op is not None:
             REGISTRY.counter("serve.errors.E_PROTOCOL")
+            exc = ServiceProtocolError(f"unknown op {op!r}")
+            rid = doc.get("request_id")
+            if isinstance(rid, str):
+                exc.with_request(rid)
             return {
                 "ok": False,
                 "id": doc.get("id"),
-                "error": error_to_dict(
-                    ServiceProtocolError(f"unknown op {op!r}")
-                ),
+                "error": error_to_dict(exc),
             }
         return self.service.submit_dict(doc)
 

@@ -28,8 +28,10 @@ compile once).
 
 from __future__ import annotations
 
+import re
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
@@ -43,7 +45,9 @@ from repro.errors import (
     ReproError,
     error_to_dict,
 )
+from repro.obs import events
 from repro.obs.metrics import REGISTRY
+from repro.obs.telemetry import TELEMETRY, shape_digest
 from repro.obs.trace import Trace, span
 from repro.resilience.budget import Budget
 from repro.resilience.executor import ENGINE_CHAIN, FULL_CHAIN, ResilientExecutor
@@ -56,6 +60,17 @@ COMPILED_ENGINES = frozenset({"compiled", "vector"})
 
 #: Interpreted engines the service degrades to while a breaker is open.
 INTERPRETED_CHAIN = ("push", "volcano")
+
+#: Characters allowed in a metric-label segment.  Tenant names arrive off
+#: the wire; anything outside this set is mapped to ``_`` before the name
+#: is interpolated into a registry key.
+_LABEL_SAFE = re.compile(r"[^A-Za-z0-9_.-]")
+_LABEL_MAX_CHARS = 48
+
+
+def mint_request_id() -> str:
+    """A fresh correlation id for a request that did not bring one."""
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(frozen=True)
@@ -75,6 +90,18 @@ class ServiceConfig:
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     query_scale: float = 1.0  # scale passed to TPC-H plan builders
     trace_requests: bool = False
+    # Per-request workload telemetry: compiled engines build with the
+    # staged per-operator timers (``Config(instrument=True)``, cached
+    # under its own key) and successful executions feed the process-wide
+    # :data:`repro.obs.telemetry.TELEMETRY` store.  Off by default: the
+    # uninstrumented residual programs stay byte-identical to the goldens.
+    telemetry: bool = False
+    # Cardinality caps for wire-controlled metric label families: at most
+    # this many distinct tenant / plan-shape labels get their own
+    # ``serve.tenant.*`` / ``serve.shape.*`` names; the overflow shares
+    # the ``other`` bucket.
+    max_tenant_labels: int = 64
+    max_shape_labels: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -96,6 +123,10 @@ class ServiceRequest:
     deadline_seconds: Optional[float] = None
     engine: Optional[str] = None  # pin one engine (testing/diagnostics)
     id: Optional[object] = None
+    # The correlation id every reply, log line, event and error carries.
+    # Clients may supply their own (echoed verbatim); the service mints
+    # one at admission otherwise.
+    request_id: Optional[str] = None
 
     def shape(self) -> str:
         """The plan-shape key the breaker and compiled cache share."""
@@ -119,6 +150,8 @@ class ServiceResponse:
     tenant: str = "default"
     elapsed_seconds: float = 0.0
     trace: Optional[dict] = None
+    request_id: Optional[str] = None
+    shape: Optional[str] = None  # the plan-shape key (not serialized)
 
     @property
     def code(self) -> Optional[str]:
@@ -128,6 +161,7 @@ class ServiceResponse:
         doc = {
             "id": self.id,
             "ok": self.ok,
+            "request_id": self.request_id,
             "tenant": self.tenant,
             "elapsed_ms": round(self.elapsed_seconds * 1e3, 3),
         }
@@ -165,6 +199,13 @@ class QueryService:
         )
         self._closed = False
         self._close_lock = threading.Lock()
+        # Metric-label interning: tenant names and plan shapes arrive off
+        # the wire, so without a cap a hostile client could mint unbounded
+        # registry names.  First-come families keep their own label; the
+        # rest share ``other``.
+        self._label_lock = threading.Lock()
+        self._tenant_labels: set = set()
+        self._shape_labels: set = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -187,14 +228,22 @@ class QueryService:
         """Admit, execute, respond.  Blocks the calling thread until the
         response is ready or the deadline (plus grace) has passed."""
         started = time.monotonic()
+        if request.request_id is None:
+            request.request_id = mint_request_id()
         REGISTRY.counter("serve.requests")
-        REGISTRY.counter(f"serve.tenant.{request.tenant}.requests")
+        REGISTRY.counter(f"serve.tenant.{self._tenant_label(request.tenant)}.requests")
         try:
             self._validate(request)
             deadline = started + self._deadline_for(request)
             self._admit(request)  # raises typed rejections; no gate held
         except ReproError as exc:
             return self._reject(request, exc, started)
+        events.emit(
+            "admit",
+            request_id=request.request_id,
+            tenant=request.tenant,
+            shape=request.shape(),
+        )
         # Admitted: the gate slot is held until the worker finishes (or the
         # client gives up waiting -- the slot follows the *work*, which is
         # what protects the pool, not the waiting client).
@@ -241,6 +290,9 @@ class QueryService:
             deadline_seconds=doc.get("deadline_seconds"),
             engine=doc.get("engine"),
             id=doc.get("id"),
+            request_id=(
+                doc["request_id"] if isinstance(doc.get("request_id"), str) else None
+            ),
         )
         return self.submit(request).to_dict()
 
@@ -296,17 +348,30 @@ class QueryService:
         self, request: ServiceRequest, tenant_state, deadline: float
     ) -> ServiceResponse:
         started = time.monotonic()
-        response = ServiceResponse(id=request.id, tenant=request.tenant)
-        trace = Trace("request", shape=request.shape()) if self.config.trace_requests else None
+        rid = request.request_id
+        shape = request.shape()
+        response = ServiceResponse(
+            id=request.id, tenant=request.tenant, request_id=rid, shape=shape
+        )
+        trace = (
+            Trace("request", shape=shape, request_id=rid)
+            if self.config.trace_requests
+            else None
+        )
         if trace is not None:
             trace.__enter__()
         try:
-            with span("serve.request", tenant=request.tenant):
-                self._run_inner(request, tenant_state, deadline, response)
+            # Bind the ambient request context so deep layers (the
+            # session's single-flight compile, the executor's fallback
+            # walk) can stamp events with this id without threading it
+            # through every signature.
+            with events.request_context(rid, shape=shape, tenant=request.tenant):
+                with span("serve.request", tenant=request.tenant):
+                    self._run_inner(request, tenant_state, deadline, response)
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
-            self._fill_error(response, exc)
+            self._fill_error(response, exc, rid)
         finally:
             if trace is not None:
                 trace.__exit__(None, None, None)
@@ -340,6 +405,8 @@ class QueryService:
             budget=budget,
             engines=engines,
             cache_guarded_compiles=True,
+            instrument=self.config.telemetry,
+            request_id=request.request_id,
         )
         compiled_attempted = False
         try:
@@ -362,6 +429,16 @@ class QueryService:
         response.engine = result.report.engine
         response.engine_trail = result.report.engine_trail
         response.degraded = result.report.degraded or decision == OPEN
+        report = result.report
+        TELEMETRY.record_execution(
+            shape,
+            report.engine or "unknown",
+            len(response.rows),
+            report.attempts[-1].seconds if report.attempts else 0.0,
+            operator_times=report.operator_times,
+            operator_rows=report.operator_rows,
+            kernels=report.kernels,
+        )
 
     def _engines_for(self, request: ServiceRequest, decision: str) -> Sequence[str]:
         if request.engine is not None:
@@ -424,14 +501,24 @@ class QueryService:
             and stats.get("rows_seen", 0) > quota.max_rows
         )
         if rows_tripped:
-            REGISTRY.counter(f"serve.tenant.{request.tenant}.budget_trips")
+            REGISTRY.counter(
+                f"serve.tenant.{self._tenant_label(request.tenant)}.budget_trips"
+            )
             return exc  # an operator-set row quota: stays E_BUDGET
         mapped = DeadlineExceeded(str(exc), stats=stats)
         mapped.engine_trail = exc.engine_trail
         return mapped
 
-    def _fill_error(self, response: ServiceResponse, exc: BaseException) -> None:
+    def _fill_error(
+        self,
+        response: ServiceResponse,
+        exc: BaseException,
+        request_id: Optional[str] = None,
+    ) -> None:
         response.ok = False
+        rid = request_id or response.request_id
+        if isinstance(exc, ReproError) and exc.request_id is None:
+            exc.with_request(rid)
         response.error = error_to_dict(exc)
         report = getattr(exc, "execution_report", None)
         if report is not None:
@@ -440,21 +527,103 @@ class QueryService:
     def _reject(
         self, request: ServiceRequest, exc: BaseException, started: float
     ) -> ServiceResponse:
-        response = ServiceResponse(id=request.id, tenant=request.tenant)
-        self._fill_error(response, exc)
+        response = ServiceResponse(
+            id=request.id,
+            tenant=request.tenant,
+            request_id=request.request_id,
+            shape=(
+                request.shape()
+                if (request.sql is not None or request.tpch is not None)
+                else None
+            ),
+        )
+        self._fill_error(response, exc, request.request_id)
         response.elapsed_seconds = time.monotonic() - started
         self._account(response)
         return response
 
+    # -- metric labels (wire-controlled, so capped) --------------------------
+
+    def _tenant_label(self, tenant: str) -> str:
+        """Registry-safe tenant label: sanitized, truncated, interned.
+
+        The first ``max_tenant_labels`` distinct labels get their own
+        ``serve.tenant.*`` family; later ones share ``other`` so a
+        hostile client cannot grow the registry without bound.
+        """
+        label = _LABEL_SAFE.sub("_", str(tenant))[:_LABEL_MAX_CHARS] or "_"
+        with self._label_lock:
+            if label in self._tenant_labels:
+                return label
+            if len(self._tenant_labels) < self.config.max_tenant_labels:
+                self._tenant_labels.add(label)
+                return label
+        return "other"
+
+    def _shape_label(self, shape: str) -> str:
+        """Registry-safe plan-shape label: the telemetry digest, capped.
+
+        The 8-hex digest also appears in every telemetry snapshot entry,
+        so per-shape latency histograms join per-shape operator profiles.
+        """
+        label = shape_digest(shape)
+        with self._label_lock:
+            if label in self._shape_labels:
+                return label
+            if len(self._shape_labels) < self.config.max_shape_labels:
+                self._shape_labels.add(label)
+                return label
+        return "other"
+
     def _account(self, response: ServiceResponse) -> None:
         REGISTRY.observe("serve.latency_seconds", response.elapsed_seconds)
+        tenant_label = self._tenant_label(response.tenant)
+        REGISTRY.observe(
+            f"serve.tenant.{tenant_label}.latency_seconds",
+            response.elapsed_seconds,
+        )
+        if response.shape is not None:
+            REGISTRY.observe(
+                f"serve.shape.{self._shape_label(response.shape)}.latency_seconds",
+                response.elapsed_seconds,
+            )
+        elapsed_ms = round(response.elapsed_seconds * 1e3, 3)
         if response.ok:
             REGISTRY.counter("serve.completed")
             if response.degraded:
                 REGISTRY.counter("serve.degraded")
+            events.emit(
+                "complete",
+                request_id=response.request_id,
+                shape=response.shape,
+                tenant=response.tenant,
+                engine=response.engine,
+                degraded=response.degraded,
+                rows=len(response.rows or ()),
+                elapsed_ms=elapsed_ms,
+            )
         else:
             REGISTRY.counter("serve.failed")
             REGISTRY.counter(f"serve.errors.{response.code}")
+            error = response.error or {}
+            if response.code in ("E_BUDGET", "E_DEADLINE"):
+                events.emit(
+                    "budget_trip",
+                    request_id=response.request_id,
+                    shape=response.shape,
+                    tenant=response.tenant,
+                    code=response.code,
+                    phase=error.get("phase"),
+                )
+            events.emit(
+                "reject",
+                request_id=response.request_id,
+                shape=response.shape,
+                tenant=response.tenant,
+                code=response.code,
+                phase=error.get("phase"),
+                elapsed_ms=elapsed_ms,
+            )
 
     # -- introspection ------------------------------------------------------
 

@@ -24,21 +24,29 @@ def request_for(
     number: int,
     tenant: str = "default",
     deadline_seconds: Optional[float] = None,
-    request_id: Optional[object] = None,
+    client_id: Optional[object] = None,
+    request_id: Optional[str] = None,
 ) -> ServiceRequest:
-    """The service request for TPC-H query ``number`` (SQL when it can be)."""
+    """The service request for TPC-H query ``number`` (SQL when it can be).
+
+    ``client_id`` is the protocol-level reply-matching id; ``request_id``
+    is the end-to-end correlation id the service echoes on replies, event
+    log lines and traces (minted server-side when omitted).
+    """
     if number in SQL_QUERIES:
         return ServiceRequest(
             sql=SQL_QUERIES[number],
             tenant=tenant,
             deadline_seconds=deadline_seconds,
-            id=request_id,
+            id=client_id,
+            request_id=request_id,
         )
     return ServiceRequest(
         tpch=number,
         tenant=tenant,
         deadline_seconds=deadline_seconds,
-        id=request_id,
+        id=client_id,
+        request_id=request_id,
     )
 
 
@@ -47,7 +55,11 @@ def mixed_workload(
     tenant: str = "default",
     deadline_seconds: Optional[float] = None,
 ) -> List[ServiceRequest]:
-    """``rounds`` passes over all 22 queries, in query order per round."""
+    """``rounds`` passes over all 22 queries, in query order per round.
+
+    Every request carries a tenant-unique ``request_id`` so workload
+    replies can be joined against the server's event log.
+    """
     out: List[ServiceRequest] = []
     for r in range(rounds):
         for q in ALL_QUERIES:
@@ -56,7 +68,8 @@ def mixed_workload(
                     q,
                     tenant=tenant,
                     deadline_seconds=deadline_seconds,
-                    request_id=f"r{r}-q{q}",
+                    client_id=f"r{r}-q{q}",
+                    request_id=f"{tenant}-r{r}-q{q}",
                 )
             )
     return out
@@ -65,7 +78,11 @@ def mixed_workload(
 def wire_workload(rounds: int = 1, tenant: str = "default") -> Iterator[dict]:
     """The same workload as raw wire dicts (for :class:`ServiceClient`)."""
     for req in mixed_workload(rounds, tenant=tenant):
-        doc: dict = {"tenant": req.tenant, "id": req.id}
+        doc: dict = {
+            "tenant": req.tenant,
+            "id": req.id,
+            "request_id": req.request_id,
+        }
         if req.sql is not None:
             doc["sql"] = req.sql
         else:

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.compiler.driver import CompiledQuery, LB2Compiler
 from repro.compiler.lb2 import Config
+from repro.obs import events
 from repro.obs.metrics import REGISTRY
+from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace import span
 from repro.plan.explain import explain
 from repro.plan.physical import PhysicalPlan
@@ -179,6 +182,7 @@ class Session:
                 assert result is not None
                 return result
             # This thread owns the compile; run it outside the lock.
+            t0 = time.perf_counter()
             try:
                 compiled = compile_fn()
             except BaseException as exc:
@@ -187,6 +191,26 @@ class Session:
                     self._inflight.pop(key, None)
                 flight.event.set()
                 raise
+            # Exactly one compile event / telemetry sample per actual
+            # compilation: waiters and cache hits never reach this point.
+            # The ambient request context (serve worker threads) supplies
+            # the request id; the shape falls back to the cache key's
+            # statement text for library callers.
+            shape = events.current_shape() or key[0]
+            seconds = time.perf_counter() - t0
+            events.emit(
+                "compile",
+                shape=shape,
+                seconds=round(seconds, 6),
+                generation_seconds=round(compiled.generation_seconds, 6),
+                host_seconds=round(compiled.compile_seconds, 6),
+            )
+            TELEMETRY.record_compile(
+                shape,
+                seconds,
+                generation_seconds=compiled.generation_seconds,
+                host_seconds=compiled.compile_seconds,
+            )
             with self._lock:
                 self._cache[key] = compiled
                 while len(self._cache) > self.max_cache_size:

@@ -166,9 +166,14 @@ def test_registry_counters_gauges_histograms():
     snap = reg.snapshot()
     assert snap["counters"] == {"c": 5}
     assert snap["gauges"] == {"g": 2.5}
-    assert snap["histograms"]["h"] == {
-        "count": 2, "total": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
-    }
+    h = snap["histograms"]["h"]
+    assert h["count"] == 2
+    assert h["total"] == 4.0
+    assert h["min"] == 1.0
+    assert h["max"] == 3.0
+    assert h["mean"] == 2.0
+    assert set(h["quantiles"]) == {"p50", "p90", "p95", "p99"}
+    assert h["buckets"][-1] == ["+Inf", 2]  # cumulative series covers all
     # the snapshot is detached
     snap["counters"]["c"] = 999
     assert reg.get_counter("c") == 5

@@ -446,3 +446,165 @@ def test_wire_shutdown_is_clean(serve_session):
             break
     else:
         pytest.fail("listening socket never closed")
+
+
+# -- request correlation and telemetry ---------------------------------------
+
+
+def test_request_id_minted_when_absent(service):
+    response = service.submit(ServiceRequest(sql=SQL_QUERIES[6]))
+    assert response.ok
+    assert isinstance(response.request_id, str) and response.request_id
+
+
+def test_request_id_echoed_and_stamped_on_errors(service):
+    ok = service.submit(ServiceRequest(sql=SQL_QUERIES[6], request_id="mine-1"))
+    assert ok.ok and ok.request_id == "mine-1"
+    assert ok.to_dict()["request_id"] == "mine-1"
+    bad = service.submit(ServiceRequest(sql="selekt nope", request_id="mine-2"))
+    assert not bad.ok
+    assert bad.request_id == "mine-2"
+    assert bad.error["request_id"] == "mine-2"
+    rejected = service.submit(ServiceRequest(request_id="mine-3"))
+    assert rejected.code == "E_PROTOCOL"
+    assert rejected.error["request_id"] == "mine-3"
+
+
+def test_wire_request_id_round_trips(server):
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        reply = client.sql(SQL_QUERIES[6], request_id="wire-rid-1")
+        assert reply["ok"] and reply["request_id"] == "wire-rid-1"
+        bad = client.request({"sql": "selekt", "request_id": "wire-rid-2"})
+        assert not bad["ok"]
+        assert bad["request_id"] == "wire-rid-2"
+        assert bad["error"]["request_id"] == "wire-rid-2"
+
+
+def test_wire_metrics_op_serves_valid_exposition(server):
+    from repro.obs.export import validate_exposition
+
+    host, port = server.address
+    with ServiceClient(host, port) as client:
+        client.sql(SQL_QUERIES[6], tenant="metrics-test")
+        metrics = client.metrics()
+    assert validate_exposition(metrics["exposition"]) == []
+    histograms = metrics["snapshot"]["histograms"]
+    assert "serve.latency_seconds" in histograms
+    tenant_hist = histograms["serve.tenant.metrics-test.latency_seconds"]
+    assert tenant_hist["count"] >= 1
+    assert set(tenant_hist["quantiles"]) == {"p50", "p90", "p95", "p99"}
+
+
+def test_hostile_tenant_labels_are_sanitized_and_capped(serve_session):
+    config = ServiceConfig(
+        workers=1, query_scale=TINY_SCALE, max_tenant_labels=3
+    )
+    with QueryService(serve_session, config) as svc:
+        for name in ("good-1", "good-2", "good-3"):
+            svc.submit(ServiceRequest(tenant=name))  # E_PROTOCOL, still counted
+        for i in range(10):
+            svc.submit(ServiceRequest(tenant=f'evil{i} {{injection}}//"x" ' * 9))
+    counters = REGISTRY.counters_with_prefix("serve.tenant.")
+    # hostile names never reach the registry raw...
+    assert not any(" " in name or "{" in name or '"' in name for name in counters)
+    # ...and past the cap they share one overflow family
+    assert REGISTRY.get_counter("serve.tenant.other.requests") == 10
+    for name in ("good-1", "good-2", "good-3"):
+        assert REGISTRY.get_counter(f"serve.tenant.{name}.requests") == 1
+    # the label cap also bounds the per-tenant histogram families
+    labels = {
+        n.split(".")[2]
+        for n in REGISTRY.snapshot()["histograms"]
+        if n.startswith("serve.tenant.")
+    }
+    assert labels <= {"good-1", "good-2", "good-3", "other", "default",
+                      "capped", "hurried", "metrics-test", "mixed",
+                      "breaker-test"} | {f"hammer-{i}" for i in range(8)}
+
+
+def test_service_telemetry_captures_operator_times(serve_session, tmp_path):
+    from repro.obs.telemetry import TELEMETRY
+
+    config = ServiceConfig(workers=2, query_scale=TINY_SCALE, telemetry=True)
+    TELEMETRY.reset()
+    TELEMETRY.enable(str(tmp_path / "telemetry.json"))
+    try:
+        with QueryService(serve_session, config) as svc:
+            sql_resp = svc.submit(ServiceRequest(sql=SQL_QUERIES[6]))
+            plan_resp = svc.submit(ServiceRequest(tpch=2))
+        assert sql_resp.ok and plan_resp.ok
+        snapshot = TELEMETRY.snapshot()
+    finally:
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+    shapes = snapshot["shapes"]
+    assert len(shapes) == 2
+    for shape, entry in shapes.items():
+        assert entry["executions"]["count"] == 1
+        assert entry["operators"], f"no operator times for {shape}"
+        assert any(op["total_seconds"] > 0 for op in entry["operators"].values())
+        assert any(op["rows_total"] > 0 for op in entry["operators"].values())
+    # instrumented builds answered, and correctly
+    assert sql_resp.engine == "compiled"
+    golden = serve_session.query(SQL_QUERIES[6])
+    assert normalize(sql_resp.rows) == normalize(golden)
+
+
+def test_service_emits_joinable_events(serve_session, tmp_path):
+    from repro.obs import events
+    from repro.obs.events import EventLog, read_events, validate_log
+
+    path = str(tmp_path / "events.jsonl")
+    config = ServiceConfig(workers=2, query_scale=TINY_SCALE)
+    log = EventLog(path)
+    previous = events.install(log)
+    try:
+        with QueryService(serve_session, config) as svc:
+            svc.session.clear_cache()  # force a compile event
+            ok = svc.submit(ServiceRequest(sql=SQL_QUERIES[6], request_id="ev-ok"))
+            bad = svc.submit(ServiceRequest(request_id="ev-bad"))
+    finally:
+        events.install(previous)
+        log.close()
+    assert ok.ok and not bad.ok
+    assert validate_log(path) == []
+    by_rid: dict = {}
+    for doc in read_events(path):
+        by_rid.setdefault(doc["request_id"], []).append(doc)
+    ok_kinds = [d["event"] for d in by_rid["ev-ok"]]
+    assert ok_kinds[0] == "admit" and ok_kinds[-1] == "complete"
+    assert "compile" in ok_kinds
+    complete = by_rid["ev-ok"][-1]
+    assert complete["engine"] == "compiled" and complete["rows"] >= 1
+    bad_kinds = [d["event"] for d in by_rid["ev-bad"]]
+    assert bad_kinds == ["reject"]  # never admitted: protocol violation
+    assert by_rid["ev-bad"][0]["code"] == "E_PROTOCOL"
+
+
+def test_deadline_reject_emits_budget_trip(serve_session, tmp_path):
+    from repro.obs import events
+    from repro.obs.events import EventLog, read_events
+
+    path = str(tmp_path / "events.jsonl")
+    config = ServiceConfig(
+        workers=1,
+        query_scale=TINY_SCALE,
+        tenants={"hurried": TenantQuota(max_deadline_seconds=0.001)},
+    )
+    log = EventLog(path)
+    previous = events.install(log)
+    try:
+        with QueryService(serve_session, config) as svc:
+            response = svc.submit(
+                ServiceRequest(tpch=1, tenant="hurried", request_id="ev-slow")
+            )
+    finally:
+        events.install(previous)
+        log.close()
+    assert response.code == "E_DEADLINE"
+    kinds = [
+        d["event"] for d in read_events(path) if d["request_id"] == "ev-slow"
+    ]
+    assert "budget_trip" in kinds
+    assert kinds[-1] == "reject"
