@@ -19,6 +19,18 @@ reply is rows or a *typed* error -- one raw exception voids the run.
     repro-bench-serve                       # full run at REPRO_BENCH_SF
     repro-bench-serve --smoke               # CI mode: tiny scale, 1 round
     repro-bench-serve --clients 8 -r 5      # heavier sustained load
+    repro-bench-serve --params              # literal-varying workload:
+                                            # shape-keyed cache vs
+                                            # per-literal compiles
+                                            # (default BENCH_PR9.json)
+
+In ``--params`` mode the workload is literal-varying: every round perturbs
+the liftable literals of the 15 SQL queries, so statement *text* changes
+each round while statement *shape* does not.  The same load runs twice --
+once with session auto-parameterization off (every text variant compiles)
+and once with the shape-keyed cache (each shape compiles exactly once) --
+and the report carries both summaries plus the cache counters that prove
+the compile counts.
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ from repro.obs.metrics import REGISTRY, percentile
 from repro.resilience.faults import FaultInjector, FaultSpec
 from repro.serve.admission import TenantQuota
 from repro.serve.service import QueryService, ServiceConfig, ServiceResponse
-from repro.serve.workload import mixed_workload
+from repro.serve.workload import mixed_workload, parameterized_workload
 from repro.session import Session
 from repro.storage import OptimizationLevel
 from repro.tpch.dbgen import generate_database, generate_tables
@@ -51,16 +63,31 @@ def drive(
     clients: int,
     rounds: int,
     deadline_seconds: float,
+    varied: bool = False,
 ) -> tuple[List[ServiceResponse], float]:
     """``clients`` threads, each running ``rounds`` of the full workload;
-    returns (responses, wall_seconds)."""
+    returns (responses, wall_seconds).  ``varied`` swaps in the
+    literal-varying parameterized workload (same shapes, new text per
+    round)."""
     lock = threading.Lock()
     responses: List[ServiceResponse] = []
 
     def one_client(idx: int) -> None:
-        requests = mixed_workload(
-            rounds, tenant=f"bench-{idx}", deadline_seconds=deadline_seconds
-        )
+        if varied:
+            # Disjoint variation ranges per client: every client sends its
+            # own literal values (as distinct tenants would), so a
+            # text-keyed cache compiles per client per round while a
+            # shape-keyed one still compiles each statement once.
+            requests = parameterized_workload(
+                rounds,
+                tenant=f"bench-{idx}",
+                deadline_seconds=deadline_seconds,
+                first_round=idx * rounds,
+            )
+        else:
+            requests = mixed_workload(
+                rounds, tenant=f"bench-{idx}", deadline_seconds=deadline_seconds
+            )
         for request in requests:
             response = service.submit(request)
             with lock:
@@ -169,6 +196,115 @@ def bench_serve(
     return report
 
 
+def bench_params(
+    scale: float,
+    clients: int,
+    rounds: int,
+    workers: int,
+    deadline_seconds: float,
+) -> dict:
+    """Literal-varying workload: per-literal compiles vs the shape cache.
+
+    Two runs over identical request streams (every round changes literal
+    values, never statement shape).  ``per_literal`` disables session
+    auto-parameterization, so each text variant pays a full compile;
+    ``shape_cached`` is the default path, where all variants of one
+    statement share a single shape-keyed residual program.
+    """
+    db = generate_database(
+        tables=dict(generate_tables(scale)), level=OptimizationLevel.COMPLIANT
+    )
+    report: dict = {
+        "benchmark": (
+            "serve tier: literal-varying 22-query workload -- "
+            "per-literal compiles vs shape-keyed plan cache"
+        ),
+        "scale": scale,
+        "clients": clients,
+        "rounds": rounds,
+        "workers": workers,
+        "deadline_seconds": deadline_seconds,
+    }
+    config = ServiceConfig(
+        workers=workers,
+        max_queue_depth=clients * rounds * 22,
+        default_deadline_seconds=deadline_seconds,
+        default_quota=TenantQuota(),
+        query_scale=scale,
+    )
+    for mode, auto in (("per_literal", False), ("shape_cached", True)):
+        session = Session(db, max_cache_size=1024, auto_parameterize=auto)
+        with QueryService(session, config) as service:
+            # Warmup compiles round 0's texts (and, in shape mode, the
+            # shapes); later rounds only hit the cache when shapes key it.
+            warm, _ = drive(service, 1, 1, deadline_seconds, varied=True)
+            warm_ok = sum(1 for r in warm if r.ok)
+            warm_cache = session.cache_info()
+
+            REGISTRY.reset("serve.")
+            responses, wall = drive(
+                service, clients, rounds, deadline_seconds, varied=True
+            )
+            entry = summarize(responses, wall)
+            entry["warmup_ok"] = warm_ok
+            entry["counters"] = REGISTRY.counters_with_prefix("serve.")
+            cache = session.cache_info()
+            del cache["statements"]
+            # Compiles *paid during the measured phase* (warmup excluded):
+            # the number the two modes are being compared on.
+            cache["measured_misses"] = (
+                cache["misses"]
+                - warm_cache["misses"]
+                + cache["shape_misses"]
+                - warm_cache["shape_misses"]
+            )
+            entry["cache"] = cache
+        report[mode] = entry
+    base = report["per_literal"]["latency_ms"]
+    shaped = report["shape_cached"]["latency_ms"]
+    report["speedup"] = {
+        "qps": report["shape_cached"]["qps"] / report["per_literal"]["qps"]
+        if report["per_literal"]["qps"]
+        else 0.0,
+        "p50": base["p50"] / shaped["p50"] if shaped["p50"] else 0.0,
+        "p95": base["p95"] / shaped["p95"] if shaped["p95"] else 0.0,
+        "p99": base["p99"] / shaped["p99"] if shaped["p99"] else 0.0,
+    }
+    report["compiles"] = {
+        "per_literal": report["per_literal"]["cache"]["measured_misses"],
+        "shape_cached": report["shape_cached"]["cache"]["measured_misses"],
+    }
+    return report
+
+
+def _print_params_report(report: dict) -> None:
+    from repro.bench.report import print_table
+
+    rows = []
+    for run in ("per_literal", "shape_cached"):
+        entry = report[run]
+        rows.append(
+            (
+                run,
+                [
+                    entry["qps"],
+                    entry["latency_ms"]["p50"],
+                    entry["latency_ms"]["p95"],
+                    entry["latency_ms"]["p99"],
+                    entry["outcomes"].get("ok", 0),
+                    entry["cache"]["measured_misses"],
+                ],
+            )
+        )
+    print_table(
+        f"serve --params: {report['clients']} clients x {report['rounds']} "
+        f"literal-varying rounds x 22 queries (sf={report['scale']}, "
+        f"{report['workers']} workers)",
+        ["qps", "p50 ms", "p95 ms", "p99 ms", "ok", "compiles"],
+        rows,
+    )
+
+
 def _print_report(report: dict) -> None:
     from repro.bench.report import print_table
 
@@ -206,21 +342,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--deadline", type=float, default=30.0)
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: tiny scale, small load, no report file")
-    parser.add_argument("--out", default="BENCH_PR7.json")
+    parser.add_argument("--params", action="store_true",
+                        help="literal-varying workload: shape-keyed cache "
+                             "vs per-literal compiles")
+    parser.add_argument("--out", default=None)
     args = parser.parse_args(argv)
+    out = args.out or ("BENCH_PR9.json" if args.params else "BENCH_PR7.json")
+    bench = bench_params if args.params else bench_serve
     if args.smoke:
         scale = args.scale if args.scale is not None else 0.002
-        report = bench_serve(scale, clients=3, rounds=1, workers=args.workers,
-                             deadline_seconds=args.deadline)
+        report = bench(scale, clients=3, rounds=2 if args.params else 1,
+                       workers=args.workers, deadline_seconds=args.deadline)
     else:
         scale = args.scale if args.scale is not None else bench_scale()
-        report = bench_serve(scale, args.clients, args.rounds, args.workers,
-                             args.deadline)
-    _print_report(report)
+        report = bench(scale, args.clients, args.rounds, args.workers,
+                       args.deadline)
+    if args.params:
+        _print_params_report(report)
+    else:
+        _print_report(report)
     if not args.smoke:
-        with open(args.out, "w") as fh:
+        with open(out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
-        print(f"wrote {args.out}", file=sys.stderr)
+        print(f"wrote {out}", file=sys.stderr)
     return 0
 
 

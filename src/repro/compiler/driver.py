@@ -20,6 +20,7 @@ from repro.catalog.catalog import Catalog
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
 from repro.plan import physical as phys
+from repro.plan.params import ParamSlot, check_bindings, collect_params
 from repro.staging import generate_c, generate_python
 from repro.staging.builder import StagingContext
 from repro.staging.pygen import PyProgram
@@ -47,11 +48,19 @@ class CompiledQuery:
     last_times: Optional[dict] = field(default=None, repr=False)
     last_kernels: Optional[dict] = field(default=None, repr=False)
     functions: list[ir.Function] = field(default_factory=list, repr=False)
+    param_signature: tuple[ParamSlot, ...] = ()
     _prepared: Optional[Callable] = field(default=None, repr=False)
     _c_source: str = field(default="", repr=False)
 
-    def run(self, db: Database) -> list[tuple]:
+    def run(self, db: Database, params=None) -> list[tuple]:
         """Execute the compiled query against ``db``; returns result rows.
+
+        For a parameterized plan, ``params`` supplies the bindings (a
+        sequence for positional ``?`` statements, a mapping for ``:name``
+        statements); they are validated against :attr:`param_signature`
+        and passed to the residual program as its runtime parameter
+        vector -- the compiled code is shared across bindings.  Arity or
+        type mismatches raise the typed ``E_PARAM`` error.
 
         In instrument mode, each run refreshes three per-operator views:
         :attr:`last_stats` (label -> rows emitted), :attr:`last_times`
@@ -59,37 +68,49 @@ class CompiledQuery:
         (kernel name -> ``{"calls", "rows"}``; empty under scalar codegen).
         """
         out: list[tuple] = []
+        if self.param_signature or params:
+            vector = list(check_bindings(self.param_signature, params))
+            if self.instrumented:
+                return self._run_instrumented(db, out, (vector,))
+            self.program.fn("query")(db, out, vector)
+            return out
         if self.hoisted:
             # Figure 7-b2: allocation ran in prepare(); time only the closure.
             run = self.program.fn("prepare")(db)
             run(out)
         elif self.instrumented:
-            # Counters and @t:-prefixed timings share the staged stats dict;
-            # split them back apart so counter consumers never see times.
-            raw: dict = {}
-            kernels: dict = {}
-
-            def observe(name: str, nrows: int) -> None:
-                entry = kernels.setdefault(name, {"calls": 0, "rows": 0})
-                entry["calls"] += 1
-                entry["rows"] += nrows
-
-            from repro.compiler import runtime
-
-            previous = runtime.set_kernel_observer(observe)
-            try:
-                self.program.fn("query")(db, out, raw)
-            finally:
-                runtime.set_kernel_observer(previous)
-            self.last_stats = {
-                k: v for k, v in raw.items() if not k.startswith("@t:")
-            }
-            self.last_times = {
-                k[3:]: v for k, v in raw.items() if k.startswith("@t:")
-            }
-            self.last_kernels = kernels
+            self._run_instrumented(db, out, ())
         else:
             self.program.fn("query")(db, out)
+        return out
+
+    def _run_instrumented(
+        self, db: Database, out: list, extra_args: tuple
+    ) -> list[tuple]:
+        # Counters and @t:-prefixed timings share the staged stats dict;
+        # split them back apart so counter consumers never see times.
+        raw: dict = {}
+        kernels: dict = {}
+
+        def observe(name: str, nrows: int) -> None:
+            entry = kernels.setdefault(name, {"calls": 0, "rows": 0})
+            entry["calls"] += 1
+            entry["rows"] += nrows
+
+        from repro.compiler import runtime
+
+        previous = runtime.set_kernel_observer(observe)
+        try:
+            self.program.fn("query")(db, out, *extra_args, raw)
+        finally:
+            runtime.set_kernel_observer(previous)
+        self.last_stats = {
+            k: v for k, v in raw.items() if not k.startswith("@t:")
+        }
+        self.last_times = {
+            k[3:]: v for k, v in raw.items() if k.startswith("@t:")
+        }
+        self.last_kernels = kernels
         return out
 
     def prepare(self, db: Database) -> Callable[[list], None]:
@@ -136,12 +157,21 @@ class LB2Compiler:
         bug surface as an arbitrary runtime failure.
         """
         plan.validate(self.catalog)
+        param_slots = collect_params(plan)
         if split_prepare and self.config.instrument:
             raise CompileError(
                 "instrument mode is not supported with split_prepare: the "
                 "stats dict is a run-time parameter, but the hoisted "
                 "prepare/run split closes over run-time state at prepare "
                 "time; compile with either instrument or split_prepare"
+            )
+        if split_prepare and param_slots:
+            raise CompileError(
+                "parameterized plans are not supported with split_prepare: "
+                "prepare() stages build-side work at hoist time, but a "
+                "parameter is a per-execution value; the session cache "
+                "already gives parameterized statements compile-once "
+                "economics without the prepare/run split"
             )
         with span("codegen") as sp:
             fault_point("codegen")
@@ -168,11 +198,25 @@ class LB2Compiler:
                     ctx.emit(ir.Return(ir.Sym("run")))
             else:
                 params = ["db", "out"]
+                if param_slots:
+                    params.append("params")
                 if self.config.instrument:
                     params.append("stats")
                 with ctx.function("query", params):
                     if self.config.instrument:
                         builder.stats_sym = ctx.sym("stats", "void*")
+                    # Bind each parameter slot once at the top of the
+                    # function: the residual program closes over the
+                    # runtime vector, it never bakes bindings in.
+                    for slot in param_slots:
+                        sym = ctx.bind(
+                            ir.Index(ir.Sym("params"), ir.Const(slot.index)),
+                            ctype=slot.ctype.ctype,
+                            prefix="param",
+                        )
+                        ctx.register_param(
+                            slot.index, ctx.sym(sym.name, slot.ctype.ctype)
+                        )
                     datapath = root.exec()
                     datapath(output_cb)
 
@@ -243,6 +287,7 @@ class LB2Compiler:
             instrumented=self.config.instrument,
             codegen_stats=builder.backend.stats(),
             functions=functions,
+            param_signature=param_slots,
         )
         if opt_stats is not None:
             compiled.codegen_stats["opt"] = opt_stats.to_dict()

@@ -36,6 +36,7 @@ from repro.plan.expressions import (
     InList,
     Not,
     Or,
+    Param,
 )
 from repro.staging import ir
 from repro.staging.builder import StagingContext
@@ -482,6 +483,12 @@ def _expr_supported(expr: Expr) -> bool:
         return True
     if isinstance(expr, Const):
         return isinstance(expr.value, _CONST_TYPES)
+    if isinstance(expr, Param):
+        # A parameter stages to one scalar symbol (bound from the runtime
+        # vector at function entry) and broadcasts through the kernels
+        # exactly like a lifted constant; bindings are already restricted
+        # to the const-able scalar types.
+        return True
     if isinstance(expr, (Arith, Cmp)):
         return _expr_supported(expr.lhs) and _expr_supported(expr.rhs)
     if isinstance(expr, (And, Or)):

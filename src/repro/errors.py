@@ -195,6 +195,27 @@ class ServiceProtocolError(ReproError):
     phase = "admit"
 
 
+class ParamError(ReproError):
+    """A statement parameter was malformed, misplaced, or mis-bound.
+
+    Covers both halves of the prepared-statement contract: statement-time
+    problems (a placeholder in a position that cannot be parameterized,
+    ``?`` mixed with ``:name``, a parameter whose type cannot be inferred)
+    and bind-time problems (wrong arity, a missing named parameter, a value
+    of the wrong Python type).  ``phase`` is per-instance -- statement-time
+    errors belong to ``plan``, bind-time errors to ``execute`` -- mirroring
+    how :class:`InjectedFault` models faults at several stages.
+    """
+
+    code = "E_PARAM"
+    phase = "plan"
+
+    def __init__(self, message: str, phase: str = "plan") -> None:
+        super().__init__(message)
+        if phase in PHASES:
+            self.phase = phase
+
+
 def error_code(exc: BaseException) -> str:
     """The taxonomy code of any exception (``E_RUNTIME`` for foreign ones)."""
     if isinstance(exc, ReproError):

@@ -145,6 +145,54 @@ class Const(Expr):
         raise ExprError(f"untypable constant {self.value!r}")
 
 
+@dataclass(frozen=True)
+class Param(Expr):
+    """A runtime parameter slot (future-stage: *not* folded into code).
+
+    Where :class:`Const` is a present-stage value the generator bakes into
+    the residual program, ``Param`` is a hole the residual program fills at
+    every execution from the parameter vector it closes over -- parameters
+    are applied last and never change the plan.  ``index`` is the slot in
+    that vector, ``name`` the source-level ``:name`` (``None`` for
+    positional ``?``), and ``ptype`` the type the planner inferred from the
+    expression context (a comparison against a column, an arithmetic
+    sibling, ...).
+
+    ``eval`` raises: the interpreted engines never see a ``Param`` --
+    callers substitute bound values first (``plan.params.bind_params``).
+    """
+
+    index: int
+    name: Optional[str] = None
+    ptype: Optional[ColumnType] = None
+
+    def eval(self, row: dict) -> object:
+        from repro.errors import ParamError
+
+        raise ParamError(
+            f"unbound parameter {self.describe()}: interpreted execution "
+            "requires bind_params() before eval",
+            phase="execute",
+        )
+
+    def stage(self, rec):
+        return rec.ctx.param_rep(self.index)
+
+    def template(self, rec: str) -> str:
+        return f"params[{self.index}]"
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def result_type(self, types: Types) -> ColumnType:
+        if self.ptype is None:
+            raise ExprError(f"parameter {self.describe()} has no inferred type")
+        return self.ptype
+
+    def describe(self) -> str:
+        return f":{self.name}" if self.name else f"?{self.index}"
+
+
 _ARITH_EVAL = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,

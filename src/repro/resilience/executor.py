@@ -160,14 +160,39 @@ class ResilientExecutor:
         # request at a time (the serve tier builds one per request).
         self.request_id = request_id
         self._captured_compiled = None
+        # Per-request parameterization state (an executor serves one
+        # request at a time): the validated positional vector and the
+        # shape text the compiled engine keys its cache on.  None/None for
+        # a non-parameterized statement.
+        self._param_vector: Optional[tuple] = None
+        self._shape_text: Optional[str] = None
 
     # -- public surface -----------------------------------------------------
 
-    def query(self, sql: str) -> ResilientResult:
+    def query(self, sql: str, params=None) -> ResilientResult:
         """Execute SQL with fallback; planning errors re-raise untouched
-        (a bad query is a bad query on every engine)."""
-        plan = self.session.plan(sql)
-        return self._execute(plan, sql=sql)
+        (a bad query is a bad query on every engine).
+
+        ``params`` binds explicit placeholders; statements without
+        placeholders auto-parameterize eligible literals via
+        :meth:`Session.resolve`, so the whole chain -- compiled shapes,
+        interpreted substitution -- agrees on one parameterization.
+        Binding errors (arity, names, Python types) raise ``E_PARAM``
+        before the first attempt: a bad binding is bad on every engine.
+        """
+        from repro.plan.params import check_bindings
+
+        resolved = self.session.resolve(sql, params)
+        vector: Optional[tuple] = None
+        if resolved.parameterized:
+            vector = check_bindings(resolved.signature, resolved.bindings)
+        self._param_vector = vector
+        self._shape_text = resolved.text if resolved.parameterized else None
+        try:
+            return self._execute(resolved.plan, sql=sql)
+        finally:
+            self._param_vector = None
+            self._shape_text = None
 
     def execute_plan(self, plan, cache_key: Optional[str] = None) -> ResilientResult:
         """Execute a hand-built physical plan with fallback.
@@ -351,6 +376,7 @@ class ResilientExecutor:
         from repro.compiler.driver import LB2Compiler
 
         session = self.session
+        shape_text = self._shape_text
         if self._config_overrides():
             # Overridden build: cooperative checkpoints in the scan loops
             # (budgets/deadlines) and/or staged per-operator timers
@@ -358,7 +384,9 @@ class ResilientExecutor:
             # serving tier, where fresh-compile-per-request would forfeit
             # the compile-once economics); otherwise fresh.
             config = self._override_config()
-            if self.cache_guarded_compiles and sql is not None:
+            if self.cache_guarded_compiles and shape_text is not None:
+                compiled = session.prepare_shape(shape_text, config=config)
+            elif self.cache_guarded_compiles and sql is not None:
                 compiled = session.prepare(sql, config=config)
             elif self.cache_guarded_compiles and cache_key is not None:
                 compiled = session.prepare_plan(plan, cache_key, config=config)
@@ -366,6 +394,11 @@ class ResilientExecutor:
                 compiled = LB2Compiler(
                     session.db.catalog, session.db, config
                 ).compile(plan)
+        elif shape_text is not None:
+            # Parameterized statement: the shape-keyed entry is shared
+            # across every literal variant -- this is where one compile
+            # serves many bindings.
+            compiled = session.prepare_shape(shape_text)
         elif sql is not None:
             compiled = session.prepare(sql)
         elif cache_key is not None:
@@ -374,11 +407,7 @@ class ResilientExecutor:
             compiled = LB2Compiler(
                 session.db.catalog, session.db, session.config
             ).compile(plan)
-        self._captured_compiled = compiled
-        if guard is None:
-            return compiled.run(session.db)
-        with guard:
-            return compiled.run(session.db)
+        return self._run_query(compiled, guard)
 
     def _run_vector(self, plan, guard: Optional[BudgetGuard]) -> list[tuple]:
         """The compiled engine with the batch-vectorized codegen backend.
@@ -393,16 +422,35 @@ class ResilientExecutor:
         session = self.session
         config = self._override_config(codegen="vector")
         compiled = LB2Compiler(session.db.catalog, session.db, config).compile(plan)
+        return self._run_query(compiled, guard)
+
+    def _run_query(self, compiled, guard: Optional[BudgetGuard]) -> list[tuple]:
+        """Run a compiled query with this request's parameter vector."""
         self._captured_compiled = compiled
+        db = self.session.db
         if guard is None:
-            return compiled.run(session.db)
+            return compiled.run(db, self._param_vector)
         with guard:
-            return compiled.run(session.db)
+            return compiled.run(db, self._param_vector)
+
+    def _bound_plan(self, plan):
+        """The plan with this request's parameters substituted as consts.
+
+        The interpreted engines evaluate expressions directly, so they
+        take the bound plan; the compiled engines never need it -- their
+        residual program reads the vector at run time.
+        """
+        if self._param_vector is None:
+            return plan
+        from repro.plan.params import bind_params
+
+        return bind_params(plan, self._param_vector)
 
     def _run_push(self, plan, guard: Optional[BudgetGuard]) -> list[tuple]:
         from repro.engine.push import build_op
 
         db = self.session.db
+        plan = self._bound_plan(plan)
         names = plan.field_names(db.catalog)
         out: list[tuple] = []
 
@@ -418,6 +466,7 @@ class ResilientExecutor:
         from repro.engine.volcano import iterate
 
         db = self.session.db
+        plan = self._bound_plan(plan)
         names = plan.field_names(db.catalog)
         out: list[tuple] = []
         for row in iterate(plan, db, db.catalog):

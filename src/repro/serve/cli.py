@@ -15,6 +15,10 @@ serving-tier invariants:
   ``E_RUNTIME`` would mean a raw exception leaked);
 * under compile faults, affected requests degrade to the interpreters
   (answers stay correct) instead of failing;
+* literal-varying statements share one shape-keyed compile (a cache
+  hit-rate floor over the ``session.cache.shape_*`` counters), wire
+  ``prepare``/``execute`` reuses one compiled shape across tenants, and
+  hostile bindings fail as typed ``E_PARAM`` errors;
 * the compile-path circuit breaker opens under sustained compile failure
   and closes again after a successful half-open probe;
 * every reply echoes the client-sent ``request_id`` (errors included),
@@ -279,6 +283,131 @@ def _assert_telemetry(telemetry_path: str) -> None:
     print(f"smoke: telemetry ok ({len(shapes)} shapes)", file=sys.stderr)
 
 
+def _param_phase(
+    host: str, port: int, service: QueryService, args: argparse.Namespace
+) -> List[dict]:
+    """Parameterized serving invariants; returns the joinable replies.
+
+    Drives the literal-varying workload (same shapes, different literal
+    text every round) and asserts the shape-keyed cache absorbed it: at
+    most one compile per statement shape, a hit-rate floor of
+    ``(rounds - 1) / rounds``, tracked by the ``session.cache.shape_*``
+    counters.  Then exercises the wire ``prepare``/``execute`` ops across
+    two tenants (one compiled shape serves both) and checks that hostile
+    bindings come back as typed ``E_PARAM`` errors, never tracebacks.
+    """
+    from repro.serve.workload import parameterized_workload
+
+    session = service.session
+    rounds = max(3, args.rounds)
+    before = session.cache_info()
+    replies: List[dict] = []
+    with ServiceClient(host, port) as client:
+        for req in parameterized_workload(rounds, tenant="smoke-params"):
+            doc: dict = {
+                "tenant": req.tenant,
+                "id": req.id,
+                "request_id": req.request_id,
+            }
+            if req.sql is not None:
+                doc["sql"] = req.sql
+                if req.params is not None:
+                    doc["params"] = req.params
+            else:
+                doc["tpch"] = req.tpch
+            reply = client.request(doc)
+            _check(
+                reply.get("ok", False), f"parameterized request failed: {reply}"
+            )
+            replies.append(reply)
+    after = session.cache_info()
+    misses = after["shape_misses"] - before["shape_misses"]
+    hits = after["shape_hits"] - before["shape_hits"]
+    _check(
+        misses <= 14,
+        f"literal variants fragmented the shape cache: {misses} shape compiles",
+    )
+    _check(hits + misses > 0, "no requests went through the shape-keyed cache")
+    hit_rate = hits / (hits + misses)
+    floor = (rounds - 1) / rounds  # cold cache: one compile per shape
+    _check(
+        hit_rate >= floor,
+        f"shape cache hit rate {hit_rate:.2f} below floor {floor:.2f} "
+        f"(shape_hits={hits}, shape_misses={misses})",
+    )
+    _check(
+        REGISTRY.get_counter("session.cache.shape_hits") > 0,
+        "session.cache.shape_hits counter never advanced",
+    )
+
+    # Wire-level prepare/execute: one prepare, three executions from two
+    # tenants, at most one (instrumented) shape compile among them.
+    sql_p = "select count(*) from lineitem where l_quantity > ? and l_discount < ?"
+    with ServiceClient(host, port) as client:
+        prep = client.prepare(sql_p)
+        _check(prep.get("ok", False), f"prepare failed: {prep}")
+        _check(
+            [s["type"] for s in prep.get("signature", [])] == ["float", "float"],
+            f"prepare returned a wrong signature: {prep.get('signature')}",
+        )
+        mid = session.cache_info()
+        bindings = (("smoke-pa", 10.0), ("smoke-pb", 20.0), ("smoke-pa", 30.0))
+        for i, (tenant, qty) in enumerate(bindings):
+            reply = client.execute(
+                sql_p,
+                [qty, 0.07],
+                tenant=tenant,
+                request_id=f"smoke-exec-{i}",
+            )
+            _check(reply.get("ok", False), f"execute failed: {reply}")
+            replies.append(reply)
+    after = session.cache_info()
+    _check(
+        after["shape_misses"] - mid["shape_misses"] <= 1,
+        "executions across tenants recompiled the prepared shape",
+    )
+    _check(
+        after["shape_hits"] - mid["shape_hits"] >= 2,
+        "cross-tenant executions did not share the compiled shape",
+    )
+
+    # Hostile bindings: every failure is a typed E_PARAM document.
+    hostile = [
+        ("wrong arity", {"op": "execute", "sql": sql_p, "params": [10.0]}),
+        ("wrong type", {"op": "execute", "sql": sql_p, "params": [10.0, "x"]}),
+        (
+            "param as table name",
+            {"sql": "select count(*) from ? where l_quantity > 1.0",
+             "params": ["lineitem"]},
+        ),
+        (
+            "mixed styles",
+            {"sql": "select count(*) from lineitem where l_quantity > ? "
+                    "and l_discount < :d",
+             "params": [10.0]},
+        ),
+    ]
+    with ServiceClient(host, port) as client:
+        for label, doc in hostile:
+            reply = client.request(doc)
+            code = (reply.get("error") or {}).get("code")
+            _check(
+                not reply.get("ok") and code == "E_PARAM",
+                f"hostile binding ({label}) did not fail typed: {reply}",
+            )
+        reply = client.request({"sql": sql_p, "params": "10.0,0.07"})
+        _check(
+            (reply.get("error") or {}).get("code") == "E_PROTOCOL",
+            f"non-structured params were not rejected at the protocol: {reply}",
+        )
+    print(
+        f"smoke: parameterized ok (shape_hits={hits}, shape_misses={misses}, "
+        f"hit_rate={hit_rate:.2f})",
+        file=sys.stderr,
+    )
+    return replies
+
+
 def cmd_smoke(args: argparse.Namespace) -> int:
     from repro.resilience.faults import FaultInjector, FaultSpec
 
@@ -311,6 +440,10 @@ def cmd_smoke(args: argparse.Namespace) -> int:
             f"error reply lost its request_id: {bad}",
         )
         all_replies.append(bad)
+
+        # Phase 2: parameterized serving -- literal-varying workload,
+        # wire prepare/execute, hostile bindings.
+        all_replies.extend(_param_phase(host, port, service, args))
 
         if args.faults:
             shape_probe(host, port, service, args)
@@ -381,10 +514,13 @@ def shape_probe(
     """Open the breaker on one shape under sustained compile faults, then
     watch it recover through a half-open probe."""
     from repro.resilience.faults import FaultInjector, FaultSpec
+    from repro.serve.service import ServiceRequest
     from repro.tpch.sql_queries import SQL_QUERIES
 
     sql = SQL_QUERIES[6]
-    shape = "sql:" + " ".join(sql.split())
+    # The breaker keys on the request's shape -- canonical text with
+    # literals lifted -- which must match what the session cache keys on.
+    shape = ServiceRequest(sql=sql).shape()
     service.session.clear_cache()  # force every request through the compiler
     opened_before = REGISTRY.get_counter("serve.breaker.opened")
     with FaultInjector(FaultSpec("codegen", at=None, times=None)):

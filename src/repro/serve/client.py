@@ -55,9 +55,12 @@ class ServiceClient:
         sql: str,
         tenant: str = "default",
         deadline_seconds: Optional[float] = None,
+        params=None,
         **extra,
     ) -> dict:
         doc = {"sql": sql, "tenant": tenant, **extra}
+        if params is not None:
+            doc["params"] = params
         if deadline_seconds is not None:
             doc["deadline_seconds"] = deadline_seconds
         return self.request(doc)
@@ -70,6 +73,29 @@ class ServiceClient:
         **extra,
     ) -> dict:
         doc = {"tpch": number, "tenant": tenant, **extra}
+        if deadline_seconds is not None:
+            doc["deadline_seconds"] = deadline_seconds
+        return self.request(doc)
+
+    def prepare(self, sql: str, **extra) -> dict:
+        """Compile a parameterized statement once; returns the canonical
+        text and typed signature.  Later :meth:`execute` calls (from any
+        connection or tenant) hit the cached shape."""
+        return self.request({"op": "prepare", "sql": sql, **extra})
+
+    def execute(
+        self,
+        sql: str,
+        params=None,
+        tenant: str = "default",
+        deadline_seconds: Optional[float] = None,
+        **extra,
+    ) -> dict:
+        """Execute a parameterized statement with ``params`` bound (a list
+        for positional ``?``, a dict for ``:name`` placeholders)."""
+        doc = {"op": "execute", "sql": sql, "tenant": tenant, **extra}
+        if params is not None:
+            doc["params"] = params
         if deadline_seconds is not None:
             doc["deadline_seconds"] = deadline_seconds
         return self.request(doc)

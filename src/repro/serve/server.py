@@ -3,8 +3,20 @@
 The wire protocol is newline-delimited JSON (one request object per line,
 one response object per line, UTF-8).  Query requests carry ``sql`` or
 ``tpch`` plus optional ``tenant`` / ``deadline_seconds`` / ``engine`` /
-``id``; three admin ops ride the same framing::
+``id`` / ``params`` (bindings for a parameterized statement: a list for
+positional ``?``, an object for ``:name``); prepared-statement and admin
+ops ride the same framing::
 
+    {"op": "prepare", "sql": "..."} -> {"ok": true, "statement": "...",
+                                       "signature": [{"slot": "?0",
+                                       "type": "float"}, ...]} -- compile
+                                       once; later executions of any
+                                       literal variant (from any tenant)
+                                       hit the cached shape
+    {"op": "execute", "sql": "...",
+     "params": [...]}               -> a normal query response; identical
+                                       to a plain query submit with
+                                       ``params``
     {"op": "ping"}                  -> {"ok": true, "pong": true}
     {"op": "stats"}                 -> {"ok": true, "stats": {...}}
     {"op": "metrics"}               -> {"ok": true, "metrics": {"snapshot":
@@ -173,6 +185,16 @@ class QueryServer:
                     "exposition": render_prometheus(snapshot),
                 },
             }
+        if op == "prepare":
+            return self._handle_prepare(doc)
+        if op == "execute":
+            # Execution of a (possibly prepared) parameterized statement:
+            # identical to a plain query submit -- the session's
+            # shape-keyed cache is what makes the prior ``prepare`` pay
+            # off -- but spelled as an op so clients can express the
+            # prepare/execute pairing explicitly.
+            query = {k: v for k, v in doc.items() if k != "op"}
+            return self.service.submit_dict(query)
         if op == "shutdown":
             raise _ShutdownRequested()
         if op is not None:
@@ -187,6 +209,55 @@ class QueryServer:
                 "error": error_to_dict(exc),
             }
         return self.service.submit_dict(doc)
+
+    def _handle_prepare(self, doc: dict) -> dict:
+        """Compile a parameterized statement once, ahead of executions.
+
+        Replies with the canonical statement text and the typed parameter
+        signature.  The compiled shape lives in the session cache under
+        the statement's shape key -- which has no tenant component -- so
+        one prepare serves every tenant's subsequent ``execute``.  All
+        failures (lex/parse/plan/param errors) come back as typed error
+        documents, never tracebacks.
+        """
+        sql = doc.get("sql")
+        rid = doc.get("request_id")
+
+        def fail(exc: BaseException) -> dict:
+            if hasattr(exc, "with_request") and isinstance(rid, str):
+                exc.with_request(rid)
+            code = error_to_dict(exc).get("code") or "E_INTERNAL"
+            REGISTRY.counter(f"serve.errors.{code}")
+            return {"ok": False, "id": doc.get("id"), "error": error_to_dict(exc)}
+
+        if not isinstance(sql, str):
+            return fail(ServiceProtocolError("'prepare' requires a 'sql' string"))
+        from repro.obs import events
+        from repro.serve.service import ServiceRequest, mint_request_id
+
+        # Bind the ambient request context so the compile event and the
+        # telemetry sample land on the same shape key later executions
+        # record under ("sql:<shape text>", not the raw cache key).
+        shape = ServiceRequest(sql=sql).shape()
+        request_id = rid if isinstance(rid, str) else mint_request_id()
+        tenant = str(doc.get("tenant", "default"))
+        try:
+            with events.request_context(request_id, shape=shape, tenant=tenant):
+                statement = self.service.session.prepare_statement(sql)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            return fail(exc)
+        REGISTRY.counter("serve.prepared")
+        return {
+            "ok": True,
+            "id": doc.get("id"),
+            "statement": statement.text,
+            "signature": [
+                {"slot": slot.describe(), "type": slot.ctype.value}
+                for slot in statement.signature
+            ],
+        }
 
 
 def wait_for_port(host: str, port: int, timeout: float = 5.0) -> bool:

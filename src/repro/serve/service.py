@@ -123,15 +123,28 @@ class ServiceRequest:
     deadline_seconds: Optional[float] = None
     engine: Optional[str] = None  # pin one engine (testing/diagnostics)
     id: Optional[object] = None
+    # Bindings for a parameterized statement: a list for positional ``?``
+    # placeholders, a dict for ``:name`` placeholders.  Only valid with
+    # ``sql``; arity/type violations come back as typed ``E_PARAM``.
+    params: Optional[object] = None
     # The correlation id every reply, log line, event and error carries.
     # Clients may supply their own (echoed verbatim); the service mints
     # one at admission otherwise.
     request_id: Optional[str] = None
 
     def shape(self) -> str:
-        """The plan-shape key the breaker and compiled cache share."""
+        """The plan-shape key the breaker and compiled cache share.
+
+        For SQL this is the statement's *shape* -- canonical spelling
+        with eligible literals lifted to placeholders (:func:`repro.sql.
+        shape.statement_shape`) -- so literal variants of one statement
+        share breaker state, telemetry digests and the session's
+        shape-keyed compile.
+        """
         if self.sql is not None:
-            return "sql:" + " ".join(self.sql.split())
+            from repro.sql.shape import statement_shape
+
+            return "sql:" + statement_shape(self.sql).text
         return f"tpch:{self.tpch}"
 
 
@@ -290,6 +303,7 @@ class QueryService:
             deadline_seconds=doc.get("deadline_seconds"),
             engine=doc.get("engine"),
             id=doc.get("id"),
+            params=doc.get("params"),
             request_id=(
                 doc["request_id"] if isinstance(doc.get("request_id"), str) else None
             ),
@@ -313,6 +327,19 @@ class QueryService:
             raise ServiceProtocolError(
                 f"unknown engine {request.engine!r}; pick from {FULL_CHAIN}"
             )
+        if request.params is not None:
+            from repro.errors import ServiceProtocolError
+
+            if request.sql is None:
+                raise ServiceProtocolError(
+                    "'params' is only valid with 'sql' (TPC-H plan requests "
+                    "take no bindings)"
+                )
+            if not isinstance(request.params, (list, tuple, dict)):
+                raise ServiceProtocolError(
+                    "'params' must be a list (positional '?') or an object "
+                    f"(named ':name'), got {type(request.params).__name__}"
+                )
 
     def _deadline_for(self, request: ServiceRequest) -> float:
         quota = self._tenants.state(request.tenant).quota
@@ -411,7 +438,7 @@ class QueryService:
         compiled_attempted = False
         try:
             if request.sql is not None:
-                result = executor.query(request.sql)
+                result = executor.query(request.sql, request.params)
             else:
                 result = executor.execute_plan(
                     self._tpch_plan(request.tpch), cache_key=f"tpch:{request.tpch}"

@@ -26,18 +26,22 @@ import copy
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.compiler.driver import CompiledQuery, LB2Compiler
 from repro.compiler.lb2 import Config
+from repro.errors import ParamError
 from repro.obs import events
 from repro.obs.metrics import REGISTRY
 from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace import span
 from repro.plan.explain import explain
+from repro.plan.params import Bindings, ParamSlot, check_bindings, collect_params
 from repro.plan.physical import PhysicalPlan
 from repro.plan.rewrite import optimize_for_level
 from repro.sql import sql_to_plan
+from repro.sql.shape import StatementShape, normalize_statement, statement_shape
 from repro.storage.database import Database
 
 
@@ -52,6 +56,71 @@ class _Inflight:
         self.error: Optional[BaseException] = None
 
 
+@dataclass
+class PreparedStatement:
+    """A compiled statement bound to its session, executable many times.
+
+    ``text`` is the canonical statement text (the cache key text); for a
+    parameterized statement it shows the placeholders.  :meth:`execute`
+    validates ``params`` against :attr:`signature` and runs the shared
+    residual program -- one compile serves every binding.  Arity, name and
+    Python-type mismatches raise the typed ``E_PARAM`` error.
+    """
+
+    session: "Session"
+    text: str
+    shape: StatementShape
+    compiled: CompiledQuery
+
+    @property
+    def signature(self) -> tuple[ParamSlot, ...]:
+        """The statement's parameter slots, in vector order."""
+        return self.compiled.param_signature
+
+    @property
+    def source(self) -> str:
+        """The residual Python program shared across bindings."""
+        return self.compiled.source
+
+    def execute(self, params: Optional[Bindings] = None) -> list[tuple]:
+        """Run with ``params`` bound; returns result rows."""
+        with span("execute", engine="compiled"):
+            return self.compiled.run(self.session.db, params)
+
+    def describe(self) -> str:
+        slots = ", ".join(
+            f"{s.describe()} {s.ctype.value}" for s in self.signature
+        )
+        return f"{self.text} [{slots}]" if slots else self.text
+
+
+@dataclass(frozen=True)
+class ResolvedStatement:
+    """One statement resolved for execution on *any* engine.
+
+    The :class:`~repro.resilience.executor.ResilientExecutor` plans every
+    request anyway (interpreted engines walk the plan); this bundles that
+    plan with the parameterization decision so the whole fallback chain
+    agrees on it: ``text`` is the cache text the compiled engine keys on,
+    ``signature``/``bindings`` are what :func:`repro.plan.params.
+    check_bindings` turns into the positional vector, and the interpreted
+    engines substitute the same vector via :func:`repro.plan.params.
+    bind_params`.  ``signature`` is empty for a non-parameterized
+    statement (then ``bindings`` is None and ``text`` is the normalized
+    literal spelling).
+    """
+
+    sql: str
+    text: str
+    plan: PhysicalPlan
+    signature: tuple[ParamSlot, ...]
+    bindings: Optional[Bindings]
+
+    @property
+    def parameterized(self) -> bool:
+        return bool(self.signature)
+
+
 class Session:
     """Compile-and-cache query execution against one database."""
 
@@ -61,12 +130,18 @@ class Session:
         config: Optional[Config] = None,
         use_index_rewrites: bool = True,
         max_cache_size: int = 128,
+        auto_parameterize: bool = True,
     ) -> None:
         if max_cache_size <= 0:
             raise ValueError("max_cache_size must be positive")
         self.db = db
         self.config = config
         self.use_index_rewrites = use_index_rewrites
+        # When False, query()/resolve() never lift literals to parameters:
+        # every distinct statement text compiles separately.  Explicit
+        # placeholders still work.  Exists for A/B measurement
+        # (``repro-bench-serve --params``) and as an escape hatch.
+        self.auto_parameterize = auto_parameterize
         self.max_cache_size = max_cache_size
         self._cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._inflight: dict[tuple, _Inflight] = {}
@@ -75,6 +150,12 @@ class Session:
         self._misses = 0
         self._evictions = 0
         self._single_flight_waits = 0
+        self._shape_hits = 0
+        self._shape_misses = 0
+        # Shape texts whose parameterized compile (or auto-binding) failed
+        # with E_PARAM: the query path falls back to per-literal compiles
+        # for these and skips re-attempting the shape on every call.
+        self._shape_fallbacks: set[str] = set()
 
     # -- planning ---------------------------------------------------------------
 
@@ -94,9 +175,13 @@ class Session:
         dictionary layouts, index choices and instrumentation.  ``Config``
         is a frozen dataclass (hashable); the database contributes its
         identity, so rebinding ``session.db`` misses cleanly.
+
+        The statement text is canonicalized by :func:`repro.sql.shape.
+        normalize_statement`: whitespace, keyword case and comments do not
+        fragment the cache.
         """
         return (
-            " ".join(sql.split()),  # whitespace-insensitive statement text
+            normalize_statement(sql),
             config,
             id(self.db),
             self.use_index_rewrites,
@@ -104,6 +189,16 @@ class Session:
 
     def _plan_cache_key(self, key: str, config: Optional[Config]) -> tuple:
         return (f"plan:{key}", config, id(self.db), self.use_index_rewrites)
+
+    def _shape_cache_key(self, text: str, config: Optional[Config]) -> tuple:
+        """The cache key of a shape-compiled (parameterized) statement.
+
+        ``text`` is already canonical (it came out of
+        :func:`~repro.sql.shape.statement_shape`); the ``shape:`` prefix
+        keeps shape entries distinguishable in :meth:`cache_info` and in
+        the ``session.cache.shape_*`` counters.
+        """
+        return (f"shape:{text}", config, id(self.db), self.use_index_rewrites)
 
     def prepare(
         self, sql: str, *, config: Optional[Config] = None
@@ -125,6 +220,99 @@ class Session:
                 return compiler.compile(self.plan(sql))
 
         return self._prepare_cached(key, compile_sql)
+
+    def prepare_shape(
+        self, text: str, *, config: Optional[Config] = None
+    ) -> CompiledQuery:
+        """The compiled query for a canonical (usually parameterized) shape.
+
+        ``text`` must be a shape text from :func:`~repro.sql.shape.
+        statement_shape` -- canonical spelling, placeholders in value
+        positions.  The entry is cached under the ``shape:``-prefixed key,
+        so every literal variant of one statement shares one compile; the
+        ``session.cache.shape_hits``/``shape_misses`` counters track this
+        path separately from per-literal compiles.
+        """
+        cfg = self.config if config is None else config
+        key = self._shape_cache_key(text, cfg)
+
+        def compile_shape() -> CompiledQuery:
+            with span("compile", statement=text):
+                compiler = LB2Compiler(self.db.catalog, self.db, cfg)
+                return compiler.compile(self.plan(text))
+
+        return self._prepare_cached(key, compile_shape)
+
+    def prepare_statement(
+        self, sql: str, *, config: Optional[Config] = None
+    ) -> PreparedStatement:
+        """Prepare ``sql`` once; execute it many times with bindings.
+
+        A statement with explicit placeholders (``?`` positional or
+        ``:name`` named) compiles to one shape-keyed residual program that
+        closes over the runtime parameter vector;
+        :meth:`PreparedStatement.execute` supplies the bindings.  A
+        statement without placeholders prepares exactly as written (no
+        auto-parameterization -- the user drew the line themselves) and
+        executes with no bindings.
+        """
+        shape = statement_shape(sql)
+        if shape.explicit:
+            compiled = self.prepare_shape(shape.text, config=config)
+            return PreparedStatement(self, shape.text, shape, compiled)
+        text = normalize_statement(sql)
+        compiled = self.prepare(sql, config=config)
+        return PreparedStatement(self, text, StatementShape(text=text), compiled)
+
+    def resolve(
+        self, sql: str, params: Optional[Bindings] = None
+    ) -> ResolvedStatement:
+        """Plan ``sql`` with the parameterization decision made.
+
+        Engine-agnostic front half of execution, shared with the
+        resilience layer: explicit placeholders resolve to the shape text
+        with the caller's ``params`` as bindings; an eligible literal
+        statement auto-parameterizes (its own literals become the
+        bindings) unless the shape previously failed with ``E_PARAM``, in
+        which case it -- and any statement with nothing to lift --
+        resolves to the normalized literal text with no parameters.
+        """
+        shape = statement_shape(sql)
+        if shape.explicit:
+            plan = self.plan(shape.text)
+            return ResolvedStatement(
+                sql, shape.text, plan, collect_params(plan), params
+            )
+        if params:
+            raise ParamError(
+                "statement has no parameter placeholders but bindings "
+                "were supplied",
+                phase="execute",
+            )
+        if (
+            self.auto_parameterize
+            and shape.param_count
+            and not self._shape_known_bad(shape.text)
+        ):
+            try:
+                plan = self.plan(shape.text)
+                signature = collect_params(plan)
+                check_bindings(signature, shape.values)
+                return ResolvedStatement(
+                    sql, shape.text, plan, signature, shape.values
+                )
+            except ParamError:
+                self._mark_shape_bad(shape.text)
+        text = normalize_statement(sql)
+        return ResolvedStatement(sql, text, self.plan(text), (), None)
+
+    def _shape_known_bad(self, text: str) -> bool:
+        with self._lock:
+            return text in self._shape_fallbacks
+
+    def _mark_shape_bad(self, text: str) -> None:
+        with self._lock:
+            self._shape_fallbacks.add(text)
 
     def prepare_plan(
         self, plan: PhysicalPlan, key: str, *, config: Optional[Config] = None
@@ -154,11 +342,15 @@ class Session:
         while True:
             wait_for: Optional[_Inflight] = None
             with self._lock:
+                shaped = key[0].startswith("shape:")
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
                     self._hits += 1
                     REGISTRY.counter("session.cache.hits")
+                    if shaped:
+                        self._shape_hits += 1
+                        REGISTRY.counter("session.cache.shape_hits")
                     return cached
                 flight = self._inflight.get(key)
                 if flight is not None:
@@ -168,6 +360,9 @@ class Session:
                     self._inflight[key] = flight
                     self._misses += 1
                     REGISTRY.counter("session.cache.misses")
+                    if shaped:
+                        self._shape_misses += 1
+                        REGISTRY.counter("session.cache.shape_misses")
             if wait_for is not None:
                 wait_for.event.wait()
                 with self._lock:
@@ -224,8 +419,43 @@ class Session:
 
     # -- execution -----------------------------------------------------------------
 
-    def query(self, sql: str) -> list[tuple]:
-        """Execute SQL (compiled); returns result rows."""
+    def query(
+        self, sql: str, params: Optional[Bindings] = None
+    ) -> list[tuple]:
+        """Execute SQL (compiled); returns result rows.
+
+        With explicit placeholders in ``sql``, ``params`` supplies the
+        bindings (sequence for ``?``, mapping or first-occurrence-ordered
+        sequence for ``:name``) and the compiled shape is shared across
+        bindings.  Without placeholders, eligible literals are
+        auto-parameterized: statements differing only in those literal
+        values share one compiled residual program, keyed by shape.  If
+        the shape cannot be parameterized (``E_PARAM`` anywhere on the
+        shape path), the statement transparently falls back to a
+        per-literal compile -- results are identical either way.
+        """
+        shape = statement_shape(sql)
+        if shape.explicit:
+            compiled = self.prepare_shape(shape.text)
+            with span("execute", engine="compiled"):
+                return compiled.run(self.db, params)
+        if params:
+            raise ParamError(
+                "statement has no parameter placeholders but bindings "
+                "were supplied",
+                phase="execute",
+            )
+        if (
+            self.auto_parameterize
+            and shape.param_count
+            and not self._shape_known_bad(shape.text)
+        ):
+            try:
+                compiled = self.prepare_shape(shape.text)
+                with span("execute", engine="compiled"):
+                    return compiled.run(self.db, shape.values)
+            except ParamError:
+                self._mark_shape_bad(shape.text)
         compiled = self.prepare(sql)
         with span("execute", engine="compiled"):
             return compiled.run(self.db)
@@ -294,31 +524,54 @@ class Session:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "single_flight_waits": self._single_flight_waits,
+                "shape_hits": self._shape_hits,
+                "shape_misses": self._shape_misses,
                 "statements": [key[0] for key in self._cache],
             }
 
     def clear_cache(self) -> None:
         with self._lock:
             self._cache.clear()
+            self._shape_fallbacks.clear()
 
     def invalidate(self) -> None:
         """Drop every cached compiled query (alias of :meth:`clear_cache`).
 
-        The resilience layer calls this (or :meth:`forget`) when a cached
-        plan misbehaves at run time, so degradation never re-serves a
-        known-bad residual program.
+        This covers parameterized statements too: shape-keyed entries
+        (``shape:`` keys) live in the same LRU, and the shape-fallback
+        memo is reset so previously unparameterizable statements get a
+        fresh chance after whatever changed.  The resilience layer calls
+        this (or :meth:`forget`) when a cached plan misbehaves at run
+        time, so degradation never re-serves a known-bad residual program.
         """
         self.clear_cache()
 
     def forget(self, sql: str, *, config: Optional[Config] = None) -> bool:
-        """Evict one statement's compiled query; True when it was cached.
+        """Evict one statement's compiled queries; True when any was cached.
 
         ``config`` selects which specialization to evict (the same default
         as :meth:`prepare`: the session config).
+
+        Parameterized-statement contract: a statement maps to up to two
+        cache entries -- the per-literal compile (normalized text, the
+        :meth:`prepare` key) and the shape-keyed compile shared with every
+        literal variant (the :meth:`query`/:meth:`prepare_statement` key).
+        ``forget`` evicts both, and clears the statement's shape-fallback
+        memo, so the next execution recompiles from scratch no matter
+        which path cached it.  Note the shape entry is shared: forgetting
+        one literal variant forgets the compile for all of them.
         """
         cfg = self.config if config is None else config
+        shape = statement_shape(sql)
         with self._lock:
-            return self._cache.pop(self._cache_key(sql, cfg), None) is not None
+            dropped = self._cache.pop(self._cache_key(sql, cfg), None) is not None
+            if shape.parameterized:
+                shape_key = self._shape_cache_key(shape.text, cfg)
+                dropped = (
+                    self._cache.pop(shape_key, None) is not None
+                ) or dropped
+                self._shape_fallbacks.discard(shape.text)
+            return dropped
 
     def forget_plan(self, key: str, *, config: Optional[Config] = None) -> bool:
         """Evict one plan-keyed compiled query; True when it was cached."""

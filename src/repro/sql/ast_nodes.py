@@ -26,6 +26,20 @@ class Literal(SqlExpr):
 
 
 @dataclass(frozen=True)
+class Placeholder(SqlExpr):
+    """A statement parameter: positional ``?`` or named ``:name``.
+
+    ``index`` is the slot in the runtime parameter vector.  Positional
+    placeholders are numbered left to right; every occurrence of the same
+    named placeholder shares one index (first-occurrence order).  ``name``
+    is ``None`` for positional placeholders.
+    """
+
+    index: int
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class Interval(SqlExpr):
     """``INTERVAL 'n' unit`` -- only valid in +/- with a date."""
 

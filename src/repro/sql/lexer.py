@@ -31,7 +31,10 @@ class Token:
     """One lexical token.
 
     ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
-    ``symbol``, ``eof``; keywords are lower-cased, identifiers keep case.
+    ``symbol``, ``param``, ``eof``; keywords are lower-cased, identifiers
+    keep case.  A ``param`` token is a statement placeholder: ``value`` is
+    ``"?"`` for a positional placeholder and the bare name for a ``:name``
+    placeholder.
     """
 
     kind: str
@@ -90,6 +93,22 @@ def _tokens(text: str) -> Iterator[Token]:
                     seen_dot = True
                 j += 1
             yield Token("number", text[i:j], i)
+            i = j
+            continue
+        if ch == "?":
+            yield Token("param", "?", i)
+            i += 1
+            continue
+        if ch == ":":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            name = text[i + 1 : j]
+            if not name or name[0].isdigit():
+                raise SqlLexError(
+                    f"expected a parameter name after ':' at position {i}"
+                )
+            yield Token("param", name, i)
             i = j
             continue
         if ch.isalpha() or ch == "_":

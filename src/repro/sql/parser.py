@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.catalog.types import date_to_int
-from repro.errors import ReproError
+from repro.errors import ParamError, ReproError
 from repro.sql import ast_nodes as ast
 from repro.sql.lexer import Token, tokenize
 
@@ -37,6 +37,12 @@ class _Parser:
     def __init__(self, text: str) -> None:
         self.tokens = tokenize(text)
         self.pos = 0
+        # Parameter bookkeeping: ``?`` placeholders number left to right,
+        # every occurrence of the same ``:name`` shares one index, and the
+        # two styles cannot be mixed in a single statement.
+        self.param_style: Optional[str] = None
+        self.positional_params = 0
+        self.named_params: dict[str, int] = {}
 
     # -- token helpers -----------------------------------------------------------
 
@@ -74,6 +80,33 @@ class _Parser:
         raise SqlParseError(
             f"{message}, found {token.kind} {token.value!r} at position {token.position}"
         )
+
+    def fail_param(self, message: str) -> None:
+        token = self.cur
+        raise ParamError(f"{message} (at position {token.position})", phase="plan")
+
+    def placeholder(self) -> ast.Placeholder:
+        token = self.advance()
+        if token.value == "?":
+            if self.param_style == "named":
+                raise ParamError(
+                    "cannot mix positional '?' and named ':name' parameters "
+                    "in one statement",
+                    phase="plan",
+                )
+            self.param_style = "positional"
+            index = self.positional_params
+            self.positional_params += 1
+            return ast.Placeholder(index=index)
+        if self.param_style == "positional":
+            raise ParamError(
+                "cannot mix positional '?' and named ':name' parameters "
+                "in one statement",
+                phase="plan",
+            )
+        self.param_style = "named"
+        index = self.named_params.setdefault(token.value, len(self.named_params))
+        return ast.Placeholder(index=index, name=token.value)
 
     # -- statement ---------------------------------------------------------------
 
@@ -129,6 +162,11 @@ class _Parser:
         limit: Optional[int] = None
         if self.accept_kw("limit"):
             token = self.cur
+            if token.kind == "param":
+                self.fail_param(
+                    "LIMIT cannot be a parameter; the bound is baked "
+                    "into the residual program"
+                )
             if token.kind != "number":
                 self.fail("expected a number after LIMIT")
             limit = int(self.advance().value)
@@ -155,6 +193,11 @@ class _Parser:
         return alias, expr
 
     def from_item(self) -> ast.FromTable:
+        if self.cur.kind == "param":
+            self.fail_param(
+                "a parameter cannot stand for a table name; "
+                "parameters bind values, not plan structure"
+            )
         if self.cur.kind != "ident":
             self.fail("expected a table name")
         table = self.advance().value
@@ -219,6 +262,11 @@ class _Parser:
                 self.advance()
                 negate = True
         if self.accept_kw("like"):
+            if self.cur.kind == "param":
+                self.fail_param(
+                    "a LIKE pattern cannot be a parameter; the pattern "
+                    "shape specializes the residual program"
+                )
             if self.cur.kind != "string":
                 self.fail("expected a pattern string after LIKE")
             return ast.LikeOp(left, self.advance().value, negate=negate)
@@ -269,6 +317,11 @@ class _Parser:
     def constant(self) -> object:
         """A bare literal (for IN lists)."""
         token = self.cur
+        if token.kind == "param":
+            self.fail_param(
+                "a parameter cannot appear in an IN list; the list "
+                "unrolls into the residual program at compile time"
+            )
         if token.kind == "number":
             self.advance()
             return float(token.value) if "." in token.value else int(token.value)
@@ -285,6 +338,8 @@ class _Parser:
 
     def primary(self) -> ast.SqlExpr:
         token = self.cur
+        if token.kind == "param":
+            return self.placeholder()
         if token.kind == "number":
             self.advance()
             value = float(token.value) if "." in token.value else int(token.value)
@@ -300,11 +355,18 @@ class _Parser:
             return ast.Literal(False)
         if token.is_kw("date"):
             self.advance()
+            if self.cur.kind == "param":
+                self.fail_param(
+                    "a DATE literal cannot be a parameter; date bounds "
+                    "drive index-rewrite decisions at plan time"
+                )
             if self.cur.kind != "string":
                 self.fail("expected a date string after DATE")
             return ast.Literal(date_to_int(self.advance().value))
         if token.is_kw("interval"):
             self.advance()
+            if self.cur.kind == "param":
+                self.fail_param("an INTERVAL amount cannot be a parameter")
             if self.cur.kind != "string":
                 self.fail("expected a quoted amount after INTERVAL")
             amount = int(self.advance().value)
@@ -329,10 +391,14 @@ class _Parser:
             self.expect_sym("(")
             term = self.expr()
             self.expect_kw("from")
+            if self.cur.kind == "param":
+                self.fail_param("a SUBSTRING position cannot be a parameter")
             if self.cur.kind != "number":
                 self.fail("expected a start position")
             start = int(self.advance().value)
             self.expect_kw("for")
+            if self.cur.kind == "param":
+                self.fail_param("a SUBSTRING length cannot be a parameter")
             if self.cur.kind != "number":
                 self.fail("expected a length")
             length = int(self.advance().value)

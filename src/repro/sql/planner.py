@@ -35,11 +35,13 @@ from repro.plan.expressions import (
     Col,
     Const,
     Expr,
+    ExprError,
     ExtractYear,
     InList,
     Like,
     Not,
     Or,
+    Param,
     Substring,
 )
 from repro.errors import ReproError
@@ -66,12 +68,17 @@ class _Scope:
     def __init__(self, tables: list[ast.FromTable], catalog: Catalog) -> None:
         self.catalog = catalog
         self.by_alias: dict[str, str] = {}
+        # ``alias.column -> ColumnType`` for every visible column; parameter
+        # type inference resolves sibling expressions against this.
+        self.types: dict[str, ColumnType] = {}
         for item in tables:
             if item.alias in self.by_alias:
                 raise SqlPlanError(f"duplicate alias {item.alias!r} in FROM")
             if not catalog.has_table(item.table):
                 raise SqlPlanError(f"unknown table {item.table!r}")
             self.by_alias[item.alias] = item.table
+            for column in catalog.table(item.table).columns:
+                self.types[f"{item.alias}.{column.name}"] = column.type
 
     def resolve(self, ref: ast.Ref) -> str:
         if ref.table is not None:
@@ -116,6 +123,12 @@ class _Translator:
                 kind = call.name
             spec = AggSpec(kind, arg)
         self.aggs.append((name, spec, call))
+        try:
+            # Register the aggregate output's type so parameters compared
+            # against it (HAVING sum(x) > ?) infer like column siblings.
+            self.scope.types[name] = spec.result_type(self.scope.types)
+        except ExprError:
+            pass
         return name
 
     def translate(self, node: ast.SqlExpr, allow_aggs: bool) -> Expr:
@@ -127,6 +140,8 @@ class _Translator:
             return Col(self.scope.resolve(node))
         if isinstance(node, ast.Literal):
             return Const(node.value)
+        if isinstance(node, ast.Placeholder):
+            return Param(node.index, node.name)
         if isinstance(node, ast.Interval):
             raise SqlPlanError("INTERVAL is only valid added to or subtracted from a date")
         if isinstance(node, ast.BinOp):
@@ -134,34 +149,61 @@ class _Translator:
         if isinstance(node, ast.NotOp):
             return Not(self.translate(node.term, allow_aggs))
         if isinstance(node, ast.LikeOp):
-            return Like(self.translate(node.term, allow_aggs), node.pattern, node.negate)
+            term = self._infer(self.translate(node.term, allow_aggs), ColumnType.STRING)
+            return Like(term, node.pattern, node.negate)
         if isinstance(node, ast.InListOp):
             expr = InList(self.translate(node.term, allow_aggs), node.values)
             return Not(expr) if node.negate else expr
         if isinstance(node, ast.BetweenOp):
-            expr = Between(
-                self.translate(node.term, allow_aggs),
-                _const_value(self.translate(node.lo, allow_aggs)),
-                _const_value(self.translate(node.hi, allow_aggs)),
-            )
+            term = self.translate(node.term, allow_aggs)
+            term_type = self._typed(term)
+            lo = self._infer(self.translate(node.lo, allow_aggs), term_type)
+            hi = self._infer(self.translate(node.hi, allow_aggs), term_type)
+            expr = Between(term, _const_value(lo), _const_value(hi))
             return Not(expr) if node.negate else expr
         if isinstance(node, ast.CaseOp):
-            return Case(
-                self.translate(node.cond, allow_aggs),
-                self.translate(node.then, allow_aggs),
-                self.translate(node.els, allow_aggs),
-            )
+            then = self.translate(node.then, allow_aggs)
+            els = self.translate(node.els, allow_aggs)
+            then = self._infer(then, self._typed(els))
+            els = self._infer(els, self._typed(then))
+            return Case(self.translate(node.cond, allow_aggs), then, els)
         if isinstance(node, ast.ExtractOp):
             term = self.translate(node.term, allow_aggs)
             if node.unit == "year":
                 return ExtractYear(term)
             raise SqlPlanError(f"EXTRACT({node.unit.upper()}) is not supported")
         if isinstance(node, ast.SubstringOp):
-            return Substring(self.translate(node.term, allow_aggs), node.start, node.length)
+            term = self._infer(self.translate(node.term, allow_aggs), ColumnType.STRING)
+            return Substring(term, node.start, node.length)
         raise SqlPlanError(f"unsupported expression node {type(node).__name__}")
 
     def scalar(self, node: ast.SqlExpr) -> Expr:
         return self.translate(node, allow_aggs=False)
+
+    # -- parameter type inference -------------------------------------------
+    #
+    # A parameter's type comes from its expression context: the column (or
+    # typed sibling) it is compared with, the BETWEEN term, the other CASE
+    # arm, the LIKE/SUBSTRING string position.  An expression whose type is
+    # not yet known (it contains another untyped parameter) contributes
+    # nothing; ``plan.params.collect_params`` raises the typed ``E_PARAM``
+    # error if any slot is still untyped once the plan is built.
+
+    def _typed(self, expr: Expr) -> Optional[ColumnType]:
+        try:
+            return expr.result_type(self.scope.types)
+        except ExprError:
+            return None
+
+    def _infer(self, expr: Expr, ptype: Optional[ColumnType]) -> Expr:
+        if isinstance(expr, Param) and expr.ptype is None and ptype is not None:
+            return Param(expr.index, expr.name, ptype)
+        return expr
+
+    def _infer_pair(self, lhs: Expr, rhs: Expr) -> tuple[Expr, Expr]:
+        lhs = self._infer(lhs, self._typed(rhs))
+        rhs = self._infer(rhs, self._typed(lhs))
+        return lhs, rhs
 
     def _binop(self, node: ast.BinOp, allow_aggs: bool) -> Expr:
         # DATE +/- INTERVAL folds at planning time.
@@ -185,8 +227,10 @@ class _Translator:
         if node.op == "or":
             return Or(lhs, rhs)
         if node.op in _CMP_MAP:
+            lhs, rhs = self._infer_pair(lhs, rhs)
             return Cmp(_CMP_MAP[node.op], lhs, rhs)
         if node.op in ("+", "-", "*", "/"):
+            lhs, rhs = self._infer_pair(lhs, rhs)
             return Arith(node.op, lhs, rhs)
         raise SqlPlanError(f"unsupported operator {node.op!r}")
 

@@ -1,0 +1,229 @@
+"""Statement shapes: canonical text plus auto-parameterized literals.
+
+This is the pre-parse half of the prepared-statement story.  Two statements
+that differ only in formatting (whitespace, keyword case, comments) must
+share one cache entry, and two statements that differ only in *eligible
+literal values* must share one compiled residual program.  Both reductions
+happen here, at the token level, before the parser runs:
+
+* :func:`normalize_statement` renders the token stream back to one
+  canonical spelling -- single spaces, lower-case keywords, comments gone.
+  Identifiers keep their case (catalog names are case-sensitive).
+* :func:`statement_shape` additionally lifts eligible number/string
+  literals out of the text, replacing each with a positional ``?`` and
+  collecting the values in order.  The canonical parameterized text is the
+  statement's *shape* -- the session cache key and the unit the serving
+  tier's breaker/telemetry digests agree on.
+
+A statement that already carries explicit placeholders (``?`` or
+``:name``) is never auto-parameterized: the user has drawn the
+present-stage/future-stage line themselves.
+
+Auto-parameterization is deliberately conservative.  A literal is left
+in place (stays present-stage, specializing the residual program) when it
+shapes the plan or the generated code rather than merely filling a value
+slot:
+
+* ``DATE '...'`` literals -- date bounds drive index-rewrite decisions;
+* ``INTERVAL`` amounts -- folded into date arithmetic at plan time;
+* ``LIKE`` patterns -- the pattern's shape picks the string kernel;
+* ``IN (...)`` lists -- unrolled into the residual comparison chain;
+* ``LIMIT`` bounds and ``SUBSTRING`` positions -- baked into loops;
+* literals in ``GROUP BY`` / ``ORDER BY`` lists -- ordinals, not values;
+* literals directly after ``THEN`` / ``ELSE`` -- keeps one CASE arm
+  typed so the planner can infer the other arm's parameter type.
+
+Everything else -- comparison operands, arithmetic terms, BETWEEN bounds
+-- lifts.  A unary minus directly before a number folds into the lifted
+value, so ``-0.05`` becomes one parameter rather than ``0 - ?``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sql.lexer import SqlLexError, Token, tokenize
+
+#: A literal directly after one of these keywords stays present-stage.
+_SKIP_AFTER_KW = frozenset(
+    {"date", "interval", "like", "limit", "from", "for", "then", "else"}
+)
+
+#: Tokens after which a ``-`` is a *binary* operator, not a sign.
+_BINARY_MINUS_AFTER_KW = frozenset({"end", "null", "true", "false"})
+
+
+@dataclass(frozen=True)
+class StatementShape:
+    """The canonical parameterized form of one SQL statement.
+
+    ``text`` is the shape key: canonical spelling with every lifted
+    literal replaced by a placeholder.  ``values`` holds the lifted
+    literal values in slot order (empty when the statement carried
+    explicit placeholders -- then the caller supplies the bindings).
+    ``explicit`` distinguishes user-written placeholders from
+    auto-parameterized text; ``param_count``/``param_names`` describe the
+    slot vector (``param_names`` is empty for positional statements).
+    """
+
+    text: str
+    values: Tuple[object, ...] = ()
+    explicit: bool = False
+    param_count: int = 0
+    param_names: Tuple[str, ...] = ()
+
+    @property
+    def parameterized(self) -> bool:
+        return self.explicit or self.param_count > 0
+
+
+def _render(tokens: Sequence[Token]) -> str:
+    """One canonical spelling of a token stream."""
+    parts: List[str] = []
+    for token in tokens:
+        if token.kind == "eof":
+            break
+        if token.kind == "string":
+            parts.append("'" + token.value.replace("'", "''") + "'")
+        elif token.kind == "param":
+            parts.append("?" if token.value == "?" else ":" + token.value)
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
+
+
+def normalize_statement(sql: str) -> str:
+    """Whitespace/keyword-case/comment-insensitive canonical spelling.
+
+    Falls back to whitespace collapsing when the text does not lex -- the
+    parser will produce the real typed error downstream, and an unlexable
+    statement still deserves a stable cache key.
+    """
+    try:
+        return _render(tokenize(sql))
+    except SqlLexError:
+        return " ".join(sql.split())
+
+
+def _explicit_shape(tokens: Sequence[Token]) -> StatementShape:
+    names: List[str] = []
+    positional = 0
+    for token in tokens:
+        if token.kind != "param":
+            continue
+        if token.value == "?":
+            positional += 1
+        elif token.value not in names:
+            names.append(token.value)
+    count = len(names) if names else positional
+    return StatementShape(
+        text=_render(tokens),
+        values=(),
+        explicit=True,
+        param_count=count,
+        param_names=tuple(names),
+    )
+
+
+def _is_unary_minus(prev: Optional[Token]) -> bool:
+    """Is a ``-`` at this position a sign rather than subtraction?"""
+    if prev is None:
+        return True
+    if prev.kind in ("number", "string", "ident", "param"):
+        return False
+    if prev.kind == "symbol":
+        return prev.value != ")"
+    if prev.kind == "keyword":
+        return prev.value not in _BINARY_MINUS_AFTER_KW
+    return True
+
+
+def statement_shape(sql: str) -> StatementShape:
+    """The statement's shape: canonical text with eligible literals lifted.
+
+    Returns an un-parameterized shape (``values=()``, ``param_count=0``)
+    when nothing lifts or the text does not lex.
+    """
+    try:
+        tokens = tokenize(sql)
+    except SqlLexError:
+        return StatementShape(text=" ".join(sql.split()))
+    if any(t.kind == "param" for t in tokens):
+        return _explicit_shape(tokens)
+
+    out: List[str] = []
+    values: List[object] = []
+    prev: Optional[Token] = None
+    paren_depth = 0
+    in_list_depths: List[int] = []  # IN-list paren depths currently open
+    in_by_list = False  # inside a GROUP BY / ORDER BY key list
+    i = 0
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        if token.kind == "eof":
+            break
+        if token.kind == "symbol":
+            if token.value == "(":
+                paren_depth += 1
+                # ``IN (`` opens a constant list unless a subselect follows.
+                if (
+                    prev is not None
+                    and prev.is_kw("in")
+                    and not tokens[i + 1].is_kw("select")
+                ):
+                    in_list_depths.append(paren_depth)
+            elif token.value == ")":
+                if in_list_depths and in_list_depths[-1] == paren_depth:
+                    in_list_depths.pop()
+                paren_depth -= 1
+        elif token.kind == "keyword":
+            if token.value == "by":
+                in_by_list = True
+            elif token.value in ("having", "limit", "where"):
+                in_by_list = False
+
+        liftable = (
+            not in_list_depths
+            and not in_by_list
+            and not (prev is not None and prev.is_kw(*_SKIP_AFTER_KW))
+        )
+        if liftable and token.kind in ("number", "string"):
+            values.append(_literal_value(token))
+            out.append("?")
+            prev = token
+            i += 1
+            continue
+        if (
+            liftable
+            and token.is_sym("-")
+            and tokens[i + 1].kind == "number"
+            and _is_unary_minus(prev)
+        ):
+            values.append(-_literal_value(tokens[i + 1]))
+            out.append("?")
+            prev = tokens[i + 1]
+            i += 2
+            continue
+
+        if token.kind == "string":
+            out.append("'" + token.value.replace("'", "''") + "'")
+        else:
+            out.append(token.value)
+        prev = token
+        i += 1
+
+    return StatementShape(
+        text=" ".join(out),
+        values=tuple(values),
+        explicit=False,
+        param_count=len(values),
+        param_names=(),
+    )
+
+
+def _literal_value(token: Token) -> object:
+    if token.kind == "string":
+        return token.value
+    return float(token.value) if "." in token.value else int(token.value)

@@ -59,6 +59,7 @@ class StagingContext:
         self._functions: list[ir.Function] = []
         self._block_stack: list[ir.Block] = []
         self._last_if: Optional[ir.If] = None
+        self._param_reps: dict[int, Rep] = {}
 
     # -- names and emission -------------------------------------------------
 
@@ -156,6 +157,29 @@ class StagingContext:
     def sym(self, name: str, ctype: str = "long") -> Rep:
         """Wrap an existing generated name as a typed staged value."""
         return rep_for_ctype(ctype)(ir.Sym(name), self)
+
+    # -- runtime parameters ---------------------------------------------------
+    #
+    # The residual program of a parameterized statement closes over a
+    # parameter vector instead of baking literal values in.  The driver
+    # binds each slot once at the top of the generated function
+    # (``param0 = params[0]``) and registers the typed Rep here; staged
+    # ``Param`` expressions then read the registered symbol -- parameters
+    # are pure future-stage values, invisible to plan-time specialization.
+
+    def register_param(self, index: int, rep: Rep) -> None:
+        """Register the staged value of parameter slot ``index``."""
+        self._param_reps[index] = rep
+
+    def param_rep(self, index: int) -> Rep:
+        """The staged value bound for parameter slot ``index``."""
+        try:
+            return self._param_reps[index]
+        except KeyError:
+            raise StagingError(
+                f"parameter slot {index} staged without a registered "
+                "binding; the driver must register_param() every slot"
+            ) from None
 
     # -- variables ------------------------------------------------------------
 

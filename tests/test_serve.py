@@ -266,7 +266,9 @@ def test_full_gate_sheds_with_e_admit(service):
 
 def test_breaker_opens_degrades_and_recovers(service, serve_session):
     sql = SQL_QUERIES[14]
-    shape = "sql:" + " ".join(sql.split())
+    # Breaker keys are statement *shapes* (literals lifted), so every
+    # literal variant of this query shares the same circuit.
+    shape = ServiceRequest(sql=sql).shape()
     golden = normalize(
         ResilientExecutor(serve_session, engines=("volcano",)).query(sql).rows
     )
