@@ -12,9 +12,13 @@ measured runs land in the report (default ``BENCH_PR7.json``):
   fallback chain (and some plan shapes trip the circuit breaker).
 
 For each run: sustained QPS, latency percentiles (p50/p95/p99, ms),
-outcome counts by error code, degraded counts, and the breaker/metrics
-counters.  The invariant checked before any number is reported: every
-reply is rows or a *typed* error -- one raw exception voids the run.
+outcome counts by error code, degraded counts, the breaker/metrics
+counters, and the raw per-request samples (request id, shape digest,
+tenant, latency, outcome, engine) that ``repro-doctor`` uses as a
+regression baseline; a top-level ``shapes`` index maps each digest back
+to its statement text.  The invariant checked before any number is
+reported: every reply is rows or a *typed* error -- one raw exception
+voids the run.
 
     repro-bench-serve                       # full run at REPRO_BENCH_SF
     repro-bench-serve --smoke               # CI mode: tiny scale, 1 round
@@ -44,6 +48,7 @@ from typing import List, Optional, Sequence
 
 from repro.bench.harness import bench_scale
 from repro.obs.metrics import REGISTRY, percentile
+from repro.obs.telemetry import shape_digest
 from repro.resilience.faults import FaultInjector, FaultSpec
 from repro.serve.admission import TenantQuota
 from repro.serve.service import QueryService, ServiceConfig, ServiceResponse
@@ -133,7 +138,30 @@ def summarize(responses: Sequence[ServiceResponse], wall: float) -> dict:
         },
         "outcomes": outcomes,
         "degraded": degraded,
+        # Raw per-request samples: the regression baseline repro-doctor
+        # compares a later run's tail against, per shape and tenant.
+        "samples": [
+            {
+                "rid": r.request_id,
+                "shape": shape_digest(r.shape) if r.shape else None,
+                "tenant": r.tenant,
+                "latency_ms": round(r.elapsed_seconds * 1e3, 3),
+                "outcome": "ok" if r.ok else (r.code or "E_RUNTIME"),
+                "engine": r.engine,
+            }
+            for r in responses
+        ],
     }
+
+
+def shape_index(responses: Sequence[ServiceResponse]) -> dict:
+    """Digest -> truncated statement text, so sample rows stay joinable
+    to human-readable shapes without repeating long SQL per request."""
+    index: dict = {}
+    for r in responses:
+        if r.shape:
+            index.setdefault(shape_digest(r.shape), r.shape[:120])
+    return index
 
 
 def bench_serve(
@@ -174,6 +202,7 @@ def bench_serve(
         responses, wall = drive(service, clients, rounds, deadline_seconds)
         report["baseline"] = summarize(responses, wall)
         report["baseline"]["counters"] = REGISTRY.counters_with_prefix("serve.")
+        shapes = shape_index(responses)
 
         # Faulted run: cold cache + deterministic compile-site failures.
         session.clear_cache()
@@ -191,6 +220,8 @@ def bench_serve(
             responses, wall = drive(service, clients, rounds, deadline_seconds)
         report["faulted"] = summarize(responses, wall)
         report["faulted"]["counters"] = REGISTRY.counters_with_prefix("serve.")
+        shapes.update(shape_index(responses))
+        report["shapes"] = shapes
         report["cache"] = session.cache_info()
         del report["cache"]["statements"]  # keys are long; sizes suffice
     return report
@@ -259,6 +290,7 @@ def bench_params(
                 - warm_cache["shape_misses"]
             )
             entry["cache"] = cache
+            report.setdefault("shapes", {}).update(shape_index(responses))
         report[mode] = entry
     base = report["per_literal"]["latency_ms"]
     shaped = report["shape_cached"]["latency_ms"]

@@ -13,6 +13,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     percentile,
 )
+from repro.obs.sampler import (
+    RequestProfile,
+    TailSampler,
+    make_traceparent,
+    parse_traceparent,
+    validate_profiles,
+)
+from repro.obs.slo import SLOConfig, SLOMonitor
 from repro.obs.telemetry import TELEMETRY, TelemetryStore
 from repro.obs.trace import Span, Trace, active_trace, span
 
@@ -21,14 +29,21 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
+    "RequestProfile",
+    "SLOConfig",
+    "SLOMonitor",
     "Span",
     "TELEMETRY",
+    "TailSampler",
     "TelemetryStore",
     "Trace",
     "active_trace",
+    "make_traceparent",
+    "parse_traceparent",
     "percentile",
     "render_prometheus",
     "request_context",
     "span",
     "validate_exposition",
+    "validate_profiles",
 ]

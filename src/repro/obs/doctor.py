@@ -1,0 +1,682 @@
+"""``repro-doctor``: join the observability artifacts into a diagnosis.
+
+The obs stack *collects* -- traces, histograms, a JSONL event log, a
+per-shape telemetry store, tail-sampled request profiles -- but none of
+those artifacts answers the operator questions directly: *where does the
+tail latency go*, and *did this build regress*.  The doctor reads
+whatever subset of artifacts it is given and produces one
+schema-versioned report (``repro-doctor/v1``):
+
+* **summary** -- request/error/alert counts joined from the event log
+  (or the profiles when no log is given);
+* **tail** -- for the requests at or above the sampler's slow-decile
+  threshold: wall-clock attribution (queueing vs compile vs execute vs
+  other) from each profile's span tree, broken down per plan shape and
+  per tenant, with the hottest operators and exemplar request ids per
+  shape;
+* **regression** -- a verdict against a baseline artifact (a
+  ``repro-telemetry/v1`` snapshot or a ``BENCH_*.json`` with per-request
+  samples): shapes whose p95 / mean / compile cost moved beyond a noise
+  threshold, or whose engine mix shifted (e.g. a breaker quietly parking
+  a shape on the interpreters), are flagged; below-noise drift is not.
+
+Like the other CLIs, the report has a ``validate_report`` checker and
+``--json`` / ``--check`` / ``--out`` flags, so CI can gate on schema
+validity (and, with ``--fail-on-regression``, on the verdict itself).
+
+    repro-doctor --events events.jsonl --profiles profiles.json \\
+                 --telemetry telemetry.json --json --check --out doctor.json
+    repro-doctor --baseline BENCH_PR9.json --current BENCH_NEW.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import read_events, validate_log
+from repro.obs.metrics import percentile
+from repro.obs.sampler import SCHEMA as PROFILES_SCHEMA
+from repro.obs.telemetry import SCHEMA as TELEMETRY_SCHEMA
+from repro.obs.telemetry import shape_digest
+
+SCHEMA = "repro-doctor/v1"
+
+#: Total-variation distance beyond which an engine-mix shift is flagged
+#: (0.25 = a quarter of traffic answered by different engines).
+ENGINE_MIX_TOLERANCE = 0.25
+
+_VERDICTS = ("ok", "regressed", "skipped")
+
+
+# -- input loading ------------------------------------------------------------
+
+
+class DoctorInputError(Exception):
+    """An artifact could not be read or is not what it claims to be."""
+
+
+def _load_json(path: str, what: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DoctorInputError(f"unreadable {what} {path!r}: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise DoctorInputError(f"{what} {path!r}: expected a JSON object")
+    return doc
+
+
+# -- tail attribution ---------------------------------------------------------
+
+
+def _span_seconds(node: Optional[dict], name: str) -> float:
+    """Total seconds of spans called ``name`` in a trace tree; a matched
+    span's subtree is not descended (nested stages count once)."""
+    if not isinstance(node, dict):
+        return 0.0
+    if node.get("name") == name:
+        return float(node.get("seconds", 0.0))
+    return sum(_span_seconds(c, name) for c in node.get("children", ()))
+
+
+def attribute_profile(profile: dict) -> Dict[str, float]:
+    """Where one request's wall clock went, in seconds.
+
+    ``compile`` sums the session's ``compile`` spans, ``execute`` is the
+    engine ``attempt`` time net of compilation (falling back to the
+    worker wall clock when the profile carries no trace), ``queue`` is
+    admission-to-worker-pickup, and ``other`` the unattributed rest
+    (response shaping, context binding, scheduler noise).
+    """
+    latency = float(profile.get("latency_seconds", 0.0))
+    queue = float(profile.get("queued_seconds", 0.0))
+    trace = profile.get("trace")
+    compile_s = _span_seconds(trace, "compile")
+    if isinstance(trace, dict):
+        attempt_s = _span_seconds(trace, "attempt")
+        execute = max(0.0, attempt_s - compile_s)
+    else:
+        execute = max(0.0, float(profile.get("exec_seconds", 0.0)) - compile_s)
+    other = max(0.0, latency - queue - compile_s - execute)
+    return {
+        "queue": queue,
+        "compile": compile_s,
+        "execute": execute,
+        "other": other,
+    }
+
+
+def _aggregate(profiles: Sequence[dict]) -> dict:
+    """Attribution totals + latency stats over one group of profiles."""
+    parts = {"queue": 0.0, "compile": 0.0, "execute": 0.0, "other": 0.0}
+    latencies: List[float] = []
+    operators: Dict[str, float] = {}
+    engines: Dict[str, int] = {}
+    errors = 0
+    exemplars: List[str] = []
+    for p in profiles:
+        att = attribute_profile(p)
+        for k, v in att.items():
+            parts[k] += v
+        latencies.append(float(p.get("latency_seconds", 0.0)))
+        for label, seconds in (p.get("operator_times") or {}).items():
+            operators[label] = operators.get(label, 0.0) + float(seconds)
+        engine = p.get("engine")
+        if engine:
+            engines[engine] = engines.get(engine, 0) + 1
+        if p.get("outcome", "ok") != "ok":
+            errors += 1
+        if len(exemplars) < 3:
+            exemplars.append(p["request_id"])
+    latencies.sort()
+    attributed = sum(parts.values()) or 1.0
+    top_operators = [
+        {"operator": label, "seconds": seconds, "share": seconds / attributed}
+        for label, seconds in sorted(
+            operators.items(), key=lambda kv: kv[1], reverse=True
+        )[:5]
+    ]
+    return {
+        "count": len(profiles),
+        "errors": errors,
+        "mean_ms": (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
+        "p95_ms": percentile(latencies, 0.95) * 1e3,
+        "attribution_ms": {k: v * 1e3 for k, v in parts.items()},
+        "attribution_share": {k: v / attributed for k, v in parts.items()},
+        "engines": engines,
+        "top_operators": top_operators,
+        "exemplars": exemplars,
+    }
+
+
+def tail_report(profiles_doc: dict) -> dict:
+    """The slow-decile attribution section from a profiles snapshot."""
+    threshold = float(profiles_doc.get("threshold_seconds", 0.0))
+    profiles = [
+        p for p in profiles_doc.get("profiles", []) if isinstance(p, dict)
+    ]
+    slow = [
+        p
+        for p in profiles
+        if float(p.get("latency_seconds", 0.0)) >= threshold
+        or p.get("outcome", "ok") != "ok"
+    ]
+    by_shape: Dict[str, List[dict]] = {}
+    by_tenant: Dict[str, List[dict]] = {}
+    for p in slow:
+        shape = p.get("shape")
+        digest = shape_digest(shape) if shape else "none"
+        by_shape.setdefault(digest, []).append(p)
+        by_tenant.setdefault(str(p.get("tenant", "default")), []).append(p)
+
+    def named(groups: Dict[str, List[dict]], key: str) -> List[dict]:
+        out = []
+        for name, members in groups.items():
+            entry = _aggregate(members)
+            entry[key] = name
+            if key == "shape":
+                text = next(
+                    (m.get("shape") for m in members if m.get("shape")), None
+                )
+                if text:
+                    entry["shape_text"] = text[:120]
+            out.append(entry)
+        out.sort(key=lambda e: e["attribution_ms"]["execute"], reverse=True)
+        return out
+
+    overall = _aggregate(slow)
+    return {
+        "threshold_ms": threshold * 1e3,
+        "profiles": len(profiles),
+        "slow_count": len(slow),
+        "attribution_ms": overall["attribution_ms"],
+        "attribution_share": overall["attribution_share"],
+        "by_shape": named(by_shape, "shape"),
+        "by_tenant": named(by_tenant, "tenant"),
+    }
+
+
+# -- summary from the event log -----------------------------------------------
+
+
+def events_summary(events_path: str) -> dict:
+    problems = validate_log(events_path)
+    kinds: Dict[str, int] = {}
+    codes: Dict[str, int] = {}
+    rids: set = set()
+    burns: List[dict] = []
+    if not problems:
+        for doc in read_events(events_path):
+            kinds[doc["event"]] = kinds.get(doc["event"], 0) + 1
+            if doc.get("request_id"):
+                rids.add(doc["request_id"])
+            if doc["event"] == "reject" and doc.get("code"):
+                codes[doc["code"]] = codes.get(doc["code"], 0) + 1
+            if doc["event"] == "slo_burn":
+                burns.append(
+                    {
+                        "scope": doc.get("scope"),
+                        "state": doc.get("state"),
+                        "burn_short": doc.get("burn_short"),
+                        "ts": doc.get("ts"),
+                    }
+                )
+    return {
+        "valid": not problems,
+        "problems": problems[:5],
+        "events": kinds,
+        "requests": len(rids),
+        "error_codes": codes,
+        "slo_burns": burns,
+    }
+
+
+# -- regression analysis ------------------------------------------------------
+
+
+def _normalize_bench(doc: dict) -> Dict[str, dict]:
+    """Per-shape distributions from a BENCH_*.json with request samples.
+
+    Non-faulted runs only: the faulted run's latencies measure the
+    fallback chain under injected failure, not the build.
+    """
+    samples: List[dict] = []
+    for key in ("baseline", "shape_cached", "per_literal"):
+        run = doc.get(key)
+        if isinstance(run, dict) and isinstance(run.get("samples"), list):
+            samples.extend(run["samples"])
+            break
+    if not samples and isinstance(doc.get("samples"), list):
+        samples = doc["samples"]
+    shapes: Dict[str, dict] = {}
+    for s in samples:
+        if not isinstance(s, dict) or not s.get("shape"):
+            continue
+        entry = shapes.setdefault(
+            s["shape"], {"latencies": [], "engines": {}, "errors": 0, "count": 0}
+        )
+        entry["count"] += 1
+        if s.get("outcome", "ok") == "ok":
+            entry["latencies"].append(float(s.get("latency_ms", 0.0)))
+            engine = s.get("engine")
+            if engine:
+                entry["engines"][engine] = entry["engines"].get(engine, 0) + 1
+        else:
+            entry["errors"] += 1
+    out: Dict[str, dict] = {}
+    for digest, entry in shapes.items():
+        lat = sorted(entry["latencies"])
+        out[digest] = {
+            "count": entry["count"],
+            "errors": entry["errors"],
+            "p95_ms": percentile(lat, 0.95) if lat else None,
+            "mean_ms": (sum(lat) / len(lat)) if lat else None,
+            "engines": entry["engines"],
+        }
+    return out
+
+
+def _normalize_telemetry(doc: dict) -> Dict[str, dict]:
+    """Per-shape records from a ``repro-telemetry/v1`` snapshot."""
+    out: Dict[str, dict] = {}
+    for entry in (doc.get("shapes") or {}).values():
+        if not isinstance(entry, dict) or "digest" not in entry:
+            continue
+        execs = entry.get("executions") or {}
+        comp = entry.get("compile") or {}
+        n = execs.get("count", 0)
+        record: dict = {
+            "count": n,
+            "errors": 0,
+            "engines": dict(entry.get("engines") or {}),
+            "p95_ms": None,
+            "mean_ms": (execs.get("total_seconds", 0.0) / n * 1e3) if n else None,
+        }
+        if comp.get("count"):
+            record["compile_ms"] = (
+                comp.get("total_seconds", 0.0) / comp["count"] * 1e3
+            )
+        out[entry["digest"]] = record
+    return out
+
+
+def _normalize_baseline(doc: dict) -> Tuple[str, Dict[str, dict]]:
+    if doc.get("schema") == TELEMETRY_SCHEMA:
+        return "telemetry", _normalize_telemetry(doc)
+    return "bench", _normalize_bench(doc)
+
+
+def _mix_distance(a: Dict[str, int], b: Dict[str, int]) -> float:
+    """Total-variation distance between two engine-count distributions."""
+    ta, tb = sum(a.values()), sum(b.values())
+    if ta == 0 or tb == 0:
+        return 0.0
+    engines = set(a) | set(b)
+    return 0.5 * sum(
+        abs(a.get(e, 0) / ta - b.get(e, 0) / tb) for e in engines
+    )
+
+
+def regression_report(
+    baseline_doc: dict,
+    current_doc: dict,
+    threshold: float = 1.3,
+    min_samples: int = 5,
+    noise_floor_ms: float = 2.0,
+) -> dict:
+    """Compare per-shape distributions; flag movement beyond the noise.
+
+    A latency/compile metric is flagged when current exceeds baseline by
+    both the relative ``threshold`` *and* the absolute ``noise_floor_ms``
+    (tiny shapes jitter by whole ratios inside a millisecond); an engine
+    mix is flagged past :data:`ENGINE_MIX_TOLERANCE` total variation.
+    """
+    base_kind, base = _normalize_baseline(baseline_doc)
+    cur_kind, cur = _normalize_baseline(current_doc)
+    flagged: List[dict] = []
+    compared = skipped = 0
+    for digest in sorted(set(base) & set(cur)):
+        b, c = base[digest], cur[digest]
+        if b["count"] < min_samples or c["count"] < min_samples:
+            skipped += 1
+            continue
+        compared += 1
+        for metric in ("p95_ms", "mean_ms", "compile_ms"):
+            bv, cv = b.get(metric), c.get(metric)
+            if bv is None or cv is None or bv <= 0:
+                continue
+            ratio = cv / bv
+            if ratio > threshold and cv - bv > noise_floor_ms:
+                flagged.append(
+                    {
+                        "shape": digest,
+                        "metric": metric,
+                        "baseline": round(bv, 3),
+                        "current": round(cv, 3),
+                        "ratio": round(ratio, 3),
+                    }
+                )
+        distance = _mix_distance(b.get("engines") or {}, c.get("engines") or {})
+        if distance > ENGINE_MIX_TOLERANCE:
+            flagged.append(
+                {
+                    "shape": digest,
+                    "metric": "engine_mix",
+                    "baseline": b.get("engines"),
+                    "current": c.get("engines"),
+                    "ratio": round(distance, 3),
+                }
+            )
+    if compared == 0:
+        verdict = "skipped"
+    elif flagged:
+        verdict = "regressed"
+    else:
+        verdict = "ok"
+    return {
+        "verdict": verdict,
+        "baseline_kind": base_kind,
+        "current_kind": cur_kind,
+        "threshold": threshold,
+        "min_samples": min_samples,
+        "noise_floor_ms": noise_floor_ms,
+        "compared_shapes": compared,
+        "skipped_shapes": skipped,
+        "flagged": flagged,
+    }
+
+
+# -- the report ---------------------------------------------------------------
+
+
+def build_report(
+    events_path: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
+    profiles_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    current_path: Optional[str] = None,
+    threshold: float = 1.3,
+    min_samples: int = 5,
+    noise_floor_ms: float = 2.0,
+) -> dict:
+    """Join whatever artifacts were given into one ``repro-doctor/v1``."""
+    report: dict = {
+        "schema": SCHEMA,
+        "generated_unix": time.time(),
+        "inputs": {
+            "events": events_path,
+            "telemetry": telemetry_path,
+            "profiles": profiles_path,
+            "metrics": metrics_path,
+            "baseline": baseline_path,
+            "current": current_path,
+        },
+        "summary": {},
+    }
+    profiles_doc = None
+    if profiles_path is not None:
+        profiles_doc = _load_json(profiles_path, "profiles snapshot")
+        if profiles_doc.get("schema") != PROFILES_SCHEMA:
+            raise DoctorInputError(
+                f"profiles snapshot {profiles_path!r}: schema "
+                f"{profiles_doc.get('schema')!r}, expected {PROFILES_SCHEMA!r}"
+            )
+        report["tail"] = tail_report(profiles_doc)
+    if events_path is not None:
+        summary = events_summary(events_path)
+        report["summary"] = {
+            "requests": summary["requests"],
+            "events": summary["events"],
+            "error_codes": summary["error_codes"],
+            "slo_burns": len(summary["slo_burns"]),
+        }
+        report["slo"] = {"burn_events": summary["slo_burns"]}
+        if not summary["valid"]:
+            raise DoctorInputError(
+                f"invalid event log {events_path!r}: {summary['problems']}"
+            )
+    elif profiles_doc is not None:
+        profiles = profiles_doc.get("profiles", [])
+        report["summary"] = {
+            "requests": int(profiles_doc.get("offered", len(profiles))),
+            "events": {},
+            "error_codes": {},
+            "slo_burns": 0,
+        }
+    if metrics_path is not None:
+        snapshot = _load_json(metrics_path, "metrics snapshot")
+        histograms = snapshot.get("histograms") or {}
+        latency = histograms.get("serve.latency_seconds") or {}
+        report["metrics"] = {
+            "latency_quantiles_ms": {
+                q: v * 1e3
+                for q, v in (latency.get("quantiles") or {}).items()
+            },
+            "exemplars": latency.get("exemplars") or {},
+            "burn_gauges": {
+                name: value
+                for name, value in (snapshot.get("gauges") or {}).items()
+                if name.startswith("slo.burn.")
+            },
+        }
+    if telemetry_path is not None:
+        telemetry_doc = _load_json(telemetry_path, "telemetry snapshot")
+        shapes = _normalize_telemetry(telemetry_doc)
+        report["telemetry"] = {
+            "shapes": len(shapes),
+            "compiles_ms": {
+                d: round(r["compile_ms"], 3)
+                for d, r in sorted(shapes.items())
+                if "compile_ms" in r
+            },
+        }
+    if baseline_path is not None:
+        baseline_doc = _load_json(baseline_path, "baseline")
+        if current_path is not None:
+            current_doc = _load_json(current_path, "current")
+        elif telemetry_path is not None:
+            current_doc = _load_json(telemetry_path, "telemetry snapshot")
+        else:
+            current_doc = {}
+        report["regression"] = regression_report(
+            baseline_doc,
+            current_doc,
+            threshold=threshold,
+            min_samples=min_samples,
+            noise_floor_ms=noise_floor_ms,
+        )
+    return report
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def validate_report(doc: object) -> List[str]:
+    """Problems that make ``doc`` invalid under ``repro-doctor/v1``."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["report is not an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("inputs"), dict):
+        problems.append("inputs: expected object")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary: expected object")
+    else:
+        for key in ("requests", "slo_burns"):
+            if key in summary and not isinstance(summary[key], int):
+                problems.append(f"summary.{key}: expected integer")
+    tail = doc.get("tail")
+    if tail is not None:
+        if not isinstance(tail, dict):
+            problems.append("tail: expected object")
+        else:
+            for key in ("threshold_ms", "slow_count"):
+                if not isinstance(tail.get(key), (int, float)):
+                    problems.append(f"tail.{key}: expected number")
+            att = tail.get("attribution_ms")
+            if not isinstance(att, dict) or not all(
+                isinstance(att.get(k), (int, float)) and att.get(k, -1) >= 0
+                for k in ("queue", "compile", "execute", "other")
+            ):
+                problems.append(
+                    "tail.attribution_ms: expected non-negative "
+                    "queue/compile/execute/other"
+                )
+            for group, key in (("by_shape", "shape"), ("by_tenant", "tenant")):
+                entries = tail.get(group)
+                if not isinstance(entries, list):
+                    problems.append(f"tail.{group}: expected list")
+                    continue
+                for i, entry in enumerate(entries):
+                    if not isinstance(entry, dict) or key not in entry:
+                        problems.append(f"tail.{group}[{i}]: missing {key!r}")
+                    elif not isinstance(entry.get("count"), int):
+                        problems.append(f"tail.{group}[{i}]: count: expected int")
+    regression = doc.get("regression")
+    if regression is not None:
+        if not isinstance(regression, dict):
+            problems.append("regression: expected object")
+        else:
+            if regression.get("verdict") not in _VERDICTS:
+                problems.append(
+                    f"regression.verdict: {regression.get('verdict')!r} "
+                    f"not one of {_VERDICTS}"
+                )
+            if not isinstance(regression.get("flagged"), list):
+                problems.append("regression.flagged: expected list")
+    return problems
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_text(report: dict) -> str:
+    lines: List[str] = ["repro-doctor report"]
+    summary = report.get("summary") or {}
+    if summary:
+        codes = summary.get("error_codes") or {}
+        lines.append(
+            f"  requests={summary.get('requests', 0)} "
+            f"errors={sum(codes.values())} slo_burns={summary.get('slo_burns', 0)}"
+        )
+    tail = report.get("tail")
+    if tail:
+        att = tail["attribution_ms"]
+        share = tail["attribution_share"]
+        lines.append(
+            f"  tail: {tail['slow_count']}/{tail['profiles']} profiles at/over "
+            f"{tail['threshold_ms']:.1f}ms"
+        )
+        lines.append(
+            "    attribution: "
+            + "  ".join(
+                f"{k}={att[k]:.1f}ms ({share[k] * 100:.0f}%)"
+                for k in ("queue", "compile", "execute", "other")
+            )
+        )
+        for entry in tail["by_shape"][:5]:
+            ops = ", ".join(
+                f"{o['operator']}={o['seconds'] * 1e3:.1f}ms"
+                for o in entry["top_operators"][:2]
+            )
+            lines.append(
+                f"    shape {entry['shape']}: n={entry['count']} "
+                f"p95={entry['p95_ms']:.1f}ms exec="
+                f"{entry['attribution_ms']['execute']:.1f}ms"
+                + (f" [{ops}]" if ops else "")
+            )
+    regression = report.get("regression")
+    if regression:
+        lines.append(
+            f"  regression: {regression['verdict']} "
+            f"({regression['compared_shapes']} shapes compared, "
+            f"{len(regression['flagged'])} flagged)"
+        )
+        for flag in regression["flagged"][:10]:
+            lines.append(
+                f"    shape {flag['shape']}: {flag['metric']} "
+                f"{flag['baseline']} -> {flag['current']} (x{flag['ratio']})"
+            )
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-doctor", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--events", default=None, metavar="PATH",
+                        help="repro-events/v1 JSONL log")
+    parser.add_argument("--telemetry", default=None, metavar="PATH",
+                        help="repro-telemetry/v1 snapshot")
+    parser.add_argument("--profiles", default=None, metavar="PATH",
+                        help="repro-profiles/v1 tail-sampler snapshot")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="a REGISTRY.snapshot() JSON dump")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline: telemetry snapshot or BENCH_*.json")
+    parser.add_argument("--current", default=None, metavar="PATH",
+                        help="current side of the regression compare "
+                             "(defaults to --telemetry)")
+    parser.add_argument("--threshold", type=float, default=1.3,
+                        help="relative regression threshold (default 1.3x)")
+    parser.add_argument("--min-samples", type=int, default=5)
+    parser.add_argument("--noise-floor-ms", type=float, default=2.0)
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument("--check", action="store_true",
+                        help="validate the report against repro-doctor/v1")
+    parser.add_argument("--out", default=None, metavar="PATH")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 3 when the regression verdict is 'regressed'")
+    args = parser.parse_args(argv)
+    if not any((args.events, args.telemetry, args.profiles, args.metrics,
+                args.baseline)):
+        parser.error("give at least one artifact "
+                     "(--events/--telemetry/--profiles/--metrics/--baseline)")
+    try:
+        report = build_report(
+            events_path=args.events,
+            telemetry_path=args.telemetry,
+            profiles_path=args.profiles,
+            metrics_path=args.metrics,
+            baseline_path=args.baseline,
+            current_path=args.current,
+            threshold=args.threshold,
+            min_samples=args.min_samples,
+            noise_floor_ms=args.noise_floor_ms,
+        )
+    except DoctorInputError as exc:
+        print(f"repro-doctor: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    if args.check:
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"repro-doctor: invalid report: {problem}", file=sys.stderr)
+            return 1
+        print("repro-doctor: report schema ok", file=sys.stderr)
+    if args.fail_on_regression:
+        if (report.get("regression") or {}).get("verdict") == "regressed":
+            return 3
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

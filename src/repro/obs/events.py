@@ -42,6 +42,7 @@ EVENT_KINDS = (
     "fallback",    # one engine attempt failed; the chain degrades
     "budget_trip", # a budget/deadline guard fired mid-execution
     "complete",    # a response (rows) left the service
+    "slo_burn",    # an SLO burn-rate alert fired (or resolved)
 )
 
 
@@ -60,23 +61,34 @@ def current_shape() -> Optional[str]:
     return getattr(_CTX, "shape", None)
 
 
+def current_trace_id() -> Optional[str]:
+    """The distributed trace id bound to this thread, if any (the
+    client-minted ``traceparent`` trace id propagated over the wire)."""
+    return getattr(_CTX, "trace_id", None)
+
+
 @contextmanager
 def request_context(
     request_id: Optional[str],
     shape: Optional[str] = None,
     tenant: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> Iterator[None]:
     """Bind this thread to one request for the duration of the block."""
     previous = (
         getattr(_CTX, "request_id", None),
         getattr(_CTX, "shape", None),
         getattr(_CTX, "tenant", None),
+        getattr(_CTX, "trace_id", None),
     )
     _CTX.request_id, _CTX.shape, _CTX.tenant = request_id, shape, tenant
+    _CTX.trace_id = trace_id
     try:
         yield
     finally:
-        _CTX.request_id, _CTX.shape, _CTX.tenant = previous
+        (
+            _CTX.request_id, _CTX.shape, _CTX.tenant, _CTX.trace_id,
+        ) = previous
 
 
 # -- the log ------------------------------------------------------------------
@@ -132,6 +144,9 @@ class EventLog:
         tenant = getattr(_CTX, "tenant", None)
         if "tenant" not in fields and tenant is not None:
             doc["tenant"] = tenant
+        trace_id = getattr(_CTX, "trace_id", None)
+        if "trace_id" not in fields and trace_id is not None:
+            doc["trace_id"] = trace_id
         doc.update(fields)
         line = json.dumps(doc, sort_keys=True) + "\n"
         with self._lock:
@@ -213,7 +228,7 @@ def validate_event(doc: object) -> List[str]:
     rid = doc.get("request_id")
     if rid is not None and not isinstance(rid, str):
         problems.append("request_id: expected string or null")
-    for key in ("shape", "tenant", "engine", "code"):
+    for key in ("shape", "tenant", "engine", "code", "trace_id", "scope", "state"):
         if key in doc and not isinstance(doc[key], str):
             problems.append(f"{key}: expected string")
     return problems

@@ -16,6 +16,13 @@ latency-flavored geometric series from 0.5 ms to 60 s, plus +Inf), so
 per-observation allocation -- the live counterpart of the bench
 harness's exact nearest-rank :func:`percentile` over retained samples.
 Both share one rank rule (:func:`nearest_rank_index`).
+
+Buckets can carry **exemplars**: an ``observe(value, exemplar=rid)``
+remembers the last few correlation ids per bucket, so a p99 bucket in a
+snapshot links directly to the deep per-request profiles the tail
+sampler (:mod:`repro.obs.sampler`) retained for those ids.  Exemplars
+live only in the JSON snapshot; the Prometheus text exposition is
+unchanged.
 """
 
 from __future__ import annotations
@@ -36,6 +43,9 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 SNAPSHOT_QUANTILES: Tuple[Tuple[str, float], ...] = (
     ("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99),
 )
+
+#: How many exemplar ids each histogram bucket retains (newest win).
+MAX_EXEMPLARS_PER_BUCKET = 2
 
 
 def nearest_rank_index(n: int, q: float) -> int:
@@ -69,7 +79,9 @@ class Histogram:
     repeated value reports that value at every quantile).
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "total", "min", "max", "exemplars",
+    )
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
@@ -81,15 +93,25 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        # bucket index -> [{"id": ..., "value": ...}, ...], newest last,
+        # at most MAX_EXEMPLARS_PER_BUCKET per bucket.  Lazily populated:
+        # a histogram that never sees an exemplar pays one empty dict.
+        self.exemplars: Dict[int, List[dict]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        self.bucket_counts[self._bucket_index(value)] += 1
+        index = self._bucket_index(value)
+        self.bucket_counts[index] += 1
+        if exemplar is not None:
+            cell = self.exemplars.setdefault(index, [])
+            cell.append({"id": str(exemplar), "value": value})
+            while len(cell) > MAX_EXEMPLARS_PER_BUCKET:
+                cell.pop(0)
 
     def _bucket_index(self, value: float) -> int:
         # Buckets are few (default 16); a linear scan beats bisect's
@@ -122,7 +144,7 @@ class Histogram:
             cumulative += n
             buckets.append([bound, cumulative])
         buckets.append(["+Inf", cumulative + self.bucket_counts[-1]])
-        return {
+        doc = {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.min is not None else 0.0,
@@ -133,6 +155,17 @@ class Histogram:
             },
             "buckets": buckets,
         }
+        if self.exemplars:
+            # Keyed by the bucket's upper edge ("+Inf" for the overflow),
+            # matching the cumulative bucket labels above.
+            doc["exemplars"] = {
+                ("+Inf" if i >= len(self.bounds) else str(self.bounds[i])): [
+                    dict(e) for e in cell
+                ]
+                for i, cell in sorted(self.exemplars.items())
+                if cell
+            }
+        return doc
 
 
 class MetricsRegistry:
@@ -165,11 +198,14 @@ class MetricsRegistry:
         name: str,
         value: float,
         buckets: Optional[Sequence[float]] = None,
+        exemplar: Optional[str] = None,
     ) -> None:
         """Record ``value`` into histogram ``name``.
 
         ``buckets`` sets the bounds if this observation *creates* the
         histogram; an existing histogram keeps its original bounds.
+        ``exemplar`` attaches a correlation id to the bucket the value
+        lands in (the tail sampler passes the kept request's id).
         """
         with self._lock:
             h = self._histograms.get(name)
@@ -177,7 +213,7 @@ class MetricsRegistry:
                 h = self._histograms[name] = Histogram(
                     buckets if buckets is not None else DEFAULT_BUCKETS
                 )
-            h.observe(value)
+            h.observe(value, exemplar=exemplar)
 
     def quantile(self, name: str, q: float) -> float:
         """The live quantile of histogram ``name`` (0.0 when absent)."""

@@ -1,0 +1,345 @@
+"""Tail-based request sampling: keep complete profiles of the requests
+that matter.
+
+Head sampling (decide at request start) cannot know which requests will
+turn out interesting; *tail* sampling decides at request **end**, when
+the outcome is known.  The serve tier builds a :class:`RequestProfile`
+for every finished request -- latency, outcome, engine trail, the full
+trace span tree, per-operator timings -- and offers it to the process's
+:class:`TailSampler`, which keeps it only when the request is worth a
+deep look:
+
+* it **errored** (any ``E_*`` outcome),
+* it ran **degraded** or while its shape's **breaker** was open/probing,
+* it landed in the **slowest decile** of recent traffic (an adaptive
+  threshold over a fixed-bucket latency histogram -- the lower edge of
+  the bucket holding the nearest-rank p90 sample, so everything sharing
+  the p90 bucket qualifies), or
+* the sampler is still in **warmup** and has no threshold yet.
+
+Kept profiles live in a bounded reservoir (eviction prefers the fastest
+ok-profile, so errors and genuine tail latencies survive) and the kept
+request's id is attached as an **exemplar** to the matching latency
+histogram bucket -- a p99 bucket in a metrics snapshot then links
+directly to a stored profile ``repro-doctor`` can open.
+
+The module also carries the W3C-style ``traceparent`` helpers
+(``00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>``) the
+:class:`~repro.serve.client.ServiceClient` uses to mint a distributed
+trace context that rides the wire into the worker's request context.
+
+Stdlib-only leaf (imports only :mod:`repro.obs.metrics`), like the rest
+of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, nearest_rank_index
+
+SCHEMA = "repro-profiles/v1"
+
+#: Reasons a profile was retained, in keep-priority order.
+KEEP_REASONS = ("error", "breaker", "degraded", "warmup", "slow")
+
+
+# -- traceparent propagation --------------------------------------------------
+
+_TRACEPARENT = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+def make_traceparent(
+    trace_id: Optional[str] = None, span_id: Optional[str] = None
+) -> str:
+    """A fresh W3C-style traceparent header value (version 00, sampled)."""
+    trace_id = trace_id or uuid.uuid4().hex
+    span_id = span_id or uuid.uuid4().hex[:16]
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: object) -> Optional[Tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a traceparent string, or None.
+
+    Malformed values (wrong version, wrong widths, an all-zero trace id)
+    parse to None: the service then runs the request without a
+    distributed context rather than rejecting it -- trace propagation is
+    an observability feature, never an admission gate.
+    """
+    if not isinstance(value, str):
+        return None
+    m = _TRACEPARENT.match(value.strip().lower())
+    if m is None:
+        return None
+    trace_id, span_id = m.group(1), m.group(2)
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return trace_id, span_id
+
+
+# -- the per-request profile --------------------------------------------------
+
+
+@dataclass
+class RequestProfile:
+    """Everything the doctor needs to explain one request after the fact."""
+
+    request_id: str
+    shape: Optional[str] = None
+    tenant: str = "default"
+    latency_seconds: float = 0.0
+    outcome: str = "ok"  # "ok" or the E_* error code
+    engine: Optional[str] = None
+    engine_trail: Tuple[str, ...] = ()
+    degraded: bool = False
+    breaker: Optional[str] = None  # breaker decision, when one was made
+    queued_seconds: float = 0.0  # admission -> worker pickup
+    exec_seconds: float = 0.0  # worker wall clock (queueing excluded)
+    trace: Optional[dict] = None  # the full span tree (Trace.to_dict())
+    trace_id: Optional[str] = None  # propagated traceparent trace id
+    operator_times: Optional[Dict[str, float]] = None
+    operator_rows: Optional[Dict[str, int]] = None
+    kernels: Optional[Dict[str, int]] = None
+    ts: float = field(default_factory=time.time)
+    keep_reason: Optional[str] = None  # stamped by the sampler
+
+    def to_dict(self) -> dict:
+        doc = {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "latency_seconds": self.latency_seconds,
+            "outcome": self.outcome,
+            "queued_seconds": self.queued_seconds,
+            "exec_seconds": self.exec_seconds,
+            "ts": self.ts,
+        }
+        if self.shape is not None:
+            doc["shape"] = self.shape
+        if self.engine is not None:
+            doc["engine"] = self.engine
+        if self.engine_trail:
+            doc["engine_trail"] = list(self.engine_trail)
+        if self.degraded:
+            doc["degraded"] = True
+        if self.breaker is not None:
+            doc["breaker"] = self.breaker
+        if self.trace is not None:
+            doc["trace"] = self.trace
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        if self.operator_times:
+            doc["operator_times"] = dict(self.operator_times)
+        if self.operator_rows:
+            doc["operator_rows"] = dict(self.operator_rows)
+        if self.kernels:
+            doc["kernels"] = dict(self.kernels)
+        if self.keep_reason is not None:
+            doc["keep_reason"] = self.keep_reason
+        return doc
+
+
+# -- the sampler --------------------------------------------------------------
+
+
+class TailSampler:
+    """A bounded reservoir of interesting request profiles.
+
+    Thread-safe: ``offer`` runs on the serve tier's caller threads.  The
+    slow-decile threshold adapts as traffic flows -- it is the *lower*
+    edge of the histogram bucket holding the nearest-rank
+    ``slow_quantile`` sample, so every request in the same latency
+    bucket as the current p90 qualifies (generous by one bucket rather
+    than missing the decile by one).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        slow_quantile: float = 0.9,
+        warmup: int = 32,
+        buckets=DEFAULT_BUCKETS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0.0 < slow_quantile < 1.0:
+            raise ValueError("slow_quantile must be in (0, 1)")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        self.capacity = capacity
+        self.slow_quantile = slow_quantile
+        self.warmup = warmup
+        self._hist = Histogram(buckets)
+        self._store: Dict[str, RequestProfile] = {}  # rid -> profile (FIFO)
+        self._lock = threading.Lock()
+        self.offered = 0
+        self.kept = 0
+        self.evicted = 0
+
+    # -- the decision --------------------------------------------------------
+
+    def _threshold_locked(self) -> float:
+        h = self._hist
+        if h.count < max(1, self.warmup):
+            return 0.0  # warmup: everything qualifies
+        rank = nearest_rank_index(h.count, self.slow_quantile)
+        seen = 0
+        for i, n in enumerate(h.bucket_counts):
+            seen += n
+            if rank < seen:
+                return h.bounds[i - 1] if i > 0 else 0.0
+        return h.bounds[-1]  # pragma: no cover - rank < count always hits
+
+    def threshold(self) -> float:
+        """The current keep-if-slower-than threshold, in seconds."""
+        with self._lock:
+            return self._threshold_locked()
+
+    def _keep_reason_locked(self, profile: RequestProfile) -> Optional[str]:
+        if profile.outcome != "ok":
+            return "error"
+        if profile.breaker in ("open", "probe"):
+            return "breaker"
+        if profile.degraded:
+            return "degraded"
+        if self._hist.count <= max(1, self.warmup):
+            return "warmup"
+        if profile.latency_seconds >= self._threshold_locked():
+            return "slow"
+        return None
+
+    def offer(self, profile: RequestProfile) -> bool:
+        """Feed one finished request; True when its profile was kept.
+
+        The caller attaches the request id as a histogram exemplar only
+        on True, so every exemplar points at a stored profile (modulo
+        later eviction under memory pressure).
+        """
+        with self._lock:
+            self.offered += 1
+            self._hist.observe(profile.latency_seconds)
+            reason = self._keep_reason_locked(profile)
+            if reason is None:
+                return False
+            profile.keep_reason = reason
+            # Re-offered ids (the smoke reuses ids across phases) replace
+            # their previous profile instead of growing the reservoir.
+            self._store.pop(profile.request_id, None)
+            self._store[profile.request_id] = profile
+            self.kept += 1
+            while len(self._store) > self.capacity:
+                self._evict_locked()
+            return True
+
+    def _evict_locked(self) -> None:
+        """Drop the least interesting profile: the fastest one kept only
+        for being slow/warmup; if every profile is an error/breaker/
+        degraded capture, the oldest goes."""
+        victim: Optional[str] = None
+        fastest = float("inf")
+        for rid, p in self._store.items():
+            if p.keep_reason in ("slow", "warmup") and p.latency_seconds < fastest:
+                victim, fastest = rid, p.latency_seconds
+        if victim is None:
+            victim = next(iter(self._store))
+        del self._store[victim]
+        self.evicted += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def get(self, request_id: str) -> Optional[RequestProfile]:
+        with self._lock:
+            return self._store.get(request_id)
+
+    def profiles(self) -> List[RequestProfile]:
+        """The kept profiles, oldest first (detached list, live objects)."""
+        with self._lock:
+            return list(self._store.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "kept": self.kept,
+                "evicted": self.evicted,
+                "stored": len(self._store),
+                "capacity": self.capacity,
+                "threshold_seconds": self._threshold_locked(),
+            }
+
+    def snapshot(self) -> dict:
+        """JSON-ready: schema header, sampler stats, every kept profile."""
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "written_unix": time.time(),
+                "capacity": self.capacity,
+                "slow_quantile": self.slow_quantile,
+                "threshold_seconds": self._threshold_locked(),
+                "offered": self.offered,
+                "kept": self.kept,
+                "evicted": self.evicted,
+                "profiles": [p.to_dict() for p in self._store.values()],
+            }
+
+    def save(self, path: str) -> str:
+        """Atomically write the snapshot to ``path`` (tmp + replace)."""
+        doc = self.snapshot()
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+# -- schema validation --------------------------------------------------------
+
+
+def validate_profiles(doc: object) -> List[str]:
+    """Problems that make ``doc`` invalid under ``repro-profiles/v1``."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["profiles snapshot is not an object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("offered", "kept", "evicted", "capacity"):
+        if not isinstance(doc.get(key), int) or doc.get(key, 0) < 0:
+            problems.append(f"{key}: expected non-negative integer")
+    if not isinstance(doc.get("threshold_seconds"), (int, float)):
+        problems.append("threshold_seconds: expected number")
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list):
+        return problems + ["profiles: expected list"]
+    for i, p in enumerate(profiles):
+        where = f"profiles[{i}]"
+        if not isinstance(p, dict):
+            problems.append(f"{where}: expected object")
+            continue
+        if not isinstance(p.get("request_id"), str) or not p.get("request_id"):
+            problems.append(f"{where}: request_id: expected non-empty string")
+        for key in ("latency_seconds", "queued_seconds", "exec_seconds", "ts"):
+            if not isinstance(p.get(key), (int, float)):
+                problems.append(f"{where}: {key}: expected number")
+        outcome = p.get("outcome")
+        if not isinstance(outcome, str) or not (
+            outcome == "ok" or outcome.startswith("E_")
+        ):
+            problems.append(
+                f"{where}: outcome: expected 'ok' or an E_* code, got {outcome!r}"
+            )
+        if p.get("keep_reason") not in KEEP_REASONS:
+            problems.append(
+                f"{where}: keep_reason: {p.get('keep_reason')!r} not one of "
+                f"{KEEP_REASONS}"
+            )
+        trace = p.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            problems.append(f"{where}: trace: expected object or absent")
+    return problems

@@ -74,8 +74,12 @@ class AdmissionGate:
 
     ``enter`` raises :class:`ServiceOverloadError` when the gate is full;
     ``leave`` must run exactly once per successful ``enter`` (use
-    try/finally).  Depth is exported as the ``serve.queue.depth`` gauge on
-    every transition.
+    try/finally).  Depth is exported on every transition as the
+    ``serve.inflight`` gauge (with its static ``serve.inflight.limit``
+    companion), so backpressure is *observable* in the metrics scrape,
+    not just inferable from ``E_ADMIT`` rejection counters; the historic
+    ``serve.queue.depth`` name is kept as an alias for existing
+    dashboards.
     """
 
     def __init__(self, limit: int) -> None:
@@ -84,6 +88,12 @@ class AdmissionGate:
         self.limit = limit
         self._depth = 0
         self._lock = threading.Lock()
+        REGISTRY.gauge("serve.inflight.limit", limit)
+        self._export_depth()
+
+    def _export_depth(self) -> None:
+        REGISTRY.gauge("serve.inflight", self._depth)
+        REGISTRY.gauge("serve.queue.depth", self._depth)
 
     def enter(self) -> None:
         with self._lock:
@@ -95,13 +105,13 @@ class AdmissionGate:
                     depth=self._depth,
                 )
             self._depth += 1
-            REGISTRY.gauge("serve.queue.depth", self._depth)
+            self._export_depth()
 
     def leave(self) -> None:
         with self._lock:
             assert self._depth > 0, "leave() without matching enter()"
             self._depth -= 1
-            REGISTRY.gauge("serve.queue.depth", self._depth)
+            self._export_depth()
 
     @property
     def depth(self) -> int:

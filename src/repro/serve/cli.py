@@ -28,6 +28,12 @@ serving-tier invariants:
   with live per-tenant latency quantiles;
 * the workload-telemetry snapshot is schema-valid and carries
   per-operator timings for every executed plan shape;
+* the tail sampler kept a *complete* profile (trace spans, operator
+  timings, engine trail) for every errored / breaker-affected request
+  and for the slowest decile, every exemplar request id attached to a
+  latency histogram resolves to a stored profile, client-minted
+  ``traceparent`` ids come back as the reply's ``trace_id``, and the
+  SLO monitor exports live burn-rate gauges;
 * the server shuts down cleanly via the in-band ``shutdown`` op.
 
 Exit code 0 on success, 1 with a diagnostic on any violation.
@@ -47,7 +53,9 @@ from typing import List, Optional, Sequence
 from repro.obs import events as obs_events
 from repro.obs.events import EventLog, read_events, validate_log
 from repro.obs.export import validate_exposition
-from repro.obs.metrics import REGISTRY
+from repro.obs.metrics import REGISTRY, percentile
+from repro.obs.sampler import make_traceparent, validate_profiles
+from repro.obs.slo import SLOConfig
 from repro.obs.telemetry import TELEMETRY, validate_snapshot
 from repro.serve.admission import TenantQuota
 from repro.serve.client import ServiceClient
@@ -65,6 +73,16 @@ def build_service(args: argparse.Namespace) -> QueryService:
         level=OptimizationLevel.COMPLIANT,
     )
     session = Session(db, max_cache_size=args.cache_size)
+    slo_config = None
+    if args.slo_latency is not None or args.smoke:
+        # The smoke arms the monitor with a generous threshold: gauges
+        # and windows must be live, but a healthy run should not fire.
+        slo_config = SLOConfig(
+            latency_threshold_seconds=(
+                args.slo_latency if args.slo_latency is not None else 30.0
+            ),
+            objective=args.slo_objective,
+        )
     config = ServiceConfig(
         workers=args.workers,
         max_queue_depth=args.queue_depth,
@@ -76,29 +94,35 @@ def build_service(args: argparse.Namespace) -> QueryService:
         query_scale=args.scale,
         trace_requests=args.trace,
         telemetry=args.telemetry is not None or args.smoke,
+        sampling=args.sampling or args.profiles is not None or args.smoke,
+        sampler_capacity=args.sampler_capacity,
+        slo=slo_config,
     )
     return QueryService(session, config)
 
 
 def _setup_observability(args: argparse.Namespace) -> tuple:
     """Install the event log / telemetry store the flags (or smoke) ask
-    for; returns ``(event_log, events_path, telemetry_path)``."""
+    for; returns ``(event_log, events_path, telemetry_path,
+    profiles_path)``."""
     events_path, telemetry_path = args.events, args.telemetry
+    profiles_path = args.profiles
     if args.smoke:
         workdir = tempfile.mkdtemp(prefix="repro-smoke-")
         events_path = events_path or os.path.join(workdir, "events.jsonl")
         telemetry_path = telemetry_path or os.path.join(workdir, "telemetry.json")
+        profiles_path = profiles_path or os.path.join(workdir, "profiles.json")
     log = None
     if events_path is not None:
         log = EventLog(events_path)
         obs_events.install(log)
     if telemetry_path is not None:
         TELEMETRY.enable(telemetry_path)
-    return log, events_path, telemetry_path
+    return log, events_path, telemetry_path, profiles_path
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    log, events_path, telemetry_path = _setup_observability(args)
+    log, events_path, telemetry_path, profiles_path = _setup_observability(args)
     service = build_service(args)
     server = QueryServer(service, host=args.host, port=args.port).start()
     host, port = server.address
@@ -116,6 +140,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if telemetry_path is not None:
             TELEMETRY.save()
             print(f"repro-serve telemetry snapshot: {telemetry_path}",
+                  file=sys.stderr)
+        if profiles_path is not None and service.sampler is not None:
+            service.sampler.save(profiles_path)
+            print(f"repro-serve sampled profiles: {profiles_path}",
                   file=sys.stderr)
         if log is not None:
             obs_events.install(None)
@@ -283,10 +311,137 @@ def _assert_telemetry(telemetry_path: str) -> None:
     print(f"smoke: telemetry ok ({len(shapes)} shapes)", file=sys.stderr)
 
 
+def _assert_sampling(
+    host: str,
+    port: int,
+    service: QueryService,
+    all_replies: Sequence[dict],
+    error_replies: Sequence[dict],
+    breaker_replies: Sequence[dict],
+    profiles_path: Optional[str],
+) -> None:
+    """Tail-sampling invariants.
+
+    The sampler must have kept a complete profile for *every* errored or
+    breaker-affected request (those keeps are deterministic, never
+    quantile-dependent) and for the bulk of the run's slowest decile;
+    every exemplar request id attached to a ``serve.*`` latency
+    histogram must resolve to a stored profile; and the armed SLO
+    monitor must be exporting live burn-rate gauges without firing on a
+    healthy run.
+    """
+    _check(service.sampler is not None, "smoke expects tail sampling enabled")
+    with ServiceClient(host, port) as client:
+        snap = client.profiles()
+        metrics = client.metrics()
+    problems = validate_profiles(snap)
+    _check(not problems, f"invalid profiles snapshot: {problems[:3]}")
+    profiles = {p["request_id"]: p for p in snap["profiles"]}
+
+    # Deterministic keeps: errors and breaker-phase requests.
+    for reply in list(error_replies) + list(breaker_replies):
+        rid = reply.get("request_id")
+        prof = profiles.get(rid)
+        _check(prof is not None, f"no sampled profile for request {rid!r}")
+        if not reply.get("ok"):
+            _check(
+                str(prof.get("outcome", "")).startswith("E_"),
+                f"profile for failed request {rid!r} reports "
+                f"outcome {prof.get('outcome')!r}",
+            )
+    # Breaker-phase profiles are *complete*: trace spans for attribution.
+    for reply in breaker_replies:
+        prof = profiles[reply["request_id"]]
+        _check(
+            bool((prof.get("trace") or {}).get("children")),
+            f"breaker profile {reply['request_id']!r} has no trace spans",
+        )
+
+    # Slow-decile coverage over the whole run, by the service's own
+    # elapsed_ms.  The threshold adapts to the live stream, so a few
+    # misses right at the moving cut line are tolerated -- but the bulk
+    # of the final top decile must be stored.
+    timed = sorted(
+        (r["elapsed_ms"], r.get("request_id"))
+        for r in all_replies
+        if r.get("ok") and isinstance(r.get("elapsed_ms"), (int, float))
+    )
+    _check(len(timed) >= 20, f"too few timed replies to check: {len(timed)}")
+    cut = percentile([t for t, _ in timed], 0.9)
+    top = [rid for t, rid in timed if t >= cut]
+    covered = sum(1 for rid in top if rid in profiles)
+    _check(
+        covered >= 0.7 * len(top),
+        f"slow decile under-sampled: {covered}/{len(top)} profiles stored "
+        f"(cut={cut:.1f}ms, sampler threshold="
+        f"{snap['threshold_seconds'] * 1e3:.1f}ms)",
+    )
+    stats = service.sampler.stats()
+    _check(
+        stats["kept"] * 10 >= stats["offered"],
+        f"sampler kept less than a decile of traffic: {stats}",
+    )
+
+    # Exemplars: every request id attached to a latency bucket must
+    # resolve to a stored profile (no dangling diagnostics pointers).
+    exemplar_ids: List[str] = []
+    for name, h in metrics["snapshot"].get("histograms", {}).items():
+        if not name.startswith("serve."):
+            continue
+        for bucket_exemplars in (h.get("exemplars") or {}).values():
+            exemplar_ids.extend(e["id"] for e in bucket_exemplars)
+    _check(bool(exemplar_ids), "no exemplars attached to any serve.* histogram")
+    dangling = [rid for rid in exemplar_ids if rid not in profiles]
+    _check(
+        not dangling,
+        f"exemplar ids with no stored profile: {dangling[:3]}",
+    )
+
+    # SLO monitor: armed, counting, gauges exported, and its alert
+    # bookkeeping consistent.  The smoke's deliberate failures (hostile
+    # bindings, the bad-SQL probe) can legitimately push the short-window
+    # burn over threshold, so we do not demand "no alert" -- we demand
+    # that the latched state, the burn level, and the slo.alerts counter
+    # all tell the same story.
+    gauges = metrics["snapshot"].get("gauges", {})
+    _check("slo.burn.service" in gauges, "slo.burn.service gauge missing")
+    _check(
+        "serve.inflight" in gauges and "serve.inflight.limit" in gauges,
+        "serve.inflight gauges missing from the scrape",
+    )
+    service_stats = service.stats()
+    slo = service_stats.get("slo") or {}
+    svc_window = slo.get("service") or {}
+    _check(
+        svc_window.get("good", 0) + svc_window.get("bad", 0) > 0,
+        f"SLO monitor recorded nothing: {slo}",
+    )
+    alerts = REGISTRY.get_counter("slo.alerts")
+    if svc_window.get("alerting", False):
+        _check(alerts > 0, "SLO alert latched without a slo.alerts increment")
+        _check(
+            svc_window.get("burn_short", 0.0)
+            >= service.slo.config.burn_threshold,
+            f"SLO alert latched below the burn threshold: {svc_window}",
+        )
+
+    if profiles_path is not None:
+        service.sampler.save(profiles_path)
+    print(
+        f"smoke: sampling ok ({len(profiles)} profiles, "
+        f"{len(exemplar_ids)} exemplars, slow-decile {covered}/{len(top)}, "
+        f"threshold={snap['threshold_seconds'] * 1e3:.1f}ms)",
+        file=sys.stderr,
+    )
+
+
 def _param_phase(
     host: str, port: int, service: QueryService, args: argparse.Namespace
-) -> List[dict]:
-    """Parameterized serving invariants; returns the joinable replies.
+) -> tuple:
+    """Parameterized serving invariants; returns ``(joinable_replies,
+    hostile_replies)`` -- the hostile ones fail before admission, so
+    they never reach the event log, but the tail sampler must still
+    hold a profile for each.
 
     Drives the literal-varying workload (same shapes, different literal
     text every round) and asserts the shape-keyed cache absorbed it: at
@@ -387,6 +542,7 @@ def _param_phase(
              "params": [10.0]},
         ),
     ]
+    hostile_replies: List[dict] = []
     with ServiceClient(host, port) as client:
         for label, doc in hostile:
             reply = client.request(doc)
@@ -395,24 +551,26 @@ def _param_phase(
                 not reply.get("ok") and code == "E_PARAM",
                 f"hostile binding ({label}) did not fail typed: {reply}",
             )
+            hostile_replies.append(reply)
         reply = client.request({"sql": sql_p, "params": "10.0,0.07"})
         _check(
             (reply.get("error") or {}).get("code") == "E_PROTOCOL",
             f"non-structured params were not rejected at the protocol: {reply}",
         )
+        hostile_replies.append(reply)
     print(
         f"smoke: parameterized ok (shape_hits={hits}, shape_misses={misses}, "
         f"hit_rate={hit_rate:.2f})",
         file=sys.stderr,
     )
-    return replies
+    return replies, hostile_replies
 
 
 def cmd_smoke(args: argparse.Namespace) -> int:
     from repro.resilience.faults import FaultInjector, FaultSpec
 
     t0 = time.monotonic()
-    log, events_path, telemetry_path = _setup_observability(args)
+    log, events_path, telemetry_path, profiles_path = _setup_observability(args)
     service = build_service(args)
     server = QueryServer(service, host=args.host, port=args.port).start()
     host, port = server.address
@@ -440,13 +598,33 @@ def cmd_smoke(args: argparse.Namespace) -> int:
             f"error reply lost its request_id: {bad}",
         )
         all_replies.append(bad)
+        error_replies: List[dict] = [bad]
+
+        # A client-minted traceparent must come back as the reply's
+        # trace_id (and land on the trace / event log / profile).
+        tp = make_traceparent()
+        with ServiceClient(host, port) as client:
+            traced = client.request(
+                {"tpch": 6, "traceparent": tp, "request_id": "smoke-traceparent"}
+            )
+        _check(traced.get("ok", False), f"traceparent request failed: {traced}")
+        _check(
+            traced.get("trace_id") == tp.split("-")[1],
+            f"traceparent {tp!r} did not round-trip as trace_id: "
+            f"{traced.get('trace_id')!r}",
+        )
+        all_replies.append(traced)
 
         # Phase 2: parameterized serving -- literal-varying workload,
         # wire prepare/execute, hostile bindings.
-        all_replies.extend(_param_phase(host, port, service, args))
+        param_replies, hostile_replies = _param_phase(host, port, service, args)
+        all_replies.extend(param_replies)
+        error_replies.extend(hostile_replies)
 
+        breaker_replies: List[dict] = []
         if args.faults:
-            shape_probe(host, port, service, args)
+            breaker_replies = shape_probe(host, port, service, args)
+            all_replies.extend(breaker_replies)
             # Sustained mixed workload with compile faults firing.  The
             # compiled-query cache is cleared first: cached shapes never
             # recompile, and a fault site nothing visits proves nothing.
@@ -481,6 +659,15 @@ def cmd_smoke(args: argparse.Namespace) -> int:
             _assert_event_log(events_path, all_replies)
         if telemetry_path is not None:
             _assert_telemetry(telemetry_path)
+        _assert_sampling(
+            host,
+            port,
+            service,
+            all_replies,
+            error_replies,
+            breaker_replies,
+            profiles_path,
+        )
 
         # Clean shutdown through the wire.
         with ServiceClient(host, port) as client:
@@ -510,9 +697,10 @@ def cmd_smoke(args: argparse.Namespace) -> int:
 
 def shape_probe(
     host: str, port: int, service: QueryService, args: argparse.Namespace
-) -> None:
+) -> List[dict]:
     """Open the breaker on one shape under sustained compile faults, then
-    watch it recover through a half-open probe."""
+    watch it recover through a half-open probe; returns the replies so
+    the sampler assertions can demand a profile for each."""
     from repro.resilience.faults import FaultInjector, FaultSpec
     from repro.serve.service import ServiceRequest
     from repro.tpch.sql_queries import SQL_QUERIES
@@ -523,11 +711,13 @@ def shape_probe(
     shape = ServiceRequest(sql=sql).shape()
     service.session.clear_cache()  # force every request through the compiler
     opened_before = REGISTRY.get_counter("serve.breaker.opened")
+    replies: List[dict] = []
     with FaultInjector(FaultSpec("codegen", at=None, times=None)):
         with ServiceClient(host, port) as client:
             for _ in range(args.breaker_threshold + 2):
                 reply = client.sql(sql, tenant="breaker-smoke")
                 _check(reply.get("ok", False), f"degradation failed: {reply}")
+                replies.append(reply)
     _check(
         service.breaker.state(shape) == "open",
         f"breaker did not open (state={service.breaker.state(shape)})",
@@ -540,11 +730,13 @@ def shape_probe(
     with ServiceClient(host, port) as client:
         reply = client.sql(sql, tenant="breaker-smoke")
         _check(reply.get("ok", False), f"probe request failed: {reply}")
+        replies.append(reply)
     _check(
         service.breaker.state(shape) == "closed",
         f"breaker did not recover (state={service.breaker.state(shape)})",
     )
     print("smoke: breaker opened and recovered", file=sys.stderr)
+    return replies
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -574,6 +766,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="enable the workload-telemetry store and "
                              "snapshot it to PATH on shutdown "
                              "(smoke mode defaults to a temp dir)")
+    parser.add_argument("--sampling", action="store_true",
+                        help="enable tail-based profile sampling (always on "
+                             "in smoke mode)")
+    parser.add_argument("--profiles", default=None, metavar="PATH",
+                        help="write the repro-profiles/v1 snapshot to PATH "
+                             "on shutdown (implies --sampling; smoke mode "
+                             "defaults to a temp dir)")
+    parser.add_argument("--sampler-capacity", type=int, default=1024,
+                        help="bounded profile store size for the tail sampler")
+    parser.add_argument("--slo-latency", type=float, default=None,
+                        metavar="SECONDS",
+                        help="arm the SLO monitor with this latency "
+                             "threshold (smoke mode arms a generous 30s)")
+    parser.add_argument("--slo-objective", type=float, default=0.99,
+                        help="SLO success objective (fraction of good "
+                             "requests, default 0.99)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the self-contained CI smoke and exit")
     parser.add_argument("--faults", action="store_true",

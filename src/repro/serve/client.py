@@ -4,6 +4,11 @@ One socket, one request in flight at a time (a lock serializes callers);
 for concurrent load, open one :class:`ServiceClient` per client thread --
 that is what the bench harness and the CI smoke do, and it mirrors how a
 connection pool would use the service.
+
+Every query request leaves the client with a W3C-style ``traceparent``
+(minted here unless the caller supplies one), so the server-side trace,
+event-log lines and any tail-sampled profile all carry a trace id the
+client knows -- the reply echoes it as ``trace_id``.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import threading
 from typing import Optional
 
 from repro.errors import ReproError, error_from_dict
+from repro.obs.sampler import make_traceparent
 
 
 class ServiceClient:
@@ -27,7 +33,14 @@ class ServiceClient:
     # -- plumbing -----------------------------------------------------------
 
     def request(self, doc: dict) -> dict:
-        """Send one JSON object, read one JSON reply."""
+        """Send one JSON object, read one JSON reply.
+
+        Query documents (``sql``/``tpch``) gain a fresh ``traceparent``
+        when the caller did not set one; the original ``doc`` is not
+        mutated.
+        """
+        if ("sql" in doc or "tpch" in doc) and "traceparent" not in doc:
+            doc = {**doc, "traceparent": make_traceparent()}
         payload = json.dumps(doc).encode("utf-8") + b"\n"
         with self._lock:
             self._sock.sendall(payload)
@@ -109,6 +122,11 @@ class ServiceClient:
     def metrics(self) -> dict:
         """The server's metrics: ``{"snapshot": {...}, "exposition": str}``."""
         return self.request({"op": "metrics"})["metrics"]
+
+    def profiles(self) -> dict:
+        """The tail sampler's ``repro-profiles/v1`` snapshot (raises the
+        typed protocol error when sampling is off on the server)."""
+        return raise_for_error(self.request({"op": "profiles"}))["profiles"]
 
     def shutdown(self) -> bool:
         return bool(self.request({"op": "shutdown"}).get("bye"))

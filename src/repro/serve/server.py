@@ -23,6 +23,10 @@ ops ride the same framing::
                                        {...}, "exposition": "..."}} -- the
                                        registry as JSON plus the
                                        Prometheus-style text rendering
+    {"op": "profiles"}              -> {"ok": true, "profiles": {...}} --
+                                       the tail sampler's repro-profiles/v1
+                                       snapshot (typed error when sampling
+                                       is off)
     {"op": "shutdown"}              -> {"ok": true, "bye": true} and the
                                        server stops accepting connections
 
@@ -184,6 +188,24 @@ class QueryServer:
                     "snapshot": snapshot,
                     "exposition": render_prometheus(snapshot),
                 },
+            }
+        if op == "profiles":
+            sampler = self.service.sampler
+            if sampler is None:
+                REGISTRY.counter("serve.errors.E_PROTOCOL")
+                return {
+                    "ok": False,
+                    "id": doc.get("id"),
+                    "error": error_to_dict(
+                        ServiceProtocolError(
+                            "tail sampling is not enabled on this service"
+                        )
+                    ),
+                }
+            return {
+                "ok": True,
+                "id": doc.get("id"),
+                "profiles": sampler.snapshot(),
             }
         if op == "prepare":
             return self._handle_prepare(doc)

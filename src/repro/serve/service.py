@@ -47,6 +47,8 @@ from repro.errors import (
 )
 from repro.obs import events
 from repro.obs.metrics import REGISTRY
+from repro.obs.sampler import RequestProfile, TailSampler, parse_traceparent
+from repro.obs.slo import SLOConfig, SLOMonitor
 from repro.obs.telemetry import TELEMETRY, shape_digest
 from repro.obs.trace import Trace, span
 from repro.resilience.budget import Budget
@@ -96,6 +98,19 @@ class ServiceConfig:
     # :data:`repro.obs.telemetry.TELEMETRY` store.  Off by default: the
     # uninstrumented residual programs stay byte-identical to the goldens.
     telemetry: bool = False
+    # Tail-based profile sampling: when on, every request runs traced and
+    # the finished profile (spans, operator timings, engine trail) is
+    # offered to a bounded :class:`~repro.obs.sampler.TailSampler`, which
+    # keeps the slowest decile plus every error/breaker/degraded request
+    # and attaches kept request ids as latency-histogram exemplars.  Off
+    # by default, same "off means off" contract as telemetry.
+    sampling: bool = False
+    sampler_capacity: int = 512
+    sampler_slow_quantile: float = 0.9
+    sampler_warmup: int = 32
+    # SLO burn-rate monitoring: a config arms per-service/tenant/shape
+    # sliding windows; None (the default) disables the monitor entirely.
+    slo: Optional[SLOConfig] = None
     # Cardinality caps for wire-controlled metric label families: at most
     # this many distinct tenant / plan-shape labels get their own
     # ``serve.tenant.*`` / ``serve.shape.*`` names; the overflow shares
@@ -131,6 +146,14 @@ class ServiceRequest:
     # Clients may supply their own (echoed verbatim); the service mints
     # one at admission otherwise.
     request_id: Optional[str] = None
+    # W3C-style distributed trace context ("00-<trace>-<span>-<flags>");
+    # malformed values are ignored, never rejected.  The parsed trace id
+    # lands in the worker's request context, the trace meta, the event
+    # log and the stored profile.
+    traceparent: Optional[str] = None
+    # Stamped by submit(): when this request entered admission, on the
+    # monotonic clock (queueing attribution for the profile).
+    submitted_at: Optional[float] = None
 
     def shape(self) -> str:
         """The plan-shape key the breaker and compiled cache share.
@@ -165,6 +188,15 @@ class ServiceResponse:
     trace: Optional[dict] = None
     request_id: Optional[str] = None
     shape: Optional[str] = None  # the plan-shape key (not serialized)
+    trace_id: Optional[str] = None  # propagated traceparent trace id
+    # Profile material the tail sampler consumes; none of it is
+    # serialized to the wire (the client already paid for the rows).
+    queued_seconds: float = 0.0
+    exec_seconds: float = 0.0
+    operator_times: Optional[dict] = None
+    operator_rows: Optional[dict] = None
+    kernels: Optional[dict] = None
+    sampled_trace: Optional[dict] = None  # trace kept for sampling only
 
     @property
     def code(self) -> Optional[str]:
@@ -189,6 +221,8 @@ class ServiceResponse:
             doc["breaker"] = self.breaker
         if self.trace is not None:
             doc["trace"] = self.trace
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         return doc
 
 
@@ -209,6 +243,18 @@ class QueryService:
         )
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.workers, thread_name_prefix="repro-serve"
+        )
+        self.sampler: Optional[TailSampler] = (
+            TailSampler(
+                capacity=cfg.sampler_capacity,
+                slow_quantile=cfg.sampler_slow_quantile,
+                warmup=cfg.sampler_warmup,
+            )
+            if cfg.sampling
+            else None
+        )
+        self.slo: Optional[SLOMonitor] = (
+            SLOMonitor(cfg.slo) if cfg.slo is not None else None
         )
         self._closed = False
         self._close_lock = threading.Lock()
@@ -241,6 +287,7 @@ class QueryService:
         """Admit, execute, respond.  Blocks the calling thread until the
         response is ready or the deadline (plus grace) has passed."""
         started = time.monotonic()
+        request.submitted_at = started
         if request.request_id is None:
             request.request_id = mint_request_id()
         REGISTRY.counter("serve.requests")
@@ -306,6 +353,9 @@ class QueryService:
             params=doc.get("params"),
             request_id=(
                 doc["request_id"] if isinstance(doc.get("request_id"), str) else None
+            ),
+            traceparent=(
+                doc["traceparent"] if isinstance(doc.get("traceparent"), str) else None
             ),
         )
         return self.submit(request).to_dict()
@@ -380,19 +430,30 @@ class QueryService:
         response = ServiceResponse(
             id=request.id, tenant=request.tenant, request_id=rid, shape=shape
         )
-        trace = (
-            Trace("request", shape=shape, request_id=rid)
-            if self.config.trace_requests
-            else None
-        )
-        if trace is not None:
+        if request.submitted_at is not None:
+            response.queued_seconds = max(0.0, started - request.submitted_at)
+        parsed = parse_traceparent(request.traceparent)
+        trace_id = parsed[0] if parsed else None
+        response.trace_id = trace_id
+        # Tail sampling needs the span tree of *every* request (keep/drop
+        # is decided at request end), so sampling turns tracing on even
+        # when replies do not carry traces.
+        trace = None
+        if self.config.trace_requests or self.sampler is not None:
+            meta = {"shape": shape, "request_id": rid}
+            if trace_id is not None:
+                meta["trace_id"] = trace_id
+                meta["parent_id"] = parsed[1]
+            trace = Trace("request", **meta)
             trace.__enter__()
         try:
             # Bind the ambient request context so deep layers (the
             # session's single-flight compile, the executor's fallback
             # walk) can stamp events with this id without threading it
             # through every signature.
-            with events.request_context(rid, shape=shape, tenant=request.tenant):
+            with events.request_context(
+                rid, shape=shape, tenant=request.tenant, trace_id=trace_id
+            ):
                 with span("serve.request", tenant=request.tenant):
                     self._run_inner(request, tenant_state, deadline, response)
         except BaseException as exc:
@@ -402,7 +463,11 @@ class QueryService:
         finally:
             if trace is not None:
                 trace.__exit__(None, None, None)
-                response.trace = trace.to_dict()
+                if self.config.trace_requests:
+                    response.trace = trace.to_dict()
+                else:
+                    response.sampled_trace = trace.to_dict()
+        response.exec_seconds = time.monotonic() - started
         response.elapsed_seconds = time.monotonic() - started
         return response
 
@@ -457,6 +522,9 @@ class QueryService:
         response.engine_trail = result.report.engine_trail
         response.degraded = result.report.degraded or decision == OPEN
         report = result.report
+        response.operator_times = report.operator_times
+        response.operator_rows = report.operator_rows
+        response.kernels = report.kernels
         TELEMETRY.record_execution(
             shape,
             report.engine or "unknown",
@@ -603,16 +671,41 @@ class QueryService:
         return "other"
 
     def _account(self, response: ServiceResponse) -> None:
-        REGISTRY.observe("serve.latency_seconds", response.elapsed_seconds)
         tenant_label = self._tenant_label(response.tenant)
+        shape_label = (
+            self._shape_label(response.shape)
+            if response.shape is not None
+            else None
+        )
+        # Tail sampling decides *before* the histogram observations so a
+        # kept request's id can ride into the matching latency bucket as
+        # an exemplar -- the link from a p99 bucket to its deep profile.
+        exemplar: Optional[str] = None
+        if self.sampler is not None:
+            kept = self.sampler.offer(self._profile_of(response))
+            if kept:
+                exemplar = response.request_id
+        REGISTRY.observe(
+            "serve.latency_seconds", response.elapsed_seconds, exemplar=exemplar
+        )
         REGISTRY.observe(
             f"serve.tenant.{tenant_label}.latency_seconds",
             response.elapsed_seconds,
+            exemplar=exemplar,
         )
-        if response.shape is not None:
+        if shape_label is not None:
             REGISTRY.observe(
-                f"serve.shape.{self._shape_label(response.shape)}.latency_seconds",
+                f"serve.shape.{shape_label}.latency_seconds",
                 response.elapsed_seconds,
+                exemplar=exemplar,
+            )
+        if self.slo is not None:
+            self.slo.record(
+                response.elapsed_seconds,
+                ok=response.ok,
+                tenant=tenant_label,
+                shape=shape_label,
+                request_id=response.request_id,
             )
         elapsed_ms = round(response.elapsed_seconds * 1e3, 3)
         if response.ok:
@@ -652,11 +745,36 @@ class QueryService:
                 elapsed_ms=elapsed_ms,
             )
 
+    def _profile_of(self, response: ServiceResponse) -> RequestProfile:
+        """The tail sampler's view of one finished request."""
+        return RequestProfile(
+            request_id=response.request_id or "unknown",
+            shape=response.shape,
+            tenant=response.tenant,
+            latency_seconds=response.elapsed_seconds,
+            outcome="ok" if response.ok else (response.code or "E_RUNTIME"),
+            engine=response.engine,
+            engine_trail=tuple(response.engine_trail),
+            degraded=response.degraded,
+            breaker=response.breaker,
+            queued_seconds=response.queued_seconds,
+            exec_seconds=response.exec_seconds,
+            trace=(
+                response.sampled_trace
+                if response.sampled_trace is not None
+                else response.trace
+            ),
+            trace_id=response.trace_id,
+            operator_times=response.operator_times,
+            operator_rows=response.operator_rows,
+            kernels=response.kernels,
+        )
+
     # -- introspection ------------------------------------------------------
 
     def stats(self) -> dict:
         """Operator view: queue, breakers, tenants, ``serve.*`` counters."""
-        return {
+        doc = {
             "queue_depth": self._gate.depth,
             "queue_limit": self._gate.limit,
             "workers": self.config.workers,
@@ -665,3 +783,8 @@ class QueryService:
             "cache": self.session.cache_info(),
             "counters": REGISTRY.counters_with_prefix("serve."),
         }
+        if self.sampler is not None:
+            doc["sampler"] = self.sampler.stats()
+        if self.slo is not None:
+            doc["slo"] = self.slo.snapshot()
+        return doc

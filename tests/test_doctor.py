@@ -1,0 +1,600 @@
+"""Diagnosis-tier tests: tail-based sampling, traceparent propagation,
+SLO burn-rate windows, and the ``repro-doctor`` attribution/regression
+report.
+
+The regression tests are the acceptance gate for the doctor: a synthetic
+per-shape slowdown injected into a bench-style samples document must be
+flagged against the unperturbed baseline, while comparing the baseline
+against itself must report a clean verdict -- same artifacts, same
+thresholds, opposite answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import (
+    SCHEMA as PROFILES_SCHEMA,
+    RequestProfile,
+    TailSampler,
+    make_traceparent,
+    parse_traceparent,
+    validate_profiles,
+)
+from repro.obs.slo import SLOConfig, SLOMonitor
+from repro.obs.telemetry import SCHEMA as TELEMETRY_SCHEMA, shape_digest
+from repro.obs.doctor import (
+    DoctorInputError,
+    attribute_profile,
+    build_report,
+    main as doctor_main,
+    regression_report,
+    render_text,
+    tail_report,
+    validate_report,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000_000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- traceparent --------------------------------------------------------------
+
+
+def test_traceparent_round_trip():
+    tp = make_traceparent()
+    parsed = parse_traceparent(tp)
+    assert parsed is not None
+    trace_id, span_id = parsed
+    assert tp == f"00-{trace_id}-{span_id}-01"
+    assert len(trace_id) == 32 and len(span_id) == 16
+
+
+def test_traceparent_accepts_explicit_ids_and_whitespace():
+    tp = make_traceparent(trace_id="ab" * 16, span_id="cd" * 8)
+    assert parse_traceparent(f"  {tp.upper()}  ") == ("ab" * 16, "cd" * 8)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        None,
+        42,
+        "",
+        "not-a-traceparent",
+        "01-" + "a" * 32 + "-" + "b" * 16 + "-01",  # wrong version
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+        "00-" + "a" * 32 + "-" + "b" * 15 + "-01",  # short span id
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace id
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # non-hex
+    ],
+)
+def test_traceparent_malformed_parses_to_none(bad):
+    assert parse_traceparent(bad) is None
+
+
+# -- the tail sampler ---------------------------------------------------------
+
+
+def _profile(rid, latency=0.01, outcome="ok", **kw):
+    return RequestProfile(
+        request_id=rid, latency_seconds=latency, outcome=outcome, **kw
+    )
+
+
+def test_sampler_keeps_everything_during_warmup():
+    s = TailSampler(capacity=8, warmup=4)
+    assert s.offer(_profile("a", 0.001))
+    assert s.get("a").keep_reason == "warmup"
+    assert s.threshold() == 0.0
+
+
+def test_sampler_always_keeps_errors_breaker_and_degraded():
+    s = TailSampler(capacity=256, warmup=2)
+    # Train a threshold with two distinct latency bands, so the fast band
+    # sits strictly below the p90 bucket's lower edge.
+    for i in range(90):
+        s.offer(_profile(f"warm-fast-{i}", 0.001))
+    for i in range(30):
+        s.offer(_profile(f"warm-slow-{i}", 0.09))
+    assert not s.offer(_profile("fast", 0.001))  # plain fast: dropped
+    assert s.offer(_profile("err", 0.001, outcome="E_PLAN"))
+    assert s.get("err").keep_reason == "error"
+    assert s.offer(_profile("brk", 0.001, breaker="open"))
+    assert s.get("brk").keep_reason == "breaker"
+    assert s.offer(_profile("prb", 0.001, breaker="probe"))
+    assert s.get("prb").keep_reason == "breaker"
+    assert s.offer(_profile("deg", 0.001, degraded=True))
+    assert s.get("deg").keep_reason == "degraded"
+    assert not s.offer(_profile("closed", 0.001, breaker="closed"))
+
+
+def test_sampler_slow_decile_threshold_is_a_generous_bucket_edge():
+    # 85 fast (1ms band) + 15 slow (90ms band): the p90 sample sits in
+    # the slow bucket, so the threshold is that bucket's *lower* edge
+    # and every one of the slow requests qualifies.
+    s = TailSampler(capacity=256, warmup=4, slow_quantile=0.9)
+    for i in range(85):
+        s.offer(_profile(f"fast-{i}", 0.001))
+    kept = sum(1 for i in range(15) if s.offer(_profile(f"slow-{i}", 0.09)))
+    assert kept == 15
+    assert 0.0 < s.threshold() <= 0.09
+    assert s.get("slow-0").keep_reason == "slow"
+    assert not s.offer(_profile("still-fast", 0.001))
+
+
+def test_sampler_reoffered_id_replaces_instead_of_growing():
+    s = TailSampler(capacity=8, warmup=1)
+    s.offer(_profile("rid", 0.001, outcome="E_PLAN"))
+    s.offer(_profile("rid", 0.002, outcome="E_PARAM"))
+    assert len(s.profiles()) == 1
+    assert s.get("rid").outcome == "E_PARAM"
+
+
+def test_sampler_eviction_prefers_fast_ok_profiles_over_errors():
+    s = TailSampler(capacity=4, warmup=100)  # warmup: everything kept
+    s.offer(_profile("err", 0.5, outcome="E_PLAN"))
+    for i, latency in enumerate((0.01, 0.02, 0.03)):
+        s.offer(_profile(f"ok-{i}", latency))
+    s.offer(_profile("ok-3", 0.04))  # over capacity: evict fastest warmup
+    stats = s.stats()
+    assert stats["stored"] == 4 and stats["evicted"] == 1
+    assert s.get("err") is not None  # the error capture survived
+    assert s.get("ok-0") is None  # the fastest ok profile went
+
+
+def test_sampler_eviction_falls_back_to_oldest_when_all_are_errors():
+    s = TailSampler(capacity=2, warmup=1)
+    s.offer(_profile("e1", 0.1, outcome="E_PLAN"))
+    s.offer(_profile("e2", 0.2, outcome="E_PLAN"))
+    s.offer(_profile("e3", 0.3, outcome="E_PLAN"))
+    assert s.get("e1") is None
+    assert s.get("e2") is not None and s.get("e3") is not None
+
+
+def test_sampler_snapshot_validates_and_round_trips(tmp_path):
+    s = TailSampler(capacity=8, warmup=2)
+    s.offer(_profile("a", 0.01, shape="select 1", trace={"name": "serve.request"}))
+    s.offer(_profile("b", 0.02, outcome="E_PLAN"))
+    snap = s.snapshot()
+    assert snap["schema"] == PROFILES_SCHEMA
+    assert validate_profiles(snap) == []
+    path = tmp_path / "profiles.json"
+    s.save(str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_profiles(loaded) == []
+    assert {p["request_id"] for p in loaded["profiles"]} == {"a", "b"}
+
+
+def test_validate_profiles_rejects_malformed_documents():
+    assert validate_profiles([]) == ["profiles snapshot is not an object"]
+    assert any("schema" in p for p in validate_profiles({"schema": "nope"}))
+    doc = {
+        "schema": PROFILES_SCHEMA,
+        "offered": 1, "kept": 1, "evicted": 0, "capacity": 8,
+        "threshold_seconds": 0.0,
+        "profiles": [{"request_id": "", "outcome": "weird"}],
+    }
+    problems = validate_profiles(doc)
+    assert any("request_id" in p for p in problems)
+    assert any("outcome" in p for p in problems)
+
+
+# -- SLO burn-rate monitoring -------------------------------------------------
+
+
+def _slo_config(**kw):
+    base = dict(
+        latency_threshold_seconds=0.1,
+        objective=0.9,  # 10% error budget: burn = bad_fraction / 0.1
+        window_seconds=30.0,
+        long_window_seconds=60.0,
+        burn_threshold=2.0,
+        min_requests=10,
+    )
+    base.update(kw)
+    return SLOConfig(**base)
+
+
+def test_slo_burn_fires_once_and_resolves(tmp_path):
+    log_path = tmp_path / "events.jsonl"
+    log = EventLog(str(log_path))
+    events.install(log)
+    try:
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        mon = SLOMonitor(_slo_config(), clock=clock, registry=reg)
+        # Ten bad requests: bad_fraction 1.0 -> burn 10 in both windows,
+        # at the min_requests floor -> one firing transition.
+        for _ in range(10):
+            mon.record(1.0, ok=True)  # slow counts as bad
+            clock.advance(0.5)
+        snap = mon.snapshot()
+        assert snap["service"]["alerting"]
+        assert snap["service"]["burn_short"] == pytest.approx(10.0)
+        assert reg.get_counter("slo.alerts") == 1
+        mon.record(1.0, ok=False)  # still burning: no second alert
+        assert reg.get_counter("slo.alerts") == 1
+        # March past the short window; one good request re-evaluates the
+        # now-clean window and resolves the alert.
+        clock.advance(35.0)
+        mon.record(0.01, ok=True)
+        assert not mon.snapshot()["service"]["alerting"]
+    finally:
+        events.install(None)
+        log.close()
+    lines = [json.loads(l) for l in log_path.read_text().splitlines()]
+    burn = [d for d in lines if d["event"] == "slo_burn"]
+    assert [d["state"] for d in burn] == ["firing", "resolved"]
+    assert burn[0]["scope"] == "service"
+    assert burn[0]["burn_short"] >= 2.0
+
+
+def test_slo_min_requests_floor_prevents_spike_paging():
+    clock = FakeClock()
+    reg = MetricsRegistry()
+    mon = SLOMonitor(_slo_config(min_requests=10), clock=clock, registry=reg)
+    for _ in range(9):  # all bad, but under the traffic floor
+        mon.record(1.0, ok=False)
+    assert not mon.snapshot()["service"]["alerting"]
+    assert reg.get_counter("slo.alerts") == 0
+
+
+def test_slo_long_window_confirms_before_firing():
+    # A burst that fills the short window but not the long one must not
+    # page: the long window still remembers the good traffic.
+    clock = FakeClock()
+    reg = MetricsRegistry()
+    mon = SLOMonitor(_slo_config(), clock=clock, registry=reg)
+    for _ in range(200):  # a long healthy stretch
+        mon.record(0.01, ok=True)
+        clock.advance(0.25)
+    # Step past the short window (still inside the long one), then burst:
+    # the short window sees only the burst, the long window remembers
+    # the healthy stretch and refuses to confirm.
+    clock.advance(31.0)
+    for _ in range(12):
+        mon.record(1.0, ok=False)
+    snap = mon.snapshot()
+    assert snap["service"]["burn_short"] >= 2.0
+    assert snap["service"]["burn_long"] < 2.0
+    assert not snap["service"]["alerting"]
+
+
+def test_slo_scopes_tenants_and_shapes_with_cardinality_cap():
+    clock = FakeClock()
+    reg = MetricsRegistry()
+    mon = SLOMonitor(
+        _slo_config(max_tracked=2), clock=clock, registry=reg
+    )
+    for tenant in ("a", "b", "c"):
+        mon.record(0.01, ok=True, tenant=tenant, shape="s1")
+    snap = mon.snapshot()
+    assert set(snap["tenants"]) == {"a", "b"}  # capped at 2
+    assert set(snap["shapes"]) == {"s1"}
+    # Overflow tenants still count in the service scope.
+    assert snap["service"]["good"] == 3
+    gauges = reg.snapshot()["gauges"]
+    assert gauges.get("slo.burn.service") == 0.0
+    assert "slo.burn.tenant.a" in gauges and "slo.burn.shape.s1" in gauges
+
+
+def test_slo_windows_expire_with_the_clock():
+    clock = FakeClock()
+    mon = SLOMonitor(_slo_config(), clock=clock, registry=MetricsRegistry())
+    for _ in range(5):
+        mon.record(1.0, ok=False)
+    assert mon.snapshot()["service"]["bad"] == 5
+    clock.advance(90.0)  # past both windows
+    snap = mon.snapshot()
+    assert snap["service"]["bad"] == 0 and snap["service"]["good"] == 0
+    assert snap["service"]["burn_short"] == 0.0
+
+
+# -- doctor: attribution ------------------------------------------------------
+
+
+def _traced_profile(
+    rid="r1",
+    latency=1.0,
+    queue=0.1,
+    compile_s=0.2,
+    execute=0.5,
+    shape="select count(*) from lineitem",
+    tenant="t0",
+    outcome="ok",
+    operator_times=None,
+):
+    trace = {
+        "name": "serve.request",
+        "seconds": latency - queue,
+        "children": [
+            {
+                "name": "attempt",
+                "seconds": compile_s + execute,
+                "children": [
+                    {
+                        "name": "compile",
+                        "seconds": compile_s,
+                        # nested compile stages must not double-count
+                        "children": [
+                            {"name": "codegen", "seconds": compile_s / 2}
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    return {
+        "request_id": rid,
+        "shape": shape,
+        "tenant": tenant,
+        "latency_seconds": latency,
+        "outcome": outcome,
+        "queued_seconds": queue,
+        "exec_seconds": latency - queue,
+        "trace": trace,
+        "operator_times": operator_times or {},
+        "ts": 0.0,
+        "keep_reason": "slow",
+    }
+
+
+def test_attribute_profile_from_trace_spans():
+    att = attribute_profile(_traced_profile())
+    assert att["queue"] == pytest.approx(0.1)
+    assert att["compile"] == pytest.approx(0.2)  # codegen child not added
+    assert att["execute"] == pytest.approx(0.5)
+    assert att["other"] == pytest.approx(0.2)
+
+
+def test_attribute_profile_without_trace_falls_back_to_exec_seconds():
+    att = attribute_profile(
+        {
+            "request_id": "r",
+            "latency_seconds": 1.0,
+            "queued_seconds": 0.3,
+            "exec_seconds": 0.6,
+        }
+    )
+    assert att == {
+        "queue": pytest.approx(0.3),
+        "compile": 0.0,
+        "execute": pytest.approx(0.6),
+        "other": pytest.approx(0.1),
+    }
+
+
+def test_attribute_profile_never_goes_negative():
+    att = attribute_profile(
+        {"request_id": "r", "latency_seconds": 0.1, "queued_seconds": 0.5}
+    )
+    assert att["other"] == 0.0 and att["queue"] == 0.5
+
+
+def test_tail_report_groups_slow_and_errored_by_shape_and_tenant():
+    slow_shape = "select * from orders"
+    doc = {
+        "schema": PROFILES_SCHEMA,
+        "threshold_seconds": 0.5,
+        "profiles": [
+            _traced_profile("slow-1", latency=1.0, shape=slow_shape),
+            _traced_profile(
+                "slow-2", latency=2.0, shape=slow_shape, tenant="t1",
+                operator_times={"Sort#1": 0.9, "Scan#0": 0.3},
+            ),
+            # fast but errored: always part of the tail report
+            _traced_profile("err-1", latency=0.01, outcome="E_PLAN"),
+            # fast and ok: excluded
+            _traced_profile("fast-1", latency=0.01),
+        ],
+    }
+    tail = tail_report(doc)
+    assert tail["slow_count"] == 3 and tail["profiles"] == 4
+    digest = shape_digest(slow_shape)
+    by_shape = {e["shape"]: e for e in tail["by_shape"]}
+    assert by_shape[digest]["count"] == 2
+    assert by_shape[digest]["shape_text"].startswith("select * from orders")
+    assert by_shape[digest]["top_operators"][0]["operator"] == "Sort#1"
+    assert by_shape[digest]["exemplars"] == ["slow-1", "slow-2"]
+    # the slowest-execute shape sorts first
+    assert tail["by_shape"][0]["shape"] == digest
+    by_tenant = {e["tenant"]: e for e in tail["by_tenant"]}
+    assert by_tenant["t1"]["count"] == 1
+    assert by_tenant["t0"]["errors"] == 1
+
+
+# -- doctor: regression verdicts ----------------------------------------------
+
+
+def _bench_doc(slowdown=None, engine=None, run_key="baseline"):
+    """A BENCH_*.json-shaped document with per-request samples for two
+    shapes; ``slowdown`` multiplies one shape's latencies."""
+    slowdown = slowdown or {}
+    samples = []
+    for shape, base_ms in (("shape-a", 10.0), ("shape-b", 40.0)):
+        for i in range(8):
+            samples.append(
+                {
+                    "rid": f"{shape}-{i}",
+                    "shape": shape,
+                    "tenant": "bench-0",
+                    "latency_ms": base_ms * slowdown.get(shape, 1.0) + i * 0.1,
+                    "outcome": "ok",
+                    "engine": engine or "compiled",
+                }
+            )
+    return {run_key: {"samples": samples}, "shapes": {}}
+
+
+def test_regression_flags_an_injected_per_shape_slowdown():
+    baseline = _bench_doc()
+    current = _bench_doc(slowdown={"shape-b": 3.0})
+    rep = regression_report(baseline, current)
+    assert rep["verdict"] == "regressed"
+    assert rep["compared_shapes"] == 2
+    flagged_shapes = {f["shape"] for f in rep["flagged"]}
+    assert flagged_shapes == {"shape-b"}  # the unperturbed shape is quiet
+    metrics = {f["metric"] for f in rep["flagged"]}
+    assert "p95_ms" in metrics and "mean_ms" in metrics
+    assert all(f["ratio"] > 2.5 for f in rep["flagged"])
+
+
+def test_regression_unperturbed_rerun_reports_ok():
+    baseline = _bench_doc()
+    rep = regression_report(baseline, _bench_doc())
+    assert rep["verdict"] == "ok"
+    assert rep["flagged"] == [] and rep["compared_shapes"] == 2
+
+
+def test_regression_below_noise_floor_is_not_flagged():
+    # 3x ratio but sub-millisecond absolute movement: jitter, not news.
+    base = {"baseline": {"samples": [
+        {"rid": f"r{i}", "shape": "tiny", "latency_ms": 0.2, "outcome": "ok"}
+        for i in range(6)
+    ]}}
+    cur = {"baseline": {"samples": [
+        {"rid": f"r{i}", "shape": "tiny", "latency_ms": 0.6, "outcome": "ok"}
+        for i in range(6)
+    ]}}
+    assert regression_report(base, cur)["verdict"] == "ok"
+
+
+def test_regression_engine_mix_shift_is_flagged():
+    baseline = _bench_doc(engine="compiled")
+    current = _bench_doc(engine="vector")
+    rep = regression_report(baseline, current)
+    assert rep["verdict"] == "regressed"
+    assert {f["metric"] for f in rep["flagged"]} == {"engine_mix"}
+
+
+def test_regression_skips_undersampled_shapes():
+    thin = {"baseline": {"samples": [
+        {"rid": "r0", "shape": "rare", "latency_ms": 5.0, "outcome": "ok"}
+    ]}}
+    rep = regression_report(thin, thin, min_samples=5)
+    assert rep["verdict"] == "skipped"
+    assert rep["compared_shapes"] == 0 and rep["skipped_shapes"] == 1
+
+
+def test_regression_accepts_a_telemetry_baseline():
+    def telem(total_seconds):
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "shapes": {
+                "sql:q": {
+                    "digest": "d1",
+                    "executions": {"count": 10, "total_seconds": total_seconds},
+                    "compile": {"count": 2, "total_seconds": 0.2},
+                    "engines": {"compiled": 10},
+                }
+            },
+        }
+
+    rep = regression_report(telem(1.0), telem(3.5))
+    assert rep["baseline_kind"] == "telemetry"
+    assert rep["verdict"] == "regressed"
+    assert {f["metric"] for f in rep["flagged"]} == {"mean_ms"}
+    assert regression_report(telem(1.0), telem(1.0))["verdict"] == "ok"
+
+
+# -- doctor: report + CLI -----------------------------------------------------
+
+
+@pytest.fixture()
+def artifact_dir(tmp_path):
+    """A profiles snapshot + baseline/current bench docs on disk."""
+    sampler = TailSampler(capacity=16, warmup=2)
+    sampler.offer(
+        _profile("slow-a", 0.8, shape="select count(*) from lineitem")
+    )
+    sampler.offer(_profile("err-b", 0.01, outcome="E_PLAN"))
+    sampler.save(str(tmp_path / "profiles.json"))
+    (tmp_path / "baseline.json").write_text(json.dumps(_bench_doc()))
+    (tmp_path / "regressed.json").write_text(
+        json.dumps(_bench_doc(slowdown={"shape-b": 3.0}))
+    )
+    return tmp_path
+
+
+def test_build_report_joins_artifacts_and_validates(artifact_dir):
+    report = build_report(
+        profiles_path=str(artifact_dir / "profiles.json"),
+        baseline_path=str(artifact_dir / "baseline.json"),
+        current_path=str(artifact_dir / "regressed.json"),
+    )
+    assert validate_report(report) == []
+    assert report["summary"]["requests"] == 2  # from the profiles snapshot
+    assert report["tail"]["slow_count"] >= 1
+    assert report["regression"]["verdict"] == "regressed"
+    text = render_text(report)
+    assert "repro-doctor report" in text and "regressed" in text
+
+
+def test_build_report_rejects_a_mislabeled_profiles_artifact(tmp_path):
+    path = tmp_path / "wrong.json"
+    path.write_text(json.dumps({"schema": "something-else/v9"}))
+    with pytest.raises(DoctorInputError):
+        build_report(profiles_path=str(path))
+
+
+def test_doctor_cli_check_and_regression_exit_codes(artifact_dir, capsys):
+    profiles = str(artifact_dir / "profiles.json")
+    baseline = str(artifact_dir / "baseline.json")
+    regressed = str(artifact_dir / "regressed.json")
+    out = str(artifact_dir / "doctor.json")
+
+    assert doctor_main(["--profiles", profiles, "--check", "--out", out]) == 0
+    written = json.loads((artifact_dir / "doctor.json").read_text())
+    assert validate_report(written) == []
+
+    # Unperturbed compare: clean verdict, exit 0 even when gating.
+    assert doctor_main(
+        ["--baseline", baseline, "--current", baseline,
+         "--fail-on-regression", "--json"]
+    ) == 0
+    # Injected slowdown: the gate trips with the dedicated exit code.
+    assert doctor_main(
+        ["--baseline", baseline, "--current", regressed,
+         "--fail-on-regression", "--json"]
+    ) == 3
+    capsys.readouterr()  # drain the JSON blobs; exit codes are the contract
+
+    # A corrupt artifact is a typed failure, not a traceback.
+    bad = artifact_dir / "corrupt.json"
+    bad.write_text("{not json")
+    assert doctor_main(["--profiles", str(bad)]) == 1
+
+
+def test_validate_report_catches_broken_sections():
+    assert validate_report("nope") == ["report is not an object"]
+    problems = validate_report(
+        {
+            "schema": "repro-doctor/v1",
+            "inputs": {},
+            "summary": {"requests": "many"},
+            "tail": {"threshold_ms": "slow", "attribution_ms": {},
+                     "by_shape": [{}], "by_tenant": []},
+            "regression": {"verdict": "maybe", "flagged": None},
+        }
+    )
+    assert any("summary.requests" in p for p in problems)
+    assert any("tail.threshold_ms" in p for p in problems)
+    assert any("attribution_ms" in p for p in problems)
+    assert any("by_shape[0]" in p for p in problems)
+    assert any("verdict" in p for p in problems)
+    assert any("flagged" in p for p in problems)

@@ -610,3 +610,126 @@ def test_deadline_reject_emits_budget_trip(serve_session, tmp_path):
     ]
     assert "budget_trip" in kinds
     assert kinds[-1] == "reject"
+
+
+# -- tail sampling + SLO through the live service -----------------------------
+
+
+def test_service_sampling_keeps_errors_and_attaches_exemplars(serve_session):
+    from repro.obs.sampler import validate_profiles
+    from repro.obs.slo import SLOConfig
+
+    config = ServiceConfig(
+        workers=2,
+        query_scale=TINY_SCALE,
+        sampling=True,
+        sampler_warmup=4,
+        slo=SLOConfig(latency_threshold_seconds=30.0),
+    )
+    with QueryService(serve_session, config) as svc:
+        ok = svc.submit(ServiceRequest(sql=SQL_QUERIES[6], request_id="samp-ok"))
+        bad = svc.submit(ServiceRequest(sql="SELECT FROM nothing", request_id="samp-bad"))
+        assert ok.ok and not bad.ok
+
+        # Errors are deterministic keeps with the typed code as the outcome.
+        prof = svc.sampler.get("samp-bad")
+        assert prof is not None
+        assert prof.outcome == bad.code
+        assert prof.keep_reason == "error"
+
+        # Warmup keeps the ok request too, with the span tree and the
+        # queue/exec split repro-doctor attributes with.
+        okp = svc.sampler.get("samp-ok")
+        assert okp is not None
+        assert okp.outcome == "ok"
+        assert okp.trace is not None and okp.trace.get("children")
+        assert okp.exec_seconds > 0.0
+        assert okp.queued_seconds >= 0.0
+        assert okp.latency_seconds >= okp.exec_seconds
+
+        # Kept requests pin exemplars onto the latency histogram, and every
+        # exemplar id resolves back to a stored profile.
+        hist = REGISTRY.histogram("serve.latency_seconds")
+        ids = {
+            ex["id"]
+            for exs in hist.get("exemplars", {}).values()
+            for ex in exs
+        }
+        assert "samp-ok" in ids or "samp-bad" in ids
+        assert all(svc.sampler.get(rid) is not None for rid in ids)
+
+        # Sampler and SLO surfaces ride along in stats(); the snapshot
+        # round-trips through the schema validator.
+        stats = svc.stats()
+        assert stats["sampler"]["kept"] >= 2
+        assert stats["slo"]["service"]["good"] >= 1
+        assert validate_profiles(svc.sampler.snapshot()) == []
+
+
+def test_service_traceparent_rides_to_response_and_profile(serve_session):
+    from repro.obs.sampler import make_traceparent
+
+    tp = make_traceparent()
+    trace_id = tp.split("-")[1]
+    config = ServiceConfig(workers=1, query_scale=TINY_SCALE, sampling=True)
+    with QueryService(serve_session, config) as svc:
+        reply = svc.submit_dict(
+            {"sql": SQL_QUERIES[6], "request_id": "tp-1", "traceparent": tp}
+        )
+        assert reply["ok"]
+        assert reply["trace_id"] == trace_id
+        prof = svc.sampler.get("tp-1")
+        assert prof is not None and prof.trace_id == trace_id
+
+        # A malformed traceparent never gates admission -- the request runs,
+        # it just goes untraced.
+        garbled = svc.submit_dict(
+            {"sql": SQL_QUERIES[6], "request_id": "tp-2", "traceparent": "junk"}
+        )
+        assert garbled["ok"]
+        assert "trace_id" not in garbled
+
+
+def test_wire_profiles_op_serves_snapshot_and_typed_error(serve_session):
+    from repro.obs.sampler import validate_profiles
+    from repro.serve import raise_for_error
+
+    sampling = QueryService(
+        serve_session,
+        ServiceConfig(workers=2, query_scale=TINY_SCALE, sampling=True),
+    )
+    with QueryServer(sampling, port=0) as srv:
+        host, port = srv.address
+        with ServiceClient(host, port) as client:
+            client.sql(SQL_QUERIES[6], request_id="wire-prof-1")
+            snap = client.profiles()
+            assert snap["schema"] == "repro-profiles/v1"
+            assert validate_profiles(snap) == []
+            assert any(p["request_id"] == "wire-prof-1" for p in snap["profiles"])
+
+    # Sampling off: the op answers with the typed protocol error, not a
+    # hang or a raw traceback.
+    plain = QueryService(
+        serve_session, ServiceConfig(workers=1, query_scale=TINY_SCALE)
+    )
+    with QueryServer(plain, port=0) as srv:
+        host, port = srv.address
+        with ServiceClient(host, port) as client:
+            reply = client.request({"op": "profiles"})
+            assert not reply["ok"]
+            assert reply["error"]["code"] == "E_PROTOCOL"
+            with pytest.raises(Exception):
+                raise_for_error(reply)
+
+
+def test_admission_gate_exports_inflight_gauges():
+    gate = AdmissionGate(7)
+    gauges = REGISTRY.snapshot()["gauges"]
+    assert gauges["serve.inflight.limit"] == 7
+    assert gauges["serve.inflight"] == 0
+    gate.enter()
+    gauges = REGISTRY.snapshot()["gauges"]
+    assert gauges["serve.inflight"] == 1
+    assert gauges["serve.queue.depth"] == 1  # back-compat alias tracks it
+    gate.leave()
+    assert REGISTRY.snapshot()["gauges"]["serve.inflight"] == 0

@@ -38,6 +38,7 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    MAX_EXEMPLARS_PER_BUCKET,
     Histogram,
     MetricsRegistry,
     nearest_rank_index,
@@ -97,6 +98,68 @@ def test_histogram_empty_and_snapshot_shape():
     assert doc["count"] == 2
     assert doc["buckets"] == [[0.1, 1], [1.0, 1], ["+Inf", 2]]
     assert doc["min"] == 0.05 and doc["max"] == 5.0
+
+
+def test_histogram_quantile_empty_single_and_overflow_only():
+    # Empty: every quantile is 0.0 -- there is nothing to rank.
+    h = Histogram(buckets=(0.1, 1.0))
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 0.0
+    # Single observation: every quantile is that observation, exactly
+    # (min/max clamping beats the bucket edge).
+    h.observe(0.25)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == pytest.approx(0.25)
+    # Everything in the +Inf overflow bucket: quantiles report the exact
+    # tracked max, never an infinite (or fabricated) edge.
+    h2 = Histogram(buckets=(0.1,))
+    for v in (5.0, 7.0, 9.0):
+        h2.observe(v)
+    assert h2.quantile(0.5) == 9.0
+    assert h2.quantile(1.0) == 9.0
+
+
+def test_histogram_exemplar_attachment():
+    h = Histogram(buckets=(0.1, 1.0))
+    h.observe(0.05, exemplar="rid-a")
+    h.observe(0.5)  # no exemplar: that bucket stays clean
+    doc = h.to_dict()
+    assert doc["exemplars"] == {"0.1": [{"id": "rid-a", "value": 0.05}]}
+    # The serialized bucket counts are unaffected by exemplar presence.
+    assert doc["buckets"] == [[0.1, 1], [1.0, 2], ["+Inf", 2]]
+
+
+def test_histogram_exemplar_eviction_under_the_per_bucket_cap():
+    h = Histogram(buckets=(0.1,))
+    n = MAX_EXEMPLARS_PER_BUCKET + 3
+    for i in range(n):
+        h.observe(5.0, exemplar=f"rid-{i}")  # all land in +Inf
+    exs = h.to_dict()["exemplars"]["+Inf"]
+    assert len(exs) == MAX_EXEMPLARS_PER_BUCKET
+    # Oldest evicted first: the newest ids survive, in arrival order.
+    assert [e["id"] for e in exs] == [
+        f"rid-{i}" for i in range(n - MAX_EXEMPLARS_PER_BUCKET, n)
+    ]
+
+
+def test_histogram_snapshot_has_no_exemplars_key_when_none_attached():
+    # "Off means off": a histogram that never saw an exemplar serializes
+    # exactly as before the feature existed.
+    h = Histogram(buckets=(0.1, 1.0))
+    h.observe(0.05)
+    assert "exemplars" not in h.to_dict()
+
+
+def test_registry_exemplar_passthrough_and_exposition_unchanged():
+    reg = MetricsRegistry()
+    reg.observe("lat", 0.01, exemplar="req-1")
+    exemplars = reg.histogram("lat")["exemplars"]
+    assert [e["id"] for exs in exemplars.values() for e in exs] == ["req-1"]
+    # Exemplars ride the JSON snapshot only; the text exposition stays
+    # schema-valid and never mentions them.
+    text = render_prometheus(reg.snapshot())
+    assert validate_exposition(text) == []
+    assert "req-1" not in text
 
 
 def test_nearest_rank_index_bounds():
@@ -300,6 +363,7 @@ def test_event_log_rotates_by_size(tmp_path):
 def test_event_kinds_cover_the_request_lifecycle():
     assert set(EVENT_KINDS) == {
         "admit", "reject", "compile", "fallback", "budget_trip", "complete",
+        "slo_burn",
     }
 
 
